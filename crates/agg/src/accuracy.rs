@@ -1,0 +1,165 @@
+//! Accuracy metrics for aggregation outcomes.
+//!
+//! The paper defines accuracy as "the ratio of the collected sum by a
+//! given data aggregation protocol to the real sum of all individual
+//! sensors", with 1.0 the lossless ideal. [`accuracy_ratio`] is exactly
+//! that; [`AccuracyStats`] accumulates it over seeded trials and reports
+//! mean/min/max, which is how the evaluation figures are drawn.
+
+/// The paper's accuracy metric: `collected / truth` (1.0 when `truth`
+/// is zero and `collected` is too; 0.0 when only `truth` is zero-free).
+#[must_use]
+pub fn accuracy_ratio(collected: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if collected == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        collected / truth
+    }
+}
+
+/// Relative error `|collected − truth| / truth` (0 when both are zero).
+#[must_use]
+pub fn relative_error(collected: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if collected == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (collected - truth).abs() / truth.abs()
+    }
+}
+
+/// Online accumulator of accuracy ratios over repeated trials.
+#[derive(Clone, Debug, Default)]
+pub struct AccuracyStats {
+    samples: Vec<f64>,
+}
+
+impl AccuracyStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        AccuracyStats::default()
+    }
+
+    /// Records one trial's accuracy ratio.
+    pub fn record(&mut self, ratio: f64) {
+        self.samples.push(ratio);
+    }
+
+    /// Number of recorded trials.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if no trials were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean ratio over trials (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Smallest recorded ratio (0 if empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Largest recorded ratio (0 if empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Sample standard deviation (0 for fewer than two trials).
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / (self.samples.len() - 1) as f64;
+        var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_basics() {
+        assert_eq!(accuracy_ratio(95.0, 100.0), 0.95);
+        assert_eq!(accuracy_ratio(0.0, 0.0), 1.0);
+        assert_eq!(accuracy_ratio(5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        assert!((relative_error(95.0, 100.0) - 0.05).abs() < 1e-12);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn stats_aggregate_trials() {
+        let mut s = AccuracyStats::new();
+        for r in [0.9, 1.0, 0.95] {
+            s.record(r);
+        }
+        assert_eq!(s.len(), 3);
+        assert!((s.mean() - 0.95).abs() < 1e-12);
+        assert_eq!(s.min(), 0.9);
+        assert_eq!(s.max(), 1.0);
+        assert!(s.stddev() > 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zeroed() {
+        let s = AccuracyStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_stddev() {
+        let mut s = AccuracyStats::new();
+        s.record(0.5);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.5);
+        assert_eq!(s.max(), 0.5);
+    }
+}

@@ -1,0 +1,312 @@
+//! Arithmetic in the prime field 𝔽ₚ, p = 2⁶¹ − 1.
+//!
+//! iCPDA's intra-cluster privacy layer is additive secret sharing with
+//! polynomial blinding: shares are evaluations of degree-(m−1) polynomials
+//! and the cluster sum is recovered by solving a Vandermonde system. Doing
+//! that over a prime field makes every step *exact* — no floating-point
+//! drift, no overflow — and makes blinded shares information-theoretically
+//! uniform. The Mersenne prime 2⁶¹ − 1 keeps reduction cheap and leaves
+//! ample headroom: a network of a million sensors with 40-bit readings
+//! sums to well below p.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The field modulus: the Mersenne prime 2⁶¹ − 1.
+pub const MODULUS: u64 = (1 << 61) - 1;
+
+/// An element of 𝔽ₚ, kept in canonical form `0 <= value < MODULUS`.
+///
+/// # Examples
+///
+/// ```
+/// use agg::field::Fp;
+///
+/// let a = Fp::new(5);
+/// let b = Fp::new(7);
+/// assert_eq!((a + b).to_u64(), 12);
+/// assert_eq!((a * b).to_u64(), 35);
+/// assert_eq!((a - b) + b, a);
+/// assert_eq!(a * a.inverse().unwrap(), Fp::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fp(u64);
+
+impl Fp {
+    /// The additive identity.
+    pub const ZERO: Fp = Fp(0);
+    /// The multiplicative identity.
+    pub const ONE: Fp = Fp(1);
+
+    /// Creates an element, reducing `v` modulo p.
+    #[must_use]
+    pub const fn new(v: u64) -> Self {
+        // Mersenne reduction: v = hi*2^61 + lo ≡ hi + lo (mod 2^61-1).
+        let folded = (v >> 61) + (v & MODULUS);
+        if folded >= MODULUS {
+            Fp(folded - MODULUS)
+        } else {
+            Fp(folded)
+        }
+    }
+
+    /// Canonical representative in `0..MODULUS`.
+    #[must_use]
+    pub const fn to_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Interprets the element as a *signed* residue in
+    /// `(-p/2, p/2]` — useful when a difference of aggregates may be
+    /// "negative" (e.g. comparing two trees' sums against a threshold).
+    #[must_use]
+    pub fn to_i64_centered(self) -> i64 {
+        if self.0 > MODULUS / 2 {
+            -((MODULUS - self.0) as i64)
+        } else {
+            self.0 as i64
+        }
+    }
+
+    /// Modular exponentiation by squaring.
+    #[must_use]
+    pub fn pow(self, mut exp: u64) -> Fp {
+        let mut base = self;
+        let mut acc = Fp::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem;
+    /// `None` for zero.
+    #[must_use]
+    pub fn inverse(self) -> Option<Fp> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.pow(MODULUS - 2))
+        }
+    }
+
+    /// `true` for the additive identity.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl From<u64> for Fp {
+    fn from(v: u64) -> Self {
+        Fp::new(v)
+    }
+}
+
+impl From<u32> for Fp {
+    fn from(v: u32) -> Self {
+        Fp(u64::from(v))
+    }
+}
+
+impl Add for Fp {
+    type Output = Fp;
+    fn add(self, rhs: Fp) -> Fp {
+        let s = self.0 + rhs.0; // < 2^62, no overflow
+        if s >= MODULUS {
+            Fp(s - MODULUS)
+        } else {
+            Fp(s)
+        }
+    }
+}
+
+impl AddAssign for Fp {
+    fn add_assign(&mut self, rhs: Fp) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Fp {
+    type Output = Fp;
+    fn sub(self, rhs: Fp) -> Fp {
+        if self.0 >= rhs.0 {
+            Fp(self.0 - rhs.0)
+        } else {
+            Fp(self.0 + MODULUS - rhs.0)
+        }
+    }
+}
+
+impl SubAssign for Fp {
+    fn sub_assign(&mut self, rhs: Fp) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Fp {
+    type Output = Fp;
+    fn neg(self) -> Fp {
+        Fp::ZERO - self
+    }
+}
+
+impl Mul for Fp {
+    type Output = Fp;
+    fn mul(self, rhs: Fp) -> Fp {
+        let wide = u128::from(self.0) * u128::from(rhs.0);
+        // Mersenne fold: wide < 2^122, so the first fold is < 2^62 and
+        // fits u64; Fp::new performs the final fold.
+        let folded = (wide >> 61) + (wide & u128::from(MODULUS));
+        Fp::new(folded as u64)
+    }
+}
+
+impl MulAssign for Fp {
+    fn mul_assign(&mut self, rhs: Fp) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for Fp {
+    fn sum<I: Iterator<Item = Fp>>(iter: I) -> Fp {
+        iter.fold(Fp::ZERO, Add::add)
+    }
+}
+
+impl Product for Fp {
+    fn product<I: Iterator<Item = Fp>>(iter: I) -> Fp {
+        iter.fold(Fp::ONE, Mul::mul)
+    }
+}
+
+impl fmt::Debug for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp({})", self.0)
+    }
+}
+
+impl fmt::Display for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Samples a uniformly random field element.
+#[must_use]
+pub fn random_fp<R: rand::Rng + ?Sized>(rng: &mut R) -> Fp {
+    // Rejection sampling on 61-bit candidates keeps the distribution
+    // exactly uniform (bias would weaken the blinding argument).
+    loop {
+        let candidate = rng.gen::<u64>() & MODULUS;
+        if candidate < MODULUS {
+            return Fp(candidate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn canonical_reduction() {
+        assert_eq!(Fp::new(MODULUS), Fp::ZERO);
+        assert_eq!(Fp::new(MODULUS + 5).to_u64(), 5);
+        assert_eq!(Fp::new(u64::MAX).to_u64(), u64::MAX % MODULUS);
+    }
+
+    #[test]
+    fn subtraction_wraps() {
+        assert_eq!((Fp::new(3) - Fp::new(5)).to_u64(), MODULUS - 2);
+        assert_eq!(-Fp::new(1), Fp::new(MODULUS - 1));
+    }
+
+    #[test]
+    fn centered_representation() {
+        assert_eq!(Fp::new(5).to_i64_centered(), 5);
+        assert_eq!((-Fp::new(5)).to_i64_centered(), -5);
+        assert_eq!(Fp::ZERO.to_i64_centered(), 0);
+    }
+
+    #[test]
+    fn pow_and_inverse() {
+        let a = Fp::new(123_456_789);
+        assert_eq!(a.pow(0), Fp::ONE);
+        assert_eq!(a.pow(1), a);
+        assert_eq!(a.pow(3), a * a * a);
+        assert_eq!(a * a.inverse().unwrap(), Fp::ONE);
+        assert_eq!(Fp::ZERO.inverse(), None);
+    }
+
+    #[test]
+    fn sum_product_iterators() {
+        let v = [Fp::new(1), Fp::new(2), Fp::new(3)];
+        assert_eq!(v.iter().copied().sum::<Fp>(), Fp::new(6));
+        assert_eq!(v.iter().copied().product::<Fp>(), Fp::new(6));
+    }
+
+    #[test]
+    fn random_is_canonical_and_spread() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let x = random_fp(&mut rng);
+            assert!(x.to_u64() < MODULUS);
+            seen.insert(x.to_u64());
+        }
+        assert!(seen.len() > 95, "collisions way beyond chance");
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in 0u64.., b in 0u64..) {
+            prop_assert_eq!(Fp::new(a) + Fp::new(b), Fp::new(b) + Fp::new(a));
+        }
+
+        #[test]
+        fn mul_commutes(a in 0u64.., b in 0u64..) {
+            prop_assert_eq!(Fp::new(a) * Fp::new(b), Fp::new(b) * Fp::new(a));
+        }
+
+        #[test]
+        fn add_associates(a in 0u64.., b in 0u64.., c in 0u64..) {
+            let (a, b, c) = (Fp::new(a), Fp::new(b), Fp::new(c));
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn mul_distributes(a in 0u64.., b in 0u64.., c in 0u64..) {
+            let (a, b, c) = (Fp::new(a), Fp::new(b), Fp::new(c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn sub_inverts_add(a in 0u64.., b in 0u64..) {
+            let (a, b) = (Fp::new(a), Fp::new(b));
+            prop_assert_eq!((a + b) - b, a);
+        }
+
+        #[test]
+        fn inverse_is_two_sided(a in 1u64..MODULUS) {
+            let a = Fp::new(a);
+            let inv = a.inverse().unwrap();
+            prop_assert_eq!(a * inv, Fp::ONE);
+            prop_assert_eq!(inv * a, Fp::ONE);
+        }
+
+        #[test]
+        fn mul_matches_u128_reference(a in 0u64..MODULUS, b in 0u64..MODULUS) {
+            let expect = ((u128::from(a) * u128::from(b)) % u128::from(MODULUS)) as u64;
+            prop_assert_eq!((Fp::new(a) * Fp::new(b)).to_u64(), expect);
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Aggregation functions expressed as additive aggregates.
+//!
+//! The paper restricts itself to *additive* aggregation — `y = Σᵢ rᵢ` —
+//! and argues (as the whole family does) that this is not restrictive:
+//! COUNT, AVERAGE, VARIANCE and STDDEV are quotients of additive
+//! components, and MIN/MAX are limits of power means
+//! `(Σ xᵏ)^(1/k) → max` as `k → ∞`. [`AggFunction`] encodes each
+//! supported statistic as a small vector of additive components
+//! contributed by every sensor, plus a decoder applied at the base
+//! station.
+
+use std::fmt;
+
+/// The statistic a query asks for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggFunction {
+    /// Number of participating sensors.
+    Count,
+    /// Sum of readings.
+    Sum,
+    /// Mean reading: `Σr / Σ1`.
+    Average,
+    /// Population variance: `Σr²/n − (Σr/n)²`.
+    Variance,
+    /// Power-mean approximation of the maximum with exponent `k`
+    /// (readings must be small enough that `rᵏ` fits the field; the
+    /// constructor enforces `k ≤ 4`).
+    ApproxMax {
+        /// Power-mean exponent; higher is closer to the true max.
+        k: u32,
+    },
+    /// Power-mean approximation of the minimum: the complement trick
+    /// `min(x) = bound − max(bound − x)` applied to [`AggFunction::ApproxMax`].
+    /// Readings must not exceed `bound`.
+    ApproxMin {
+        /// Power-mean exponent; higher is closer to the true min.
+        k: u32,
+        /// Known upper bound on every reading.
+        bound: u64,
+    },
+    /// TAG's GROUP BY, privately: per-group sums in one round. Each
+    /// reading packs `(group, value)` via [`pack_grouped`]; the aggregate
+    /// carries one additive component per group. [`AggFunction::decode`]
+    /// returns the grand total; read the per-group sums from the totals
+    /// vector with [`AggFunction::group_values`].
+    GroupedSum {
+        /// Number of groups (components); at most 8 so vectors stay
+        /// mote-sized.
+        groups: u32,
+    },
+}
+
+/// Packs a `(group, value)` pair into the `u64` reading a grouped query
+/// expects: the group in the top 8 bits, the value below.
+///
+/// # Panics
+///
+/// Panics if `group ≥ 256` or `value` needs more than 56 bits.
+#[must_use]
+pub fn pack_grouped(group: u32, value: u64) -> u64 {
+    assert!(group < 256, "group must fit 8 bits");
+    assert!(value < (1 << 56), "value must fit 56 bits");
+    (u64::from(group) << 56) | value
+}
+
+/// Unpacks a grouped reading back into `(group, value)`.
+#[must_use]
+pub fn unpack_grouped(reading: u64) -> (u32, u64) {
+    ((reading >> 56) as u32, reading & ((1 << 56) - 1))
+}
+
+impl AggFunction {
+    /// Creates the MAX approximation, validating the exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or greater than 4 (readings up to ~32 000 keep
+    /// `r⁴` within the additive headroom of the 61-bit field for any
+    /// realistic network size).
+    #[must_use]
+    pub fn approx_max(k: u32) -> Self {
+        assert!((1..=4).contains(&k), "power-mean exponent must be 1..=4");
+        AggFunction::ApproxMax { k }
+    }
+
+    /// Creates a grouped-sum query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is 0 or greater than 8.
+    #[must_use]
+    pub fn grouped_sum(groups: u32) -> Self {
+        assert!((1..=8).contains(&groups), "1..=8 groups supported");
+        AggFunction::GroupedSum { groups }
+    }
+
+    /// Creates the MIN approximation via the complement trick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `1..=4` or `bound` is 0.
+    #[must_use]
+    pub fn approx_min(k: u32, bound: u64) -> Self {
+        assert!((1..=4).contains(&k), "power-mean exponent must be 1..=4");
+        assert!(bound > 0, "the reading bound must be positive");
+        AggFunction::ApproxMin { k, bound }
+    }
+
+    /// Number of additive components each sensor contributes.
+    #[must_use]
+    pub fn components(self) -> usize {
+        match self {
+            AggFunction::Count | AggFunction::Sum => 1,
+            AggFunction::Average
+            | AggFunction::ApproxMax { .. }
+            | AggFunction::ApproxMin { .. } => 2,
+            AggFunction::Variance => 3,
+            AggFunction::GroupedSum { groups } => groups as usize,
+        }
+    }
+
+    /// Encodes one sensor's reading as its additive contributions.
+    ///
+    /// Component order: `Count → [1]`, `Sum → [r]`, `Average → [1, r]`,
+    /// `Variance → [1, r, r²]`, `ApproxMax → [1, rᵏ]`,
+    /// `ApproxMin → [1, (bound−r)ᵏ]`.
+    #[must_use]
+    pub fn encode(self, reading: u64) -> Vec<u64> {
+        match self {
+            AggFunction::Count => vec![1],
+            AggFunction::Sum => vec![reading],
+            AggFunction::Average => vec![1, reading],
+            AggFunction::Variance => vec![1, reading, reading * reading],
+            AggFunction::ApproxMax { k } => vec![1, reading.pow(k)],
+            AggFunction::ApproxMin { k, bound } => {
+                assert!(
+                    reading <= bound,
+                    "reading {reading} exceeds the declared bound {bound}"
+                );
+                vec![1, (bound - reading).pow(k)]
+            }
+            AggFunction::GroupedSum { groups } => {
+                let (group, value) = unpack_grouped(reading);
+                assert!(group < groups, "group {group} out of range {groups}");
+                let mut v = vec![0u64; groups as usize];
+                v[group as usize] = value;
+                v
+            }
+        }
+    }
+
+    /// Decodes the network-wide component totals into the statistic's
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `totals` has the wrong number of components.
+    #[must_use]
+    pub fn decode(self, totals: &[u64]) -> f64 {
+        assert_eq!(
+            totals.len(),
+            self.components(),
+            "component count mismatch for {self:?}"
+        );
+        match self {
+            AggFunction::Count | AggFunction::Sum => totals[0] as f64,
+            AggFunction::Average => {
+                let n = totals[0] as f64;
+                if n == 0.0 {
+                    0.0
+                } else {
+                    totals[1] as f64 / n
+                }
+            }
+            AggFunction::Variance => {
+                let n = totals[0] as f64;
+                if n == 0.0 {
+                    0.0
+                } else {
+                    let mean = totals[1] as f64 / n;
+                    totals[2] as f64 / n - mean * mean
+                }
+            }
+            AggFunction::ApproxMax { k } => power_mean_estimate(totals[0], totals[1], k),
+            AggFunction::ApproxMin { k, bound } => {
+                bound as f64 - power_mean_estimate(totals[0], totals[1], k)
+            }
+            AggFunction::GroupedSum { .. } => totals.iter().map(|&t| t as f64).sum(),
+        }
+    }
+
+    /// The per-group sums of a grouped query's totals vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a [`AggFunction::GroupedSum`] or the totals
+    /// have the wrong arity.
+    #[must_use]
+    pub fn group_values(self, totals: &[u64]) -> Vec<f64> {
+        match self {
+            AggFunction::GroupedSum { groups } => {
+                assert_eq!(totals.len(), groups as usize, "arity mismatch");
+                totals.iter().map(|&t| t as f64).collect()
+            }
+            other => panic!("group_values on non-grouped query {other:?}"),
+        }
+    }
+
+    /// The exact value of the statistic over the full reading set —
+    /// ground truth for accuracy metrics. For `ApproxMax` this is the
+    /// *true* maximum, so accuracy against it exposes the power-mean
+    /// approximation error, exactly as the paper discusses.
+    #[must_use]
+    pub fn ground_truth(self, readings: &[u64]) -> f64 {
+        match self {
+            AggFunction::Count => readings.len() as f64,
+            AggFunction::Sum => readings.iter().map(|&r| r as f64).sum(),
+            AggFunction::Average => {
+                if readings.is_empty() {
+                    0.0
+                } else {
+                    readings.iter().map(|&r| r as f64).sum::<f64>() / readings.len() as f64
+                }
+            }
+            AggFunction::Variance => {
+                if readings.is_empty() {
+                    0.0
+                } else {
+                    let n = readings.len() as f64;
+                    let mean = readings.iter().map(|&r| r as f64).sum::<f64>() / n;
+                    readings.iter().map(|&r| (r as f64 - mean).powi(2)).sum::<f64>() / n
+                }
+            }
+            AggFunction::ApproxMax { .. } => {
+                readings.iter().copied().max().unwrap_or(0) as f64
+            }
+            AggFunction::ApproxMin { .. } => {
+                readings.iter().copied().min().unwrap_or(0) as f64
+            }
+            AggFunction::GroupedSum { .. } => readings
+                .iter()
+                .map(|&r| unpack_grouped(r).1 as f64)
+                .sum(),
+        }
+    }
+
+    /// Per-group ground truth for a grouped query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a [`AggFunction::GroupedSum`].
+    #[must_use]
+    pub fn group_ground_truth(self, readings: &[u64]) -> Vec<f64> {
+        match self {
+            AggFunction::GroupedSum { groups } => {
+                let mut sums = vec![0.0; groups as usize];
+                for &r in readings {
+                    let (g, v) = unpack_grouped(r);
+                    sums[g as usize] += v as f64;
+                }
+                sums
+            }
+            other => panic!("group_ground_truth on non-grouped query {other:?}"),
+        }
+    }
+}
+
+/// Estimates `max(x_1..x_n)` from `n` and the power sum `Σ xᵏ`:
+/// the true max lies in `[(Σ/n)^{1/k}, (Σ)^{1/k}]`, so the geometric
+/// mean of the two bounds splits the `n^{1/k}` bracketing error evenly
+/// (within a factor `n^{1/(2k)}` each way).
+fn power_mean_estimate(n: u64, power_sum: u64, k: u32) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let upper = (power_sum as f64).powf(1.0 / f64::from(k));
+    let lower = (power_sum as f64 / n as f64).powf(1.0 / f64::from(k));
+    (upper * lower).sqrt()
+}
+
+impl fmt::Display for AggFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggFunction::Count => write!(f, "COUNT"),
+            AggFunction::Sum => write!(f, "SUM"),
+            AggFunction::Average => write!(f, "AVG"),
+            AggFunction::Variance => write!(f, "VAR"),
+            AggFunction::ApproxMax { k } => write!(f, "MAX~k{k}"),
+            AggFunction::ApproxMin { k, .. } => write!(f, "MIN~k{k}"),
+            AggFunction::GroupedSum { groups } => write!(f, "SUM-BY-{groups}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn aggregate(f: AggFunction, readings: &[u64]) -> f64 {
+        let mut totals = vec![0u64; f.components()];
+        for &r in readings {
+            for (t, c) in totals.iter_mut().zip(f.encode(r)) {
+                *t += c;
+            }
+        }
+        f.decode(&totals)
+    }
+
+    #[test]
+    fn count_is_cardinality() {
+        assert_eq!(aggregate(AggFunction::Count, &[5, 5, 5]), 3.0);
+    }
+
+    #[test]
+    fn sum_is_exact() {
+        assert_eq!(aggregate(AggFunction::Sum, &[1, 2, 3, 4]), 10.0);
+    }
+
+    #[test]
+    fn average_matches_truth() {
+        let readings = [2u64, 4, 6, 8];
+        let got = aggregate(AggFunction::Average, &readings);
+        assert_eq!(got, 5.0);
+        assert_eq!(AggFunction::Average.ground_truth(&readings), 5.0);
+    }
+
+    #[test]
+    fn variance_matches_truth() {
+        let readings = [2u64, 4, 4, 4, 5, 5, 7, 9];
+        let got = aggregate(AggFunction::Variance, &readings);
+        assert!((got - 4.0).abs() < 1e-9, "{got}");
+        assert!((AggFunction::Variance.ground_truth(&readings) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approx_max_brackets_truth() {
+        let readings = [10u64, 50, 90, 100];
+        let f = AggFunction::approx_max(4);
+        let approx = aggregate(f, &readings);
+        let truth = f.ground_truth(&readings);
+        assert_eq!(truth, 100.0);
+        // Geometric-mean estimate: within n^(1/(2k)) of the truth.
+        let slack = (readings.len() as f64).powf(1.0 / 8.0);
+        assert!(approx <= truth * slack + 1e-9, "{approx}");
+        assert!(approx >= truth / slack - 1e-9, "{approx}");
+    }
+
+    #[test]
+    fn approx_min_brackets_truth() {
+        let readings = [40u64, 50, 90, 100];
+        let f = AggFunction::approx_min(4, 1_000);
+        let approx = aggregate(f, &readings);
+        let truth = f.ground_truth(&readings);
+        assert_eq!(truth, 40.0);
+        // Error is bracketed in complement space: |est_c − c_max| ≤
+        // c_max·(n^(1/(2k)) − 1) with c_max = bound − min = 960.
+        let slack = 960.0 * ((readings.len() as f64).powf(1.0 / 8.0) - 1.0);
+        assert!((approx - truth).abs() <= slack + 1e-9, "approx {approx}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the declared bound")]
+    fn approx_min_validates_bound() {
+        let _ = AggFunction::approx_min(2, 10).encode(11);
+    }
+
+    #[test]
+    fn grouped_sum_splits_by_group() {
+        let f = AggFunction::grouped_sum(3);
+        let readings = [
+            pack_grouped(0, 10),
+            pack_grouped(1, 20),
+            pack_grouped(1, 5),
+            pack_grouped(2, 7),
+        ];
+        let got = aggregate(f, &readings);
+        assert_eq!(got, 42.0, "grand total");
+        let mut totals = vec![0u64; 3];
+        for &r in &readings {
+            for (t, c) in totals.iter_mut().zip(f.encode(r)) {
+                *t += c;
+            }
+        }
+        assert_eq!(f.group_values(&totals), vec![10.0, 25.0, 7.0]);
+        assert_eq!(f.group_ground_truth(&readings), vec![10.0, 25.0, 7.0]);
+    }
+
+    #[test]
+    fn grouped_pack_roundtrip() {
+        let r = pack_grouped(5, 123_456);
+        assert_eq!(unpack_grouped(r), (5, 123_456));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn grouped_encode_validates_group() {
+        let _ = AggFunction::grouped_sum(2).encode(pack_grouped(3, 1));
+    }
+
+    #[test]
+    fn empty_network_decodes_to_zero() {
+        assert_eq!(AggFunction::Average.decode(&[0, 0]), 0.0);
+        assert_eq!(AggFunction::Variance.decode(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "component count mismatch")]
+    fn decode_validates_arity() {
+        let _ = AggFunction::Sum.decode(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn approx_max_validates_k() {
+        let _ = AggFunction::approx_max(9);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AggFunction::Sum.to_string(), "SUM");
+        assert_eq!(AggFunction::approx_max(3).to_string(), "MAX~k3");
+    }
+
+    proptest! {
+        #[test]
+        fn additive_encoding_reproduces_sum_and_avg(
+            readings in prop::collection::vec(0u64..10_000, 1..50)
+        ) {
+            let sum: u64 = readings.iter().sum();
+            prop_assert_eq!(aggregate(AggFunction::Sum, &readings), sum as f64);
+            let avg = aggregate(AggFunction::Average, &readings);
+            prop_assert!((avg - AggFunction::Average.ground_truth(&readings)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn variance_is_never_negative(
+            readings in prop::collection::vec(0u64..1_000, 1..40)
+        ) {
+            let v = aggregate(AggFunction::Variance, &readings);
+            prop_assert!(v >= -1e-6, "variance {v}");
+        }
+    }
+}

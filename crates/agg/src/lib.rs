@@ -1,0 +1,37 @@
+//! # agg — aggregation framework and the TAG baseline
+//!
+//! Shared aggregation machinery for the iCPDA reproduction:
+//!
+//! * [`field`] — exact arithmetic in 𝔽ₚ (p = 2⁶¹ − 1), the algebra the
+//!   privacy layer's secret shares live in.
+//! * [`function`] — SUM/COUNT/AVG/VAR/approx-MAX expressed as additive
+//!   component vectors, exactly as the paper reduces statistics to
+//!   additive aggregation.
+//! * [`tag`] — the TAG baseline protocol (tree construction +
+//!   epoch-scheduled in-network aggregation) the paper compares against.
+//! * [`accuracy`] — the paper's accuracy metric and trial statistics.
+//! * [`readings`] — synthetic workloads (COUNT, uniform, and the
+//!   advanced-metering diurnal load of the paper's motivating example).
+//!
+//! # Examples
+//!
+//! ```
+//! use agg::function::AggFunction;
+//!
+//! let f = AggFunction::Average;
+//! // Each sensor contributes [1, r]; the base station decodes Σr/Σ1.
+//! let contributions = f.encode(42);
+//! assert_eq!(contributions, vec![1, 42]);
+//! assert_eq!(f.decode(&[2, 100]), 50.0);
+//! ```
+
+pub mod accuracy;
+pub mod field;
+pub mod function;
+pub mod readings;
+pub mod tag;
+
+pub use accuracy::{accuracy_ratio, relative_error, AccuracyStats};
+pub use field::{random_fp, Fp, MODULUS};
+pub use function::AggFunction;
+pub use tag::{run_tag, TagConfig, TagMsg, TagNode, TagResult, TagRunOutcome};

@@ -1,0 +1,101 @@
+//! Workload generators: synthetic sensor readings.
+//!
+//! The paper's experiments aggregate COUNT (readings of 1) and generic
+//! additive SUM queries. For the domain examples (advanced metering — the
+//! paper's motivating application) we also provide a diurnal household
+//! load profile generator, so the examples exercise realistic magnitudes.
+
+use rand::Rng;
+
+/// Uniform readings in `[lo, hi]`, with entry 0 (the base station) zeroed.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+#[must_use]
+pub fn uniform_readings<R: Rng + ?Sized>(n: usize, lo: u64, hi: u64, rng: &mut R) -> Vec<u64> {
+    assert!(lo <= hi, "empty reading range");
+    let mut v: Vec<u64> = (0..n).map(|_| rng.gen_range(lo..=hi)).collect();
+    if let Some(first) = v.first_mut() {
+        *first = 0;
+    }
+    v
+}
+
+/// All-ones readings (COUNT workload), base station zeroed.
+#[must_use]
+pub fn count_readings(n: usize) -> Vec<u64> {
+    let mut v = vec![1u64; n];
+    if let Some(first) = v.first_mut() {
+        *first = 0;
+    }
+    v
+}
+
+/// Household electricity demand in watts for a given hour of day:
+/// a double-peaked diurnal curve (morning and evening peaks) with
+/// multiplicative noise. Used by the smart-metering example.
+#[must_use]
+pub fn household_load_watts<R: Rng + ?Sized>(hour: u32, rng: &mut R) -> u64 {
+    let h = f64::from(hour % 24);
+    // Base 200 W, morning peak ~7h, evening peak ~19h.
+    let morning = 500.0 * (-((h - 7.0) * (h - 7.0)) / 6.0).exp();
+    let evening = 900.0 * (-((h - 19.0) * (h - 19.0)) / 8.0).exp();
+    let base = 200.0 + morning + evening;
+    let noise = rng.gen_range(0.75..1.25);
+    (base * noise).round() as u64
+}
+
+/// A full day of readings for `n` meters at a given hour, BS zeroed.
+#[must_use]
+pub fn metering_readings<R: Rng + ?Sized>(n: usize, hour: u32, rng: &mut R) -> Vec<u64> {
+    let mut v: Vec<u64> = (0..n).map(|_| household_load_watts(hour, rng)).collect();
+    if let Some(first) = v.first_mut() {
+        *first = 0;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_in_range_with_zeroed_bs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let v = uniform_readings(50, 10, 20, &mut rng);
+        assert_eq!(v[0], 0);
+        assert!(v[1..].iter().all(|&r| (10..=20).contains(&r)));
+    }
+
+    #[test]
+    fn count_workload() {
+        let v = count_readings(5);
+        assert_eq!(v, vec![0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn evening_peak_exceeds_midnight() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let evening: u64 = (0..200).map(|_| household_load_watts(19, &mut rng)).sum();
+        let night: u64 = (0..200).map(|_| household_load_watts(3, &mut rng)).sum();
+        assert!(evening > night * 2, "evening {evening} night {night}");
+    }
+
+    #[test]
+    fn metering_readings_zero_bs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let v = metering_readings(10, 12, &mut rng);
+        assert_eq!(v[0], 0);
+        assert!(v[1..].iter().all(|&r| r > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty reading range")]
+    fn uniform_validates_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let _ = uniform_readings(5, 10, 5, &mut rng);
+    }
+}

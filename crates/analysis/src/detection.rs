@@ -1,0 +1,79 @@
+//! Pollution-detection probability model.
+//!
+//! With the audit-trail design, a polluted report is caught if at least
+//! one honest monitor that (a) overheard the report and (b) holds the
+//! contradicted knowledge raises an alarm that reaches the base station.
+//! For `k` qualified monitors, each independently overhearing the
+//! attacker's transmission with probability `q` and the alarm surviving
+//! the route with probability `a`:
+//!
+//! `P_detect = 1 − (1 − q·a)^k`
+//!
+//! An inconsistent-sum attack qualifies *every* neighbour as a monitor;
+//! a forged-input attack qualifies only the holders of that input
+//! (cluster members for a cluster claim). A phantom-input attack has
+//! `k = 0` — the model's documented blind spot.
+
+/// Detection probability with `k` qualified monitors, overhear
+/// probability `q`, and alarm-delivery probability `a`.
+///
+/// # Panics
+///
+/// Panics if `q` or `a` is not a probability.
+#[must_use]
+pub fn detection_probability(monitors: usize, q: f64, a: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q) && (0.0..=1.0).contains(&a));
+    1.0 - (1.0 - q * a).powi(i32::try_from(monitors).unwrap_or(i32::MAX))
+}
+
+/// Expected number of qualified monitors for a *cluster-claim* forgery
+/// by the head of an `m`-cluster: the other members that recovered the
+/// aggregate themselves (each with probability `solve_rate`).
+#[must_use]
+pub fn qualified_members(m: usize, solve_rate: f64) -> f64 {
+    (m.saturating_sub(1)) as f64 * solve_rate.clamp(0.0, 1.0)
+}
+
+/// Detection probability for an inconsistent-sum attack by a node with
+/// `degree` neighbours: every neighbour is qualified.
+#[must_use]
+pub fn inconsistent_sum_detection(degree: usize, q: f64, a: f64) -> f64 {
+    detection_probability(degree, q, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_monitors_more_detection() {
+        let d1 = detection_probability(1, 0.9, 1.0);
+        let d3 = detection_probability(3, 0.9, 1.0);
+        assert!(d3 > d1);
+        assert!((d1 - 0.9).abs() < 1e-12);
+        assert!((d3 - (1.0 - 0.1f64.powi(3))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_monitors_never_detect() {
+        assert_eq!(detection_probability(0, 0.99, 0.99), 0.0);
+    }
+
+    #[test]
+    fn qualified_member_count() {
+        assert_eq!(qualified_members(4, 1.0), 3.0);
+        assert_eq!(qualified_members(4, 0.5), 1.5);
+        assert_eq!(qualified_members(1, 1.0), 0.0);
+    }
+
+    #[test]
+    fn dense_neighbourhood_catches_inconsistency() {
+        assert!(inconsistent_sum_detection(18, 0.9, 0.95) > 0.999);
+    }
+
+    #[test]
+    #[should_panic]
+    fn validates_probabilities() {
+        let _ = detection_probability(3, 1.2, 0.5);
+    }
+}

@@ -1,0 +1,35 @@
+//! # icpda-analysis — closed-form models of the protocol's behaviour
+//!
+//! The theory half of every evaluation figure: the simulation measures,
+//! these models predict, and EXPERIMENTS.md compares.
+//!
+//! * [`coverage`] — degree, orphan-fraction and participation bounds
+//!   (the paper's aggregation-tree-coverage analysis, recast for
+//!   clusters).
+//! * [`privacy`] — `P_disclose(p_x, m) = p_x^{m−1}` and its mixture over
+//!   cluster-size distributions.
+//! * [`overhead`] — per-node message/byte models and the iCPDA/TAG
+//!   ratio.
+//! * [`detection`] — pollution-detection probability as a function of
+//!   qualified monitors.
+//!
+//! # Examples
+//!
+//! ```
+//! use icpda_analysis::privacy::disclosure_probability;
+//!
+//! // A 4-cluster member is exposed only if all 3 peer links break.
+//! assert_eq!(disclosure_probability(0.1, 4), 0.1f64.powi(3));
+//! ```
+
+pub mod coverage;
+pub mod detection;
+pub mod latency;
+pub mod overhead;
+pub mod privacy;
+
+pub use coverage::{expected_degree, orphan_fraction, participation_bound};
+pub use detection::detection_probability;
+pub use latency::{icpda_result_time, tag_result_time};
+pub use overhead::{message_model, predicted_ratio, MessageModel};
+pub use privacy::{disclosure_probability, mixed_disclosure};

@@ -1,0 +1,89 @@
+//! Whole-round benchmarks: how fast the simulator replays one complete
+//! query under each protocol (wall-clock cost of regenerating the
+//! evaluation figures).
+
+use agg::tag::{run_tag, TagConfig};
+use agg::AggFunction;
+use criterion::{criterion_group, criterion_main, Criterion};
+use icpda::{IcpdaConfig, IcpdaRun};
+use icpda_bench::paper_deployment;
+use wsn_sim::prelude::*;
+
+fn bench_tag_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tag_round");
+    group.sample_size(10);
+    for n in [200usize, 400] {
+        group.bench_function(format!("n{n}"), |bch| {
+            bch.iter(|| {
+                let dep = paper_deployment(n, 1);
+                let readings = agg::readings::count_readings(n);
+                run_tag(
+                    dep,
+                    SimConfig::paper_default(),
+                    TagConfig::paper_default(AggFunction::Count),
+                    &readings,
+                    2,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_icpda_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("icpda_round");
+    group.sample_size(10);
+    for n in [200usize, 400] {
+        group.bench_function(format!("n{n}"), |bch| {
+            bch.iter(|| {
+                let dep = paper_deployment(n, 1);
+                let readings = agg::readings::count_readings(n);
+                IcpdaRun::new(
+                    dep,
+                    IcpdaConfig::paper_default(AggFunction::Count),
+                    readings,
+                    2,
+                )
+                .run()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_flood(c: &mut Criterion) {
+    // Raw engine throughput: a network-wide flood.
+    struct Flood {
+        relayed: bool,
+    }
+    impl Application for Flood {
+        type Message = Vec<u8>;
+        fn on_start(&mut self, ctx: &mut Context<'_, Vec<u8>>) {
+            if ctx.id() == NodeId::new(0) {
+                self.relayed = true;
+                ctx.broadcast(vec![0; 8]);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Vec<u8>>, _from: NodeId, msg: &Vec<u8>) {
+            if !self.relayed {
+                self.relayed = true;
+                ctx.broadcast(msg.clone());
+            }
+        }
+    }
+    let mut group = c.benchmark_group("sim_flood");
+    group.sample_size(20);
+    group.bench_function("n400", |bch| {
+        bch.iter(|| {
+            let dep = paper_deployment(400, 1);
+            let mut sim =
+                Simulator::new(dep, SimConfig::paper_default(), 3, |_| Flood { relayed: false });
+            sim.run_to_quiescence(SimTime::from_secs(60));
+            sim.events_processed()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tag_round, bench_icpda_round, bench_flood);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Microbenchmarks of the 𝔽ₚ arithmetic underlying the privacy layer.
+
+use agg::field::Fp;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_field(c: &mut Criterion) {
+    let a = Fp::new(0x1234_5678_9ABC);
+    let b = Fp::new(0x0FED_CBA9_8765);
+
+    c.bench_function("fp_add", |bch| bch.iter(|| black_box(a) + black_box(b)));
+    c.bench_function("fp_mul", |bch| bch.iter(|| black_box(a) * black_box(b)));
+    c.bench_function("fp_inverse", |bch| {
+        bch.iter(|| black_box(a).inverse().expect("nonzero"))
+    });
+    c.bench_function("fp_pow", |bch| bch.iter(|| black_box(a).pow(black_box(1_000_003))));
+}
+
+fn bench_recover(c: &mut Criterion) {
+    use icpda::shares::{assemble, generate_shares, recover_sum};
+    use rand::SeedableRng;
+    let mut group = c.benchmark_group("cluster_solve");
+    for m in [3usize, 4, 8, 16] {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let all: Vec<_> = (0..m)
+            .map(|i| generate_shares(&[i as u64 * 17], m, &mut rng))
+            .collect();
+        let assemblies: Vec<_> = (0..m)
+            .map(|j| {
+                let received: Vec<_> = all.iter().map(|s| s[j].clone()).collect();
+                assemble(&received)
+            })
+            .collect();
+        group.bench_function(format!("recover_sum_m{m}"), |bch| {
+            bch.iter(|| recover_sum(black_box(&assemblies)).expect("solvable"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_field, bench_recover);
+criterion_main!(benches);

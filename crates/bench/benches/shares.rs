@@ -1,0 +1,51 @@
+//! Microbenchmarks of share generation, sealing and assembly — the
+//! per-sensor cost of the privacy layer (the paper's "light-weight"
+//! claim in compute terms).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icpda::shares::{assemble, generate_shares, share_from_bytes, share_to_bytes};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_crypto::{open, seal, LinkKey};
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_shares");
+    for m in [4usize, 8, 16] {
+        group.bench_function(format!("m{m}_c1"), |bch| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            bch.iter(|| generate_shares(black_box(&[42u64]), m, &mut rng))
+        });
+        group.bench_function(format!("m{m}_c3"), |bch| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            bch.iter(|| generate_shares(black_box(&[1, 42, 1764]), m, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_assemble(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let shares: Vec<_> = (0..16)
+        .map(|i| generate_shares(&[i as u64], 16, &mut rng)[0].clone())
+        .collect();
+    c.bench_function("assemble_16", |bch| bch.iter(|| assemble(black_box(&shares))));
+}
+
+fn bench_seal_share(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let share = generate_shares(&[1, 42, 1764], 4, &mut rng)[1].clone();
+    let key = LinkKey(0xDEAD);
+    c.bench_function("seal_share_c3", |bch| {
+        bch.iter(|| seal(key, 7, &share_to_bytes(black_box(&share))))
+    });
+    let sealed = seal(key, 7, &share_to_bytes(&share));
+    c.bench_function("open_share_c3", |bch| {
+        bch.iter(|| {
+            let bytes = open(key, black_box(&sealed)).expect("valid");
+            share_from_bytes(&bytes).expect("well-formed")
+        })
+    });
+}
+
+criterion_group!(benches, bench_generate, bench_assemble, bench_seal_share);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the "fig10_ablation" evaluation artefact. See
+//! `icpda_bench::experiments::fig10_ablation`.
+
+fn main() {
+    icpda_bench::experiments::fig10_ablation::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the "fig11_adaptive" evaluation artefact. See
+//! `icpda_bench::experiments::fig11_adaptive`.
+
+fn main() {
+    icpda_bench::experiments::fig11_adaptive::run();
+}

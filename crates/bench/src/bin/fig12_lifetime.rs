@@ -1,0 +1,6 @@
+//! Regenerates the "fig12_lifetime" evaluation artefact. See
+//! `icpda_bench::experiments::fig12_lifetime`.
+
+fn main() {
+    icpda_bench::experiments::fig12_lifetime::run();
+}

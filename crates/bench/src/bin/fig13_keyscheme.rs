@@ -1,0 +1,6 @@
+//! Regenerates the "fig13_keyscheme" evaluation artefact. See
+//! `icpda_bench::experiments::fig13_keyscheme`.
+
+fn main() {
+    icpda_bench::experiments::fig13_keyscheme::run();
+}

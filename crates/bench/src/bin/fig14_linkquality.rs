@@ -1,0 +1,6 @@
+//! Regenerates the "fig14_linkquality" evaluation artefact. See
+//! `icpda_bench::experiments::fig14_linkquality`.
+
+fn main() {
+    icpda_bench::experiments::fig14_linkquality::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the "fig15_hotspots" evaluation artefact. See
+//! `icpda_bench::experiments::fig15_hotspots`.
+
+fn main() {
+    icpda_bench::experiments::fig15_hotspots::run();
+}

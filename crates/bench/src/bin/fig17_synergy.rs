@@ -1,0 +1,6 @@
+//! Regenerates the "fig17_synergy" evaluation artefact. See
+//! `icpda_bench::experiments::fig17_synergy`.
+
+fn main() {
+    icpda_bench::experiments::fig17_synergy::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the "fig2_overhead" evaluation artefact. See
+//! `icpda_bench::experiments::fig2_overhead`.
+
+fn main() {
+    icpda_bench::experiments::fig2_overhead::run();
+}

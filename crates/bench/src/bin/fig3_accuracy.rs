@@ -1,0 +1,6 @@
+//! Regenerates the "fig3_accuracy" evaluation artefact. See
+//! `icpda_bench::experiments::fig3_accuracy`.
+
+fn main() {
+    icpda_bench::experiments::fig3_accuracy::run();
+}

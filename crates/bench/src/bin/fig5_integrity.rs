@@ -1,0 +1,6 @@
+//! Regenerates the "fig5_integrity" evaluation artefact. See
+//! `icpda_bench::experiments::fig5_integrity`.
+
+fn main() {
+    icpda_bench::experiments::fig5_integrity::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the "fig6_clusters" evaluation artefact. See
+//! `icpda_bench::experiments::fig6_clusters`.
+
+fn main() {
+    icpda_bench::experiments::fig6_clusters::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the "fig7_latency" evaluation artefact. See
+//! `icpda_bench::experiments::fig7_latency`.
+
+fn main() {
+    icpda_bench::experiments::fig7_latency::run();
+}

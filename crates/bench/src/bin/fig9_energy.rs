@@ -1,0 +1,6 @@
+//! Regenerates the "fig9_energy" evaluation artefact. See
+//! `icpda_bench::experiments::fig9_energy`.
+
+fn main() {
+    icpda_bench::experiments::fig9_energy::run();
+}

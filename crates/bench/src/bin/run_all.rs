@@ -1,0 +1,5 @@
+//! Regenerates every table and figure of the evaluation in order.
+
+fn main() {
+    icpda_bench::experiments::run_all();
+}

@@ -1,0 +1,87 @@
+//! **Ablation A10 — the price of the integrity layer.**
+//!
+//! iCPDA with monitoring on vs. off (the CPDA baseline) across the size
+//! sweep: bytes, accuracy and detection capability. Expected shape: the
+//! audit trail costs a modest, density-independent byte overhead
+//! (per-input claims on upstream reports) and zero accuracy — but turning
+//! it off silently forfeits all pollution detection (Figure 5's naive
+//! attack goes from ~100 % detected to 0 %).
+
+use super::icpda_round;
+use crate::{f1, f3, mean, paper_deployment, Table, N_SWEEP};
+use agg::AggFunction;
+use icpda::{IcpdaConfig, IcpdaRun, IntegrityMode, Pollution};
+
+const SEEDS: u64 = 5;
+
+fn detection_rate(n: usize, config: IcpdaConfig) -> f64 {
+    let mut detected = 0u32;
+    for seed in 0..SEEDS {
+        let honest = icpda_round(n, seed, config);
+        let Some(head) = honest
+            .rosters
+            .iter()
+            .find_map(|(node, r)| (r.head() == *node).then_some(*node))
+        else {
+            continue;
+        };
+        let out = IcpdaRun::new(
+            paper_deployment(n, seed),
+            config,
+            agg::readings::count_readings(n),
+            seed.wrapping_mul(31).wrapping_add(7),
+        )
+        .with_attackers([(head, Pollution::inflate(1_000))])
+        .run();
+        if !out.accepted {
+            detected += 1;
+        }
+    }
+    f64::from(detected) / SEEDS as f64
+}
+
+/// Regenerates ablation A10.
+pub fn run() {
+    let mut table = Table::new(
+        "Ablation A10 — integrity layer on vs. off (CPDA)",
+        &[
+            "nodes",
+            "bytes off",
+            "bytes on",
+            "integrity cost %",
+            "acc off",
+            "acc on",
+            "detect off",
+            "detect on",
+        ],
+    );
+    let on = IcpdaConfig::paper_default(AggFunction::Count);
+    let mut off = on;
+    off.integrity = IntegrityMode::Off;
+    for n in N_SWEEP {
+        let mut bytes_on = Vec::new();
+        let mut bytes_off = Vec::new();
+        let mut acc_on = Vec::new();
+        let mut acc_off = Vec::new();
+        for seed in 0..SEEDS {
+            let o = icpda_round(n, seed, on);
+            bytes_on.push(o.total_bytes as f64);
+            acc_on.push(o.accuracy());
+            let f = icpda_round(n, seed, off);
+            bytes_off.push(f.total_bytes as f64);
+            acc_off.push(f.accuracy());
+        }
+        let (bo, bf) = (mean(&bytes_on), mean(&bytes_off));
+        table.row(vec![
+            n.to_string(),
+            f1(bf),
+            f1(bo),
+            f1((bo / bf - 1.0) * 100.0),
+            f3(mean(&acc_off)),
+            f3(mean(&acc_on)),
+            f3(detection_rate(n, off)),
+            f3(detection_rate(n, on)),
+        ]);
+    }
+    table.emit("fig10_ablation");
+}

@@ -1,0 +1,60 @@
+//! **Ablation A11 — fixed vs. density-adaptive head election.**
+//!
+//! The paper family's adaptive rule (`p = min(1, k/heard)`) against the
+//! fixed `p_c = 0.25` across densities. Expected shape: the fixed rule
+//! spawns heads proportionally to N (constant cluster size, growing
+//! head count); the adaptive rule holds the *per-neighbourhood* head
+//! count near `k`, so the head fraction falls with density and cluster
+//! sizes grow — trading share-exchange weight for backbone thinness.
+
+use super::icpda_round;
+use crate::{f1, f3, mean, Table};
+use agg::AggFunction;
+use icpda::{HeadElection, IcpdaConfig};
+
+const SEEDS: u64 = 5;
+
+/// Regenerates ablation A11.
+pub fn run() {
+    let mut table = Table::new(
+        "Ablation A11 — fixed p_c = 0.25 vs. adaptive k",
+        &[
+            "nodes",
+            "election",
+            "heads / n",
+            "mean cluster size",
+            "participation",
+            "accuracy",
+        ],
+    );
+    for n in [200usize, 400, 600] {
+        for (label, election) in [
+            ("fixed 0.25", HeadElection::Fixed(0.25)),
+            ("adaptive k=3", HeadElection::Adaptive { k: 3.0 }),
+            ("adaptive k=5", HeadElection::Adaptive { k: 5.0 }),
+        ] {
+            let mut heads = Vec::new();
+            let mut sizes = Vec::new();
+            let mut part = Vec::new();
+            let mut acc = Vec::new();
+            for seed in 0..SEEDS {
+                let mut config = IcpdaConfig::paper_default(AggFunction::Count);
+                config.election = election;
+                let out = icpda_round(n, seed, config);
+                heads.push(out.heads as f64 / (n - 1) as f64);
+                sizes.push(out.mean_cluster_size());
+                part.push(out.included as f64 / (n - 1) as f64);
+                acc.push(out.accuracy());
+            }
+            table.row(vec![
+                n.to_string(),
+                label.to_string(),
+                f3(mean(&heads)),
+                f1(mean(&sizes)),
+                f3(mean(&part)),
+                f3(mean(&acc)),
+            ]);
+        }
+    }
+    table.emit("fig11_adaptive");
+}

@@ -1,0 +1,86 @@
+//! **Extension E12 — Network lifetime.**
+//!
+//! The paper motivates aggregation with network lifetime. Given each
+//! node's measured per-round radio energy and a mote-class battery
+//! budget, the first node to exhaust its battery bounds the network's
+//! lifetime in query rounds. Expected shape: TAG lasts several times
+//! longer (it neither exchanges shares nor listens promiscuously), and
+//! both lifetimes fall with density; the privacy+integrity premium in
+//! *lifetime* is larger than in bytes because overhearing burns receive
+//! energy at every neighbour.
+
+use crate::{f1, mean, paper_deployment, Table, N_SWEEP};
+use agg::tag::{TagConfig, TagNode};
+use agg::AggFunction;
+use icpda::{IcpdaConfig, IcpdaNode};
+use wsn_sim::prelude::*;
+
+const SEEDS: u64 = 3;
+/// Energy budget per node: a modest 50 J radio allowance
+/// (≈ a few percent of a AA pair, the radio's share).
+const BUDGET_MJ: f64 = 50_000.0;
+
+/// Max per-node energy (mJ) for one round of each protocol.
+fn per_round_max_mj(n: usize, seed: u64) -> (f64, f64) {
+    // TAG.
+    let dep = paper_deployment(n, seed);
+    let readings = agg::readings::count_readings(n);
+    let tag_config = TagConfig::paper_default(AggFunction::Count);
+    let mut sim = Simulator::new(dep, SimConfig::paper_default(), seed, |id| {
+        TagNode::new(tag_config, id == NodeId::new(0), readings[id.index()])
+    });
+    sim.run_until(SimTime::ZERO + tag_config.finish_time() + SimDuration::from_secs(1));
+    let tag_max = sim
+        .metrics()
+        .iter()
+        .map(|(_, m)| m.energy_total_nj() / 1e6)
+        .fold(0.0f64, f64::max);
+    // iCPDA.
+    let dep = paper_deployment(n, seed);
+    let config = IcpdaConfig::paper_default(AggFunction::Count);
+    let mut sim = Simulator::new(dep, SimConfig::paper_default(), seed, |id| {
+        IcpdaNode::new(config, id == NodeId::new(0), readings[id.index()])
+    });
+    sim.run_until(SimTime::ZERO + config.schedule.decision_time() + SimDuration::from_secs(1));
+    let icpda_max = sim
+        .metrics()
+        .iter()
+        .map(|(_, m)| m.energy_total_nj() / 1e6)
+        .fold(0.0f64, f64::max);
+    (tag_max, icpda_max)
+}
+
+/// Regenerates extension E12.
+pub fn run() {
+    let mut table = Table::new(
+        "Extension E12 — network lifetime (rounds until first node exhausts a 50 J radio budget)",
+        &[
+            "nodes",
+            "TAG max mJ/round",
+            "iCPDA max mJ/round",
+            "TAG lifetime (rounds)",
+            "iCPDA lifetime (rounds)",
+            "lifetime ratio",
+        ],
+    );
+    for n in N_SWEEP {
+        let mut tag_max = Vec::new();
+        let mut icpda_max = Vec::new();
+        for seed in 0..SEEDS {
+            let (t, i) = per_round_max_mj(n, seed);
+            tag_max.push(t);
+            icpda_max.push(i);
+        }
+        let (t, i) = (mean(&tag_max), mean(&icpda_max));
+        let (lt, li) = (BUDGET_MJ / t, BUDGET_MJ / i);
+        table.row(vec![
+            n.to_string(),
+            f1(t),
+            f1(i),
+            f1(lt),
+            f1(li),
+            f1(lt / li),
+        ]);
+    }
+    table.emit("fig12_lifetime");
+}

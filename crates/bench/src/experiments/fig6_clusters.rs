@@ -1,0 +1,71 @@
+//! **Figure 6 — Cluster formation vs. the head probability `p_c`.**
+//!
+//! Head fraction, emergent mean cluster size (after the resign/merge
+//! step), participation and accuracy as `p_c` sweeps the paper's
+//! operating range, plus the cluster-size histogram at the recommended
+//! `p_c = 0.25`. Expected shape: mean size ≈ 1/p_c; small `p_c` gives
+//! big clusters (better privacy, heavier share exchange and more
+//! fragile); large `p_c` gives many tiny clusters that must merge.
+
+use super::icpda_round;
+use crate::{f1, f3, mean, Table};
+use agg::AggFunction;
+use icpda::{HeadElection, IcpdaConfig};
+
+const N: usize = 400;
+const SEEDS: u64 = 5;
+
+/// Regenerates Figure 6.
+pub fn run() {
+    let mut table = Table::new(
+        "Figure 6a — cluster formation vs. p_c (N = 400)",
+        &[
+            "p_c",
+            "1/p_c",
+            "mean cluster size",
+            "heads / n",
+            "participation",
+            "accuracy",
+        ],
+    );
+    for p_c in [0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50] {
+        let mut sizes = Vec::new();
+        let mut heads = Vec::new();
+        let mut part = Vec::new();
+        let mut acc = Vec::new();
+        for seed in 0..SEEDS {
+            let mut config = IcpdaConfig::paper_default(AggFunction::Count);
+            config.election = HeadElection::Fixed(p_c);
+            let out = icpda_round(N, seed, config);
+            sizes.push(out.mean_cluster_size());
+            heads.push(out.heads as f64 / (N - 1) as f64);
+            part.push(out.included as f64 / (N - 1) as f64);
+            acc.push(out.accuracy());
+        }
+        table.row(vec![
+            f3(p_c),
+            f1(1.0 / p_c),
+            f1(mean(&sizes)),
+            f3(mean(&heads)),
+            f3(mean(&part)),
+            f3(mean(&acc)),
+        ]);
+    }
+    table.emit("fig6a_clusters");
+
+    let mut hist = Table::new(
+        "Figure 6b — cluster-size histogram at p_c = 0.25 (N = 400, 5 seeds)",
+        &["cluster size", "count"],
+    );
+    let mut counts = std::collections::BTreeMap::new();
+    for seed in 0..SEEDS {
+        let out = icpda_round(N, seed, IcpdaConfig::paper_default(AggFunction::Count));
+        for s in out.cluster_sizes {
+            *counts.entry(s).or_insert(0u32) += 1;
+        }
+    }
+    for (size, count) in counts {
+        hist.row(vec![size.to_string(), count.to_string()]);
+    }
+    hist.emit("fig6b_histogram");
+}

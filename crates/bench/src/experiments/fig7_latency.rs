@@ -1,0 +1,39 @@
+//! **Figure 7 — Result latency vs. network size.**
+//!
+//! Virtual time at which the last partial aggregate reaches the base
+//! station. TAG needs only tree formation plus its reporting epoch;
+//! iCPDA pays for cluster formation and the staggered share exchange up
+//! front, so its result lands a constant ~10 s later at every size —
+//! the latency price of privacy + integrity (both schedules are
+//! configuration, not load, dominated at these densities).
+
+use super::{icpda_round, tag_round};
+use crate::{f1, mean, Table, N_SWEEP};
+use agg::AggFunction;
+use icpda::IcpdaConfig;
+
+const SEEDS: u64 = 5;
+
+/// Regenerates Figure 7.
+pub fn run() {
+    let mut table = Table::new(
+        "Figure 7 — time of last report at the base station (virtual seconds)",
+        &["nodes", "TAG (s)", "iCPDA (s)", "delta (s)"],
+    );
+    for n in N_SWEEP {
+        let mut tag_lat = Vec::new();
+        let mut icpda_lat = Vec::new();
+        for seed in 0..SEEDS {
+            if let Some(t) = tag_round(n, seed, AggFunction::Count).last_report_at {
+                tag_lat.push(t.as_secs_f64());
+            }
+            let out = icpda_round(n, seed, IcpdaConfig::paper_default(AggFunction::Count));
+            if let Some(t) = out.last_update {
+                icpda_lat.push(t.as_secs_f64());
+            }
+        }
+        let (t, i) = (mean(&tag_lat), mean(&icpda_lat));
+        table.row(vec![n.to_string(), f1(t), f1(i), f1(i - t)]);
+    }
+    table.emit("fig7_latency");
+}

@@ -1,0 +1,46 @@
+//! **Figure 9 — Energy consumption vs. network size.**
+//!
+//! Network-wide radio energy (CC1000-class per-byte costs, receive and
+//! promiscuous overhearing included) for one COUNT query. Expected
+//! shape: linear growth in N for both protocols; iCPDA's factor over
+//! TAG exceeds its byte factor because peer monitoring makes nodes *pay
+//! to listen* (overhearing energy), an effect invisible in the byte
+//! counts.
+
+use super::{icpda_round, tag_round};
+use crate::{f1, f3, mean, Table, N_SWEEP};
+use agg::AggFunction;
+use icpda::IcpdaConfig;
+
+const SEEDS: u64 = 5;
+
+/// Regenerates Figure 9.
+pub fn run() {
+    let mut table = Table::new(
+        "Figure 9 — radio energy per COUNT query (millijoules)",
+        &[
+            "nodes",
+            "TAG (mJ)",
+            "iCPDA (mJ)",
+            "iCPDA/TAG",
+            "iCPDA per node (mJ)",
+        ],
+    );
+    for n in N_SWEEP {
+        let mut tag_e = Vec::new();
+        let mut icpda_e = Vec::new();
+        for seed in 0..SEEDS {
+            tag_e.push(tag_round(n, seed, AggFunction::Count).energy_mj);
+            icpda_e.push(icpda_round(n, seed, IcpdaConfig::paper_default(AggFunction::Count)).energy_mj);
+        }
+        let (t, i) = (mean(&tag_e), mean(&icpda_e));
+        table.row(vec![
+            n.to_string(),
+            f1(t),
+            f1(i),
+            f3(i / t),
+            f3(i / (n - 1) as f64),
+        ]);
+    }
+    table.emit("fig9_energy");
+}

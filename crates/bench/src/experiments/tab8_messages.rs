@@ -1,0 +1,83 @@
+//! **Table 8 — Per-node message breakdown: theory vs. simulation.**
+//!
+//! At N = 400 the table splits iCPDA's traffic by message purpose and
+//! compares the measured per-node message count (and its ratio to TAG's
+//! two messages) with the analytic model of
+//! [`icpda_analysis::overhead::message_model`].
+
+use super::{icpda_round, tag_round};
+use crate::{f3, mean, Table};
+use agg::AggFunction;
+use icpda::IcpdaConfig;
+use icpda_analysis::overhead::message_model;
+
+const N: usize = 400;
+const SEEDS: u64 = 5;
+
+/// Regenerates Table 8.
+pub fn run() {
+    let mut per_counter: std::collections::BTreeMap<&'static str, Vec<f64>> =
+        std::collections::BTreeMap::new();
+    let mut frames = Vec::new();
+    let mut tag_frames = Vec::new();
+    let mut mean_m = Vec::new();
+    for seed in 0..SEEDS {
+        let out = icpda_round(N, seed, IcpdaConfig::paper_default(AggFunction::Count));
+        frames.push(out.total_frames as f64);
+        mean_m.push(out.mean_cluster_size());
+        for (k, v) in &out.user_counters {
+            per_counter.entry(k).or_default().push(*v as f64);
+        }
+        tag_frames.push(tag_round(N, seed, AggFunction::Count).total_frames as f64);
+    }
+
+    let mut table = Table::new(
+        "Table 8a — iCPDA traffic breakdown (N = 400, per-round means)",
+        &["counter", "mean count", "per node"],
+    );
+    for key in [
+        "icpda_heads",
+        "icpda_share_sent",
+        "icpda_share_relayed",
+        "icpda_share_resent",
+        "icpda_fsum_resent",
+        "icpda_fsum_echoed",
+        "icpda_upstream_sent",
+        "icpda_alarm_raised",
+    ] {
+        let vals = per_counter.get(key).cloned().unwrap_or_default();
+        let m = mean(&vals);
+        table.row(vec![key.to_string(), f3(m), f3(m / (N - 1) as f64)]);
+    }
+    table.emit("tab8a_breakdown");
+
+    let m_emergent = mean(&mean_m).max(2.0);
+    let model = message_model(m_emergent, 1.0 / m_emergent);
+    let measured_per_node = mean(&frames) / (N - 1) as f64;
+    let tag_per_node = mean(&tag_frames) / (N - 1) as f64;
+    let mut summary = Table::new(
+        "Table 8b — per-node message totals: model vs. measured",
+        &["quantity", "model (loss-free)", "measured"],
+    );
+    summary.row(vec![
+        "TAG msgs / node".into(),
+        f3(model.tag_msgs),
+        f3(tag_per_node),
+    ]);
+    summary.row(vec![
+        "iCPDA msgs / node".into(),
+        f3(model.icpda_msgs),
+        f3(measured_per_node),
+    ]);
+    summary.row(vec![
+        "iCPDA / TAG ratio".into(),
+        f3(model.ratio),
+        f3(measured_per_node / tag_per_node),
+    ]);
+    summary.row(vec![
+        "mean cluster size m".into(),
+        f3(m_emergent),
+        f3(m_emergent),
+    ]);
+    summary.emit("tab8b_model");
+}

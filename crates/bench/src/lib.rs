@@ -1,0 +1,182 @@
+//! Shared experiment harness for the figure/table binaries.
+//!
+//! Every `fig_*`/`tab_*` binary regenerates one evaluation artefact:
+//! it sweeps the paper's parameter axis, averages over seeded trials,
+//! and prints a markdown table (and writes a CSV next to it under
+//! `results/`). The binaries only orchestrate; all protocol logic lives
+//! in the library crates.
+
+pub mod experiments;
+pub mod svg;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+use std::path::Path;
+use wsn_sim::geometry::Region;
+use wsn_sim::topology::Deployment;
+
+/// The network sizes of the paper's sweep (nodes on 400 m × 400 m).
+pub const N_SWEEP: [usize; 5] = [200, 300, 400, 500, 600];
+
+/// The paper's radio range in meters.
+pub const RADIO_RANGE: f64 = 50.0;
+
+/// Seeds per data point (the paper runs 50 trials for the Th figure;
+/// 10 keeps every figure regenerable in seconds while giving stable
+/// means).
+pub const TRIALS: u64 = 10;
+
+/// A deployment drawn exactly like the paper's: uniform over the
+/// 400 m × 400 m field, central base station, 50 m range.
+#[must_use]
+pub fn paper_deployment(n: usize, seed: u64) -> Deployment {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Deployment::uniform_random_with_central_bs(n, Region::paper_default(), RADIO_RANGE, &mut rng)
+}
+
+/// Arithmetic mean (0 for an empty slice).
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (0 below two samples).
+#[must_use]
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// A printable experiment table (markdown to stdout, CSV to `results/`).
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Prints the markdown rendering to stdout.
+    pub fn print(&self) {
+        print!("{}", self.to_markdown());
+    }
+
+    /// Writes the table as CSV under `results/<name>.csv` (relative to
+    /// the workspace root when run via `cargo run`), creating the
+    /// directory if needed. IO errors are reported, not fatal — the
+    /// stdout table is the primary artefact.
+    pub fn write_csv(&self, name: &str) {
+        let dir = Path::new("results");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create results/: {e}");
+            return;
+        }
+        let mut csv = String::new();
+        let _ = writeln!(csv, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(csv, "{}", row.join(","));
+        }
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) = std::fs::write(&path, csv) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("(csv written to {})", path.display());
+        }
+    }
+
+    /// Emits both the stdout markdown and the CSV file.
+    pub fn emit(&self, name: &str) {
+        self.print();
+        self.write_csv(name);
+    }
+}
+
+/// Formats a float with 3 decimals (the tables' standard cell format).
+#[must_use]
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 1 decimal.
+#[must_use]
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("## Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_validates_rows() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn deployment_is_reproducible() {
+        let a = paper_deployment(100, 5);
+        let b = paper_deployment(100, 5);
+        assert_eq!(a.average_degree(), b.average_degree());
+    }
+}

@@ -1,0 +1,332 @@
+//! Subcommand implementations.
+
+use crate::args::{Args, ParseArgsError};
+use agg::AggFunction;
+use icpda::{
+    evaluate_disclosure, run_session, HeadElection, IcpdaConfig, IcpdaRun, IntegrityMode,
+    Pollution,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_crypto::LinkAdversary;
+use wsn_sim::geometry::Region;
+use wsn_sim::prelude::*;
+
+fn parse_function(args: &Args) -> Result<AggFunction, ParseArgsError> {
+    match args.get("function").unwrap_or("count") {
+        "count" => Ok(AggFunction::Count),
+        "sum" => Ok(AggFunction::Sum),
+        "avg" | "average" => Ok(AggFunction::Average),
+        "var" | "variance" => Ok(AggFunction::Variance),
+        other => Err(ParseArgsError(format!(
+            "--function: unknown statistic '{other}' (count|sum|avg|var)"
+        ))),
+    }
+}
+
+fn parse_config(args: &Args) -> Result<IcpdaConfig, ParseArgsError> {
+    let mut config = IcpdaConfig::paper_default(parse_function(args)?);
+    let p_c: f64 = args.get_or("pc", 0.25)?;
+    if !(0.0..=1.0).contains(&p_c) {
+        return Err(ParseArgsError("--pc must be a probability".into()));
+    }
+    config.election = HeadElection::Fixed(p_c);
+    config.integrity = match args.get("integrity").unwrap_or("on") {
+        "on" => IntegrityMode::On,
+        "off" => IntegrityMode::Off,
+        other => {
+            return Err(ParseArgsError(format!(
+                "--integrity: expected on|off, got '{other}'"
+            )))
+        }
+    };
+    Ok(config)
+}
+
+fn parse_sim_config(args: &Args) -> Result<SimConfig, ParseArgsError> {
+    let mut sim = SimConfig::paper_default();
+    let loss: f64 = args.get_or("loss", 0.0)?;
+    let edge: f64 = args.get_or("edge-loss", 0.0)?;
+    if loss > 0.0 && edge > 0.0 {
+        return Err(ParseArgsError(
+            "--loss and --edge-loss are mutually exclusive".into(),
+        ));
+    }
+    if loss > 0.0 {
+        sim.loss = LossModel::Iid(loss);
+    } else if edge > 0.0 {
+        sim.loss = LossModel::DistanceDependent {
+            alpha: 4.0,
+            edge_loss: edge,
+        };
+    }
+    Ok(sim)
+}
+
+fn deployment(n: usize, seed: u64) -> Deployment {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Deployment::uniform_random_with_central_bs(n, Region::paper_default(), 50.0, &mut rng)
+}
+
+fn readings_for(function: AggFunction, n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC0FFEE);
+    match function {
+        AggFunction::Count => agg::readings::count_readings(n),
+        _ => agg::readings::uniform_readings(n, 10, 100, &mut rng),
+    }
+}
+
+/// `icpda run`.
+pub fn run(args: &Args) -> Result<(), ParseArgsError> {
+    check_flags(
+        args,
+        &["nodes", "seed", "function", "pc", "integrity", "loss", "edge-loss", "rounds"],
+    )?;
+    let n: usize = args.get_or("nodes", 400)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let mut config = parse_config(args)?;
+    config.rounds = args.get_or("rounds", 1)?;
+    let sim = parse_sim_config(args)?;
+    let readings = readings_for(config.function, n, seed);
+    let dep = deployment(n, seed);
+    println!(
+        "deploying {n} nodes (degree {:.1}), {} query...",
+        dep.average_degree(),
+        config.function
+    );
+    let out = IcpdaRun::new(dep, config, readings, seed)
+        .with_sim_config(sim)
+        .run();
+    println!("accepted      : {}", out.accepted);
+    println!("value         : {:.3}", out.value);
+    println!("truth         : {:.3}", out.truth);
+    println!("accuracy      : {:.3}", out.accuracy());
+    println!("participants  : {}", out.participants);
+    println!(
+        "clusters      : {} heads, mean size {:.1}, {} solved",
+        out.heads,
+        out.mean_cluster_size(),
+        out.clusters_solved
+    );
+    println!("orphans       : {}", out.orphans);
+    println!(
+        "traffic       : {} frames / {} bytes / {:.1} mJ",
+        out.total_frames, out.total_bytes, out.energy_mj
+    );
+    println!("collisions    : {}", out.collisions);
+    if !out.alarms.is_empty() {
+        println!("alarms        : {:?}", out.alarms);
+    }
+    if out.decisions.len() > 1 {
+        println!("rounds        :");
+        for (i, d) in out.decisions.iter().enumerate() {
+            println!("  {i}: value {:.1} accepted {}", d.value, d.accepted);
+        }
+    }
+    Ok(())
+}
+
+/// `icpda sweep`.
+pub fn sweep(args: &Args) -> Result<(), ParseArgsError> {
+    check_flags(args, &["seeds", "function", "pc", "integrity"])?;
+    let seeds: u64 = args.get_or("seeds", 5)?;
+    let config = parse_config(args)?;
+    println!("nodes | accuracy | participation | bytes    | mJ");
+    println!("------+----------+---------------+----------+--------");
+    for n in [200usize, 300, 400, 500, 600] {
+        let mut acc = 0.0;
+        let mut part = 0.0;
+        let mut bytes = 0.0;
+        let mut energy = 0.0;
+        for seed in 0..seeds {
+            let readings = readings_for(config.function, n, seed);
+            let out = IcpdaRun::new(deployment(n, seed), config, readings, seed).run();
+            acc += out.accuracy();
+            part += out.participation();
+            bytes += out.total_bytes as f64;
+            energy += out.energy_mj;
+        }
+        let k = seeds as f64;
+        println!(
+            "{n:>5} | {:>8.3} | {:>13.3} | {:>8.0} | {:>6.1}",
+            acc / k,
+            part / k,
+            bytes / k,
+            energy / k
+        );
+    }
+    Ok(())
+}
+
+/// `icpda attack`.
+pub fn attack(args: &Args) -> Result<(), ParseArgsError> {
+    check_flags(
+        args,
+        &["nodes", "seed", "mode", "delta", "attackers", "session", "function", "pc", "integrity"],
+    )?;
+    let n: usize = args.get_or("nodes", 400)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let delta: u64 = args.get_or("delta", 1_000)?;
+    let count: usize = args.get_or("attackers", 1)?;
+    let with_session: bool = args.get_or("session", false)?;
+    let config = parse_config(args)?;
+    let pollution = match args.get("mode").unwrap_or("naive") {
+        "naive" => Pollution::inflate(delta),
+        "forge" => Pollution::forge_input(delta),
+        "phantom" => Pollution::phantom(delta, 1),
+        other => {
+            return Err(ParseArgsError(format!(
+                "--mode: expected naive|forge|phantom, got '{other}'"
+            )))
+        }
+    };
+    let readings = readings_for(config.function, n, seed);
+    let dep = deployment(n, seed);
+    let honest = IcpdaRun::new(dep.clone(), config, readings.clone(), seed).run();
+    let heads: Vec<NodeId> = honest
+        .rosters
+        .iter()
+        .filter_map(|(node, r)| (r.head() == *node).then_some(*node))
+        .take(count)
+        .collect();
+    if heads.is_empty() {
+        return Err(ParseArgsError("no cluster heads formed to attack".into()));
+    }
+    println!("honest value {:.1}; compromising heads {heads:?}", honest.value);
+    let attackers: Vec<(NodeId, Pollution)> =
+        heads.iter().map(|&h| (h, pollution)).collect();
+    if with_session {
+        let session = run_session(&dep, config, &readings, seed, &attackers, 6);
+        for (i, round) in session.rounds.iter().enumerate() {
+            println!(
+                "round {i}: value {:>10.1}  accepted {:<5}  alarms {}",
+                round.value,
+                round.accepted,
+                round.alarms.len()
+            );
+        }
+        println!("quarantined: {:?}", session.excluded);
+        match session.accepted() {
+            Some(out) => println!("recovered: value {:.1} (accuracy {:.3})", out.value, out.accuracy()),
+            None => println!("session did not converge"),
+        }
+    } else {
+        let out = IcpdaRun::new(dep, config, readings, seed)
+            .with_attackers(attackers)
+            .run();
+        println!(
+            "attacked: value {:.1}  accepted {}  alarms {:?}",
+            out.value, out.accepted, out.alarms
+        );
+    }
+    Ok(())
+}
+
+/// `icpda privacy`.
+pub fn privacy(args: &Args) -> Result<(), ParseArgsError> {
+    check_flags(args, &["nodes", "seed", "px", "adversaries", "pc"])?;
+    let n: usize = args.get_or("nodes", 600)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let p_x: f64 = args.get_or("px", 0.05)?;
+    let adversaries: u64 = args.get_or("adversaries", 30)?;
+    if !(0.0..=1.0).contains(&p_x) {
+        return Err(ParseArgsError("--px must be a probability".into()));
+    }
+    let mut config = IcpdaConfig::paper_default(AggFunction::Count);
+    config.election = HeadElection::Fixed(args.get_or("pc", 0.25)?);
+    let out = IcpdaRun::new(
+        deployment(n, seed),
+        config,
+        agg::readings::count_readings(n),
+        seed,
+    )
+    .run();
+    println!(
+        "{} sharing nodes in {} clusters (mean size {:.1})",
+        out.rosters.len(),
+        out.cluster_sizes.len(),
+        out.mean_cluster_size()
+    );
+    let mut total = 0.0;
+    for adv_seed in 0..adversaries {
+        let adv = LinkAdversary::new(p_x, adv_seed);
+        total += evaluate_disclosure(&out.rosters, &adv).probability();
+    }
+    let measured = total / adversaries as f64;
+    let theory = icpda_analysis::mixed_disclosure(p_x, &out.cluster_sizes);
+    println!("p_x = {p_x}: P_disclose measured {measured:.6}, mixture theory {theory:.6}");
+    Ok(())
+}
+
+fn check_flags(args: &Args, known: &[&str]) -> Result<(), ParseArgsError> {
+    let unknown = args.unknown_flags(known);
+    if unknown.is_empty() {
+        Ok(())
+    } else {
+        Err(ParseArgsError(format!("unknown flags: {unknown:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(argv: &[&str]) -> Args {
+        Args::parse(argv.iter().copied()).expect("valid argv")
+    }
+
+    #[test]
+    fn function_parsing() {
+        assert_eq!(
+            parse_function(&args(&["run", "--function", "sum"])).unwrap(),
+            AggFunction::Sum
+        );
+        assert_eq!(
+            parse_function(&args(&["run"])).unwrap(),
+            AggFunction::Count,
+            "count is the default"
+        );
+        assert!(parse_function(&args(&["run", "--function", "median"])).is_err());
+    }
+
+    #[test]
+    fn config_parsing_validates_probability_and_integrity() {
+        assert!(parse_config(&args(&["run", "--pc", "1.5"])).is_err());
+        assert!(parse_config(&args(&["run", "--integrity", "maybe"])).is_err());
+        let c = parse_config(&args(&["run", "--pc", "0.3", "--integrity", "off"])).unwrap();
+        assert_eq!(c.election, HeadElection::Fixed(0.3));
+        assert_eq!(c.integrity, IntegrityMode::Off);
+    }
+
+    #[test]
+    fn sim_config_loss_flags_are_exclusive() {
+        assert!(parse_sim_config(&args(&["run", "--loss", "0.1", "--edge-loss", "0.2"])).is_err());
+        let c = parse_sim_config(&args(&["run", "--edge-loss", "0.2"])).unwrap();
+        assert!(matches!(
+            c.loss,
+            wsn_sim::LossModel::DistanceDependent { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_flags_are_reported() {
+        assert!(check_flags(&args(&["run", "--bogus", "1"]), &["nodes"]).is_err());
+        assert!(check_flags(&args(&["run", "--nodes", "1"]), &["nodes"]).is_ok());
+    }
+
+    #[test]
+    fn readings_match_function_semantics() {
+        let count = readings_for(AggFunction::Count, 10, 1);
+        assert_eq!(count, vec![0, 1, 1, 1, 1, 1, 1, 1, 1, 1]);
+        let sums = readings_for(AggFunction::Sum, 10, 1);
+        assert_eq!(sums[0], 0);
+        assert!(sums[1..].iter().all(|&r| (10..=100).contains(&r)));
+    }
+
+    #[test]
+    fn tiny_end_to_end_run_succeeds() {
+        // Exercise the `run` command itself on a very small network.
+        let a = args(&["run", "--nodes", "40", "--seed", "1"]);
+        run(&a).expect("run succeeds");
+    }
+}

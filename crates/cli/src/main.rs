@@ -1,0 +1,66 @@
+//! `icpda` — command-line driver for the reproduction.
+//!
+//! ```text
+//! icpda run     --nodes 400 --seed 7 --function count [--pc 0.25]
+//!               [--integrity on|off] [--loss 0.05] [--edge-loss 0.3]
+//! icpda sweep   --seeds 5 --function count
+//! icpda attack  --nodes 400 --seed 7 --mode naive|forge|phantom
+//!               --delta 1000 [--attackers 1] [--session]
+//! icpda privacy --nodes 600 --seed 1 --px 0.05 [--adversaries 30]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+icpda — cluster-based integrity-enforcing, privacy-preserving aggregation
+
+USAGE:
+    icpda <COMMAND> [--flag value]...
+
+COMMANDS:
+    run       one aggregation round, printed in full
+              --nodes N (400)  --seed S (7)  --function count|sum|avg|var (count)
+              --pc P (0.25)    --integrity on|off (on)
+              --loss P (0)     --edge-loss E (0)   --rounds R (1)
+    sweep     accuracy/overhead across the paper's size sweep
+              --seeds K (5)    --function ... (count)
+    attack    compromise cluster heads and watch the integrity layer
+              --nodes N (400)  --seed S (7)  --mode naive|forge|phantom (naive)
+              --delta D (1000) --attackers K (1)  --session true (off)
+    privacy   disclosure analysis over one run's clusters
+              --nodes N (600)  --seed S (1)  --px P (0.05)
+              --adversaries K (30)
+    help      this text
+";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command() {
+        Some("run") => commands::run(&args),
+        Some("sweep") => commands::sweep(&args),
+        Some("attack") => commands::attack(&args),
+        Some("privacy") => commands::privacy(&args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(args::ParseArgsError(format!("unknown command '{other}'"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

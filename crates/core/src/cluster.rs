@@ -1,0 +1,157 @@
+//! Cluster rosters and contributor masks.
+
+use wsn_sim::NodeId;
+
+/// The fixed membership of one cluster, as broadcast by its head.
+///
+/// Members are sorted by node id; a member's roster *position* determines
+/// its public evaluation seed (see [`crate::shares::seed_for`]). The
+/// head is always a member of its own cluster.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Roster {
+    head: NodeId,
+    members: Vec<NodeId>,
+}
+
+impl Roster {
+    /// Builds a roster from the head and its joiners (the head is added
+    /// automatically if absent), sorting and deduplicating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting roster exceeds 64 members (contributor
+    /// masks are 64-bit; [`crate::IcpdaConfig::max_cluster_size`] keeps
+    /// real rosters far below this).
+    #[must_use]
+    pub fn new(head: NodeId, joiners: &[NodeId]) -> Self {
+        let mut members: Vec<NodeId> = joiners.to_vec();
+        members.push(head);
+        members.sort_unstable();
+        members.dedup();
+        assert!(members.len() <= 64, "roster exceeds contributor mask width");
+        Roster { head, members }
+    }
+
+    /// Reconstructs a roster from a received `ClusterInfo`.
+    ///
+    /// Returns `None` if the members are not sorted-unique, exceed 64, or
+    /// do not contain the head (a malformed or forged roster).
+    #[must_use]
+    pub fn from_wire(head: NodeId, members: &[NodeId]) -> Option<Self> {
+        if members.len() > 64
+            || !members.windows(2).all(|w| w[0] < w[1])
+            || members.binary_search(&head).is_err()
+        {
+            return None;
+        }
+        Some(Roster {
+            head,
+            members: members.to_vec(),
+        })
+    }
+
+    /// The head (cluster id).
+    #[must_use]
+    pub fn head(&self) -> NodeId {
+        self.head
+    }
+
+    /// Sorted members, head included.
+    #[must_use]
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the roster is empty (never constructed in practice).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Roster position of a node, if a member.
+    #[must_use]
+    pub fn position(&self, node: NodeId) -> Option<usize> {
+        self.members.binary_search(&node).ok()
+    }
+
+    /// Whether a node is a member.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.position(node).is_some()
+    }
+
+    /// The contributor bitmask with every roster position set.
+    #[must_use]
+    pub fn full_mask(&self) -> u64 {
+        if self.members.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.members.len()) - 1
+        }
+    }
+
+    /// The bitmask bit for a member.
+    #[must_use]
+    pub fn mask_bit(&self, node: NodeId) -> Option<u64> {
+        self.position(node).map(|p| 1u64 << p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn construction_sorts_and_includes_head() {
+        let r = Roster::new(n(5), &[n(9), n(2)]);
+        assert_eq!(r.members(), &[n(2), n(5), n(9)]);
+        assert_eq!(r.head(), n(5));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.position(n(5)), Some(1));
+        assert!(r.contains(n(9)));
+        assert!(!r.contains(n(7)));
+    }
+
+    #[test]
+    fn duplicate_joiners_are_deduped() {
+        let r = Roster::new(n(1), &[n(2), n(2), n(1)]);
+        assert_eq!(r.members(), &[n(1), n(2)]);
+    }
+
+    #[test]
+    fn masks() {
+        let r = Roster::new(n(1), &[n(2), n(3)]);
+        assert_eq!(r.full_mask(), 0b111);
+        assert_eq!(r.mask_bit(n(1)), Some(0b001));
+        assert_eq!(r.mask_bit(n(3)), Some(0b100));
+        assert_eq!(r.mask_bit(n(9)), None);
+    }
+
+    #[test]
+    fn wire_roundtrip_and_validation() {
+        let r = Roster::new(n(4), &[n(1), n(7)]);
+        let back = Roster::from_wire(r.head(), r.members()).unwrap();
+        assert_eq!(back, r);
+        // Unsorted rejected.
+        assert!(Roster::from_wire(n(1), &[n(2), n(1)]).is_none());
+        // Head missing rejected.
+        assert!(Roster::from_wire(n(9), &[n(1), n(2)]).is_none());
+    }
+
+    #[test]
+    fn full_mask_at_64_members() {
+        let members: Vec<NodeId> = (0..64).map(n).collect();
+        let r = Roster::from_wire(n(0), &members).unwrap();
+        assert_eq!(r.full_mask(), u64::MAX);
+    }
+}

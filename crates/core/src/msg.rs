@@ -1,0 +1,304 @@
+//! iCPDA wire messages and their analytic sizes.
+//!
+//! Sizes are what the communication-overhead figures account: a type tag
+//! plus each field's natural encoding. Encrypted shares carry the sealed
+//! box produced by [`wsn_crypto::cipher::seal`] (nonce + tag + ciphertext).
+
+use wsn_crypto::Sealed;
+use wsn_sim::{NodeId, WireSize};
+
+/// Reference to an input merged into an upstream report — the integrity
+/// layer's audit trail. A monitor that overheard (or locally computed)
+/// every referenced input can recompute the report and verify it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MergedRef {
+    /// An upstream message previously transmitted by `sender` with the
+    /// given per-sender sequence number.
+    Relay {
+        /// The transmitting node of the merged upstream message.
+        sender: NodeId,
+        /// The sender's per-node upstream sequence number.
+        msg_id: u32,
+    },
+    /// The cluster aggregate of the cluster headed by `head` (verifiable
+    /// by every member of that cluster, who computed it independently).
+    Cluster {
+        /// The cluster's head node.
+        head: NodeId,
+    },
+}
+
+impl MergedRef {
+    fn wire_size(&self) -> usize {
+        match self {
+            MergedRef::Relay { .. } => 1 + 4 + 4,
+            MergedRef::Cluster { .. } => 1 + 4,
+        }
+    }
+}
+
+/// One entry of an upstream report's audit trail: the input's source and
+/// the totals the sender claims it contributed. Monitors verify claims
+/// against what they overheard or computed themselves; everyone can
+/// verify that the report's totals equal the sum of its claims.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InputClaim {
+    /// Where the input came from.
+    pub source: MergedRef,
+    /// Claimed componentwise totals (canonical field representatives).
+    pub totals: Vec<u64>,
+    /// Claimed participant count.
+    pub participants: u32,
+}
+
+impl InputClaim {
+    fn wire_size(&self) -> usize {
+        self.source.wire_size() + 8 * self.totals.len() + 4
+    }
+}
+
+/// All iCPDA protocol messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IcpdaMsg {
+    /// The base station's query flood; also builds the relay tree
+    /// (every node remembers its first sender as flood parent).
+    Query {
+        /// Hop count of the sender (base station = 0).
+        level: u16,
+    },
+    /// A self-elected cluster head announcing itself to its one-hop
+    /// neighbourhood.
+    HeadAnnounce,
+    /// A non-head node joining the cluster of a neighbouring head.
+    Join {
+        /// The head being joined.
+        head: NodeId,
+    },
+    /// A head whose cluster is too small for the privacy layer resigns;
+    /// its joiners (and the head itself) re-join other clusters.
+    Resign {
+        /// The resigning head.
+        head: NodeId,
+    },
+    /// The head's roster broadcast: fixes membership, roster order (and
+    /// therefore the public seeds) for the share exchange.
+    ClusterInfo {
+        /// The head (cluster id).
+        head: NodeId,
+        /// Sorted members, head included.
+        members: Vec<NodeId>,
+        /// Per-cluster random phase stagger in milliseconds: the head
+        /// shifts its cluster's entire share-exchange schedule by this
+        /// amount so concurrent clusters do not burst simultaneously.
+        stagger_ms: u16,
+    },
+    /// An encrypted blinded share, member → member.
+    Share {
+        /// Cluster the share belongs to.
+        cluster: NodeId,
+        /// The member that generated (and sealed) the share; differs from
+        /// the link-layer sender when the share was relayed via the head.
+        origin: NodeId,
+        /// End-to-end sealed share vector.
+        sealed: Sealed,
+    },
+    /// A share for a member out of the sender's radio range, relayed via
+    /// the head (still sealed end-to-end; the head cannot read it).
+    ShareRelay {
+        /// Cluster the share belongs to.
+        cluster: NodeId,
+        /// The member that generated the share.
+        origin: NodeId,
+        /// Final recipient.
+        to: NodeId,
+        /// End-to-end sealed share vector.
+        sealed: Sealed,
+    },
+    /// A member's raw (link-encrypted) reading sent straight to its
+    /// head — the privacy-off baseline's replacement for the share
+    /// exchange.
+    RawReading {
+        /// Cluster the reading belongs to.
+        cluster: NodeId,
+        /// End-to-end sealed contribution vector.
+        sealed: Sealed,
+    },
+    /// Repair round: a member lists senders whose shares it is missing.
+    /// The head forwards NACKs to out-of-range addressees, so the member
+    /// that needs the retransmissions is named explicitly.
+    ShareNack {
+        /// Cluster the repair belongs to.
+        cluster: NodeId,
+        /// The member missing the shares (the retransmission target).
+        requester: NodeId,
+        /// Senders whose shares were lost.
+        missing: Vec<NodeId>,
+    },
+    /// The assembled blinded sum `F_j`, broadcast inside the cluster
+    /// (transparent aggregation: every member can solve for the cluster
+    /// sum once it holds all `F_j`).
+    FSum {
+        /// Cluster the assembly belongs to.
+        cluster: NodeId,
+        /// Canonical field representatives, one per aggregate component.
+        values: Vec<u64>,
+        /// Bitmask over roster positions whose shares are included.
+        contributors: u64,
+    },
+    /// Repair round for lost `FSum` broadcasts: a member lists roster
+    /// positions whose assemblies it is missing; those members rebroadcast.
+    FsumNack {
+        /// Cluster the repair belongs to.
+        cluster: NodeId,
+        /// Bitmask over roster positions whose `FSum` is missing.
+        missing: u64,
+    },
+    /// A re-broadcast of another member's assembled sum, answering an
+    /// [`IcpdaMsg::FsumNack`] for a roster position whose original
+    /// broadcast the requester missed (members can be two hops apart).
+    FsumEcho {
+        /// Cluster the echo belongs to.
+        cluster: NodeId,
+        /// Roster position whose assembly is echoed.
+        position: u8,
+        /// The echoed assembly values.
+        values: Vec<u64>,
+        /// The echoed contributor bitmask.
+        contributors: u64,
+    },
+    /// A partial aggregate travelling up the flood tree toward the base
+    /// station.
+    Upstream {
+        /// Per-sender sequence number (for [`MergedRef::Relay`]).
+        msg_id: u32,
+        /// Componentwise totals (canonical field representatives).
+        totals: Vec<u64>,
+        /// Number of sensors aggregated into `totals`.
+        participants: u32,
+        /// Audit trail of merged inputs (empty when integrity is off).
+        inputs: Vec<InputClaim>,
+    },
+    /// Starts another aggregation round over the already-formed
+    /// clusters (phases II–III repeat; formation is amortised).
+    NewRound {
+        /// Round number (the first query is round 0).
+        round: u16,
+    },
+    /// A monitor's pollution accusation, routed up the flood tree.
+    Alarm {
+        /// The monitoring node raising the alarm.
+        accuser: NodeId,
+        /// The node whose upstream report failed verification.
+        accused: NodeId,
+    },
+}
+
+impl WireSize for IcpdaMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            IcpdaMsg::Query { .. } => 1 + 2,
+            IcpdaMsg::HeadAnnounce => 1,
+            IcpdaMsg::Join { .. } => 1 + 4,
+            IcpdaMsg::Resign { .. } => 1 + 4,
+            IcpdaMsg::ClusterInfo { members, .. } => 1 + 4 + 2 + 1 + 4 * members.len(),
+            IcpdaMsg::Share { sealed, .. } => 1 + 4 + 4 + sealed.wire_size(),
+            IcpdaMsg::ShareRelay { sealed, .. } => 1 + 4 + 4 + 4 + sealed.wire_size(),
+            IcpdaMsg::RawReading { sealed, .. } => 1 + 4 + sealed.wire_size(),
+            IcpdaMsg::ShareNack { missing, .. } => 1 + 4 + 4 + 1 + 4 * missing.len(),
+            IcpdaMsg::FSum { values, .. } => 1 + 4 + 8 * values.len() + 8,
+            IcpdaMsg::FsumNack { .. } => 1 + 4 + 8,
+            IcpdaMsg::FsumEcho { values, .. } => 1 + 4 + 1 + 8 * values.len() + 8,
+            IcpdaMsg::Upstream { totals, inputs, .. } => {
+                1 + 4
+                    + 8 * totals.len()
+                    + 4
+                    + 1
+                    + inputs.iter().map(InputClaim::wire_size).sum::<usize>()
+            }
+            IcpdaMsg::NewRound { .. } => 1 + 2,
+            IcpdaMsg::Alarm { .. } => 1 + 4 + 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_crypto::{seal, LinkKey};
+
+    #[test]
+    fn sizes_scale_with_content() {
+        let small = IcpdaMsg::ClusterInfo {
+            head: NodeId::new(1),
+            members: vec![NodeId::new(1)],
+            stagger_ms: 0,
+        };
+        let large = IcpdaMsg::ClusterInfo {
+            head: NodeId::new(1),
+            members: (0..8).map(NodeId::new).collect(),
+            stagger_ms: 900,
+        };
+        assert_eq!(large.wire_size() - small.wire_size(), 7 * 4);
+    }
+
+    #[test]
+    fn share_size_includes_sealed_box() {
+        let sealed = seal(LinkKey(1), 1, &[0u8; 16]);
+        let msg = IcpdaMsg::Share {
+            cluster: NodeId::new(0),
+            origin: NodeId::new(2),
+            sealed: sealed.clone(),
+        };
+        assert_eq!(msg.wire_size(), 1 + 4 + 4 + sealed.wire_size());
+        let relayed = IcpdaMsg::ShareRelay {
+            cluster: NodeId::new(0),
+            origin: NodeId::new(2),
+            to: NodeId::new(3),
+            sealed,
+        };
+        assert_eq!(relayed.wire_size(), msg.wire_size() + 4);
+    }
+
+    #[test]
+    fn upstream_size_scales_with_audit_trail() {
+        let base = IcpdaMsg::Upstream {
+            msg_id: 0,
+            totals: vec![1, 2],
+            participants: 3,
+            inputs: vec![],
+        };
+        let with_inputs = IcpdaMsg::Upstream {
+            msg_id: 0,
+            totals: vec![1, 2],
+            participants: 3,
+            inputs: vec![
+                InputClaim {
+                    source: MergedRef::Cluster { head: NodeId::new(1) },
+                    totals: vec![1, 1],
+                    participants: 2,
+                },
+                InputClaim {
+                    source: MergedRef::Relay { sender: NodeId::new(2), msg_id: 0 },
+                    totals: vec![0, 1],
+                    participants: 1,
+                },
+            ],
+        };
+        // Cluster claim: 5 + 16 + 4; relay claim: 9 + 16 + 4.
+        assert_eq!(with_inputs.wire_size() - base.wire_size(), 25 + 29);
+    }
+
+    #[test]
+    fn tiny_messages_stay_tiny() {
+        assert_eq!(IcpdaMsg::HeadAnnounce.wire_size(), 1);
+        assert_eq!(IcpdaMsg::Query { level: 9 }.wire_size(), 3);
+        assert_eq!(
+            IcpdaMsg::Alarm {
+                accuser: NodeId::new(1),
+                accused: NodeId::new(2)
+            }
+            .wire_size(),
+            9
+        );
+    }
+}

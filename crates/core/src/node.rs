@@ -1,0 +1,1462 @@
+//! The per-node iCPDA state machine.
+//!
+//! One [`IcpdaNode`] runs on every deployed node (the base station
+//! included) and drives the three phases of the protocol:
+//!
+//! 1. **Query flood & cluster formation** — the base station floods the
+//!    query; nodes self-elect as cluster heads, neighbours join, heads
+//!    broadcast rosters.
+//! 2. **Privacy-preserving intra-cluster aggregation** — members exchange
+//!    encrypted blinded shares, broadcast assembled sums, and every
+//!    member recovers the cluster aggregate (transparent aggregation).
+//! 3. **Integrity-protected upstream aggregation** — cluster aggregates
+//!    travel up the flood tree in depth-scheduled slots; every transmission
+//!    carries merge references; members and neighbours audit overheard
+//!    reports and raise alarms on mismatch; the base station rejects the
+//!    round if any alarm arrives.
+
+use crate::attack::Pollution;
+use crate::cluster::Roster;
+use crate::config::{IcpdaConfig, IntegrityMode, PrivacyMode};
+use crate::monitor::{CachedAggregate, CheckOutcome, MonitorCache, ViolationKind};
+use crate::msg::{IcpdaMsg, InputClaim, MergedRef};
+use crate::shares::{
+    assemble, generate_shares, recover_sum, share_from_bytes, share_to_bytes, ShareVector,
+};
+use agg::field::Fp;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+use wsn_crypto::{open, seal, KeyManager, PairwiseKeys};
+use wsn_sim::prelude::*;
+
+const TIMER_ELECT: TimerToken = 1;
+const TIMER_JOIN: TimerToken = 2;
+const TIMER_ROSTER: TimerToken = 3;
+const TIMER_SHARES: TimerToken = 4;
+const TIMER_REPAIR: TimerToken = 5;
+const TIMER_FSUM: TimerToken = 6;
+const TIMER_SOLVE: TimerToken = 7;
+const TIMER_UPSTREAM: TimerToken = 8;
+const TIMER_DECISION: TimerToken = 9;
+const TIMER_FSUM_REPAIR: TimerToken = 10;
+const TIMER_ROSTER_REPEAT: TimerToken = 11;
+const TIMER_RESIGN: TimerToken = 12;
+const TIMER_REJOIN: TimerToken = 13;
+const TIMER_FLOOD_RELAY: TimerToken = 14;
+const TIMER_REPAIR2: TimerToken = 15;
+const TIMER_UPSTREAM_REPEAT: TimerToken = 16;
+
+/// A node's role after cluster formation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Role {
+    /// Not yet decided (query not heard or election pending).
+    #[default]
+    Undecided,
+    /// Self-elected cluster head.
+    Head,
+    /// Member of the cluster headed by the given node.
+    Member(NodeId),
+    /// Heard the query but found no head to join (or its join was lost):
+    /// does not contribute a reading.
+    Orphan,
+}
+
+/// The base station's end-of-round decision.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BsDecision {
+    /// Componentwise totals received (canonical field representatives).
+    pub totals: Vec<u64>,
+    /// Sensors included in the totals.
+    pub participants: u32,
+    /// Decoded statistic.
+    pub value: f64,
+    /// Pollution alarms received, as `(accuser, accused)` pairs.
+    pub alarms: Vec<(NodeId, NodeId)>,
+    /// `true` if no alarms arrived and the result is accepted.
+    pub accepted: bool,
+}
+
+/// Per-node iCPDA protocol state (implements
+/// [`wsn_sim::Application`]).
+pub struct IcpdaNode {
+    config: IcpdaConfig,
+    is_base_station: bool,
+    reading: u64,
+    keys: PairwiseKeys,
+    nonce_counter: u64,
+
+    // Query flood.
+    level: Option<u16>,
+    flood_parent: Option<NodeId>,
+    queries_heard: usize,
+
+    // Cluster formation.
+    role: Role,
+    heads_heard: Vec<NodeId>,
+    resigned_heads: HashSet<NodeId>,
+    has_resigned: bool,
+    joiners: Vec<NodeId>,
+    roster: Option<Roster>,
+
+    // Share exchange.
+    shared: bool,
+    outgoing_shares: HashMap<NodeId, ShareVector>,
+    received_shares: HashMap<NodeId, ShareVector>,
+    // Privacy-off baseline: raw contributions collected at the head.
+    raw_readings: HashMap<NodeId, ShareVector>,
+
+    // Assembly & solve.
+    fsums: HashMap<usize, (ShareVector, u64)>,
+    cluster_aggregate: Option<CachedAggregate>,
+
+    // Upstream.
+    upstream_acc: Vec<Fp>,
+    upstream_participants: u32,
+    absorbed_inputs: Vec<InputClaim>,
+    seen_upstream: HashSet<(NodeId, u32)>,
+    pending_upstream: Option<IcpdaMsg>,
+    upstream_sent: bool,
+    late_upstream: u32,
+
+    // Integrity.
+    monitor: MonitorCache,
+    alarms_raised: HashSet<NodeId>,
+    alarms_forwarded: HashSet<(NodeId, NodeId)>,
+
+    // Head bookkeeping for the repeated roster broadcast; members store
+    // the value from ClusterInfo so later rounds reuse the stagger.
+    my_stagger_ms: u16,
+
+    // Multi-round state.
+    current_round: u16,
+    pending_flood: Option<IcpdaMsg>,
+
+    // Quarantine.
+    excluded: bool,
+
+    // Attack.
+    pollution: Option<Pollution>,
+    slander: Option<NodeId>,
+
+    // Base station.
+    bs_alarms: Vec<(NodeId, NodeId)>,
+    bs_last_update: Option<SimTime>,
+    decisions: Vec<BsDecision>,
+}
+
+impl IcpdaNode {
+    /// Creates the state machine for one node. Node 0 of the deployment
+    /// is conventionally the base station; its `reading` is ignored.
+    #[must_use]
+    pub fn new(config: IcpdaConfig, is_base_station: bool, reading: u64) -> Self {
+        config.validate();
+        let components = config.function.components();
+        IcpdaNode {
+            keys: PairwiseKeys::new(config.key_master),
+            config,
+            is_base_station,
+            reading,
+            nonce_counter: 0,
+            level: if is_base_station { Some(0) } else { None },
+            flood_parent: None,
+            queries_heard: 0,
+            role: Role::Undecided,
+            heads_heard: Vec::new(),
+            resigned_heads: HashSet::new(),
+            has_resigned: false,
+            joiners: Vec::new(),
+            roster: None,
+            shared: false,
+            outgoing_shares: HashMap::new(),
+            received_shares: HashMap::new(),
+            raw_readings: HashMap::new(),
+            fsums: HashMap::new(),
+            cluster_aggregate: None,
+            upstream_acc: vec![Fp::ZERO; components],
+            upstream_participants: 0,
+            absorbed_inputs: Vec::new(),
+            seen_upstream: HashSet::new(),
+            pending_upstream: None,
+            upstream_sent: false,
+            late_upstream: 0,
+            monitor: MonitorCache::new(),
+            alarms_raised: HashSet::new(),
+            alarms_forwarded: HashSet::new(),
+            my_stagger_ms: 0,
+            current_round: 0,
+            pending_flood: None,
+            excluded: false,
+            pollution: None,
+            slander: None,
+            bs_alarms: Vec::new(),
+            bs_last_update: None,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Installs a data-pollution attack on this node.
+    pub fn set_pollution(&mut self, pollution: Pollution) {
+        self.pollution = Some(pollution);
+    }
+
+    /// Replaces this node's private reading (periodic sensing between
+    /// rounds of a multi-round session). Takes effect at the next share
+    /// exchange.
+    pub fn set_reading(&mut self, reading: u64) {
+        self.reading = reading;
+    }
+
+    /// Installs a slander attack: this node raises a false pollution
+    /// alarm against `target` every round — the denial-of-service the
+    /// paper's discussion anticipates, defeated by accuser credibility
+    /// tracking in [`crate::session::run_session`].
+    pub fn set_slander(&mut self, target: NodeId) {
+        self.slander = Some(target);
+    }
+
+    /// Quarantines this node: it takes no part in the round (the base
+    /// station's recovery mechanism — accused polluters are excluded
+    /// from subsequent rounds and the network routes around them).
+    pub fn set_excluded(&mut self) {
+        self.excluded = true;
+    }
+
+    /// Whether this node is quarantined.
+    #[must_use]
+    pub fn is_excluded(&self) -> bool {
+        self.excluded
+    }
+
+    /// The node's role after cluster formation.
+    #[must_use]
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Flood-tree depth, once the query was heard.
+    #[must_use]
+    pub fn level(&self) -> Option<u16> {
+        self.level
+    }
+
+    /// The cluster roster this node belongs to (if any).
+    #[must_use]
+    pub fn roster(&self) -> Option<&Roster> {
+        self.roster.as_ref()
+    }
+
+    /// Whether this node transmitted its blinded shares (it exposed
+    /// itself to the privacy analysis).
+    #[must_use]
+    pub fn shared(&self) -> bool {
+        self.shared
+    }
+
+    /// The cluster aggregate this node recovered (members and heads of
+    /// solved clusters).
+    #[must_use]
+    pub fn cluster_aggregate(&self) -> Option<&CachedAggregate> {
+        self.cluster_aggregate.as_ref()
+    }
+
+    /// Whether this node's reading is included in a solved cluster
+    /// aggregate (it will reach the base station unless lost upstream).
+    #[must_use]
+    pub fn reading_included(&self) -> bool {
+        match (&self.cluster_aggregate, &self.roster) {
+            (Some(_), Some(roster)) => {
+                // Included iff this node contributed shares and the solve
+                // succeeded; the solved mask is reflected in fsums — a
+                // node that shared is in every consistent mask.
+                self.shared && roster.len() >= self.config.min_cluster_size
+            }
+            _ => false,
+        }
+    }
+
+    /// Raw `(roster_position, contributor_mask)` pairs of the assemblies
+    /// this node collected — diagnostic aid for cluster-failure analysis.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn debug_fsums(&self) -> Vec<(usize, u64)> {
+        let mut v: Vec<(usize, u64)> = self.fsums.iter().map(|(&p, &(_, m))| (p, m)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Senders whose shares this node holds — diagnostic aid.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn debug_shares_from(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.received_shares.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The base station's decision for the most recent completed round
+    /// (node 0 only).
+    #[must_use]
+    pub fn decision(&self) -> Option<&BsDecision> {
+        self.decisions.last()
+    }
+
+    /// All completed rounds' decisions, in order (node 0 only).
+    #[must_use]
+    pub fn decisions(&self) -> &[BsDecision] {
+        &self.decisions
+    }
+
+    /// The round currently in progress (the first query is round 0).
+    #[must_use]
+    pub fn current_round(&self) -> u16 {
+        self.current_round
+    }
+
+    /// Upstream messages that arrived after this node had already
+    /// transmitted its own (their data is lost for this round).
+    #[must_use]
+    pub fn late_upstream(&self) -> u32 {
+        self.late_upstream
+    }
+
+    /// Virtual time of the last upstream absorption at the base station.
+    #[must_use]
+    pub fn last_update(&self) -> Option<SimTime> {
+        self.bs_last_update
+    }
+
+    fn next_nonce(&mut self, self_id: NodeId) -> u64 {
+        self.nonce_counter += 1;
+        (u64::from(self_id.as_u32()) << 24) | self.nonce_counter
+    }
+
+    fn components(&self) -> usize {
+        self.config.function.components()
+    }
+
+    fn participating_roster(&self) -> Option<&Roster> {
+        self.roster
+            .as_ref()
+            .filter(|r| r.len() >= self.config.min_cluster_size)
+    }
+
+    /// Sends `share` (raw) to `target`, sealed end-to-end, relaying via
+    /// the head when the target is out of radio range.
+    fn send_share(
+        &mut self,
+        ctx: &mut Context<'_, IcpdaMsg>,
+        cluster: NodeId,
+        target: NodeId,
+        share: &ShareVector,
+    ) {
+        let me = ctx.id();
+        let key = self
+            .keys
+            .link_key(me, target)
+            .expect("pairwise scheme always shares a key");
+        let nonce = self.next_nonce(me);
+        let sealed = seal(key, nonce, &share_to_bytes(share));
+        let direct = ctx.neighbors().binary_search(&target).is_ok();
+        if direct {
+            ctx.send(
+                target,
+                IcpdaMsg::Share {
+                    cluster,
+                    origin: me,
+                    sealed,
+                },
+            );
+        } else {
+            // Out of range: relay via the head (sealed end-to-end, the
+            // head cannot read it). The head is always a neighbour of
+            // both members.
+            ctx.send(
+                cluster,
+                IcpdaMsg::ShareRelay {
+                    cluster,
+                    origin: me,
+                    to: target,
+                    sealed,
+                },
+            );
+            ctx.metrics().bump("icpda_share_relayed");
+        }
+        ctx.metrics().bump("icpda_share_sent");
+    }
+
+    fn handle_query(&mut self, ctx: &mut Context<'_, IcpdaMsg>, from: NodeId, level: u16) {
+        if self.excluded {
+            return;
+        }
+        self.queries_heard += 1;
+        if self.is_base_station || self.level.is_some() {
+            return;
+        }
+        let my_level = level.saturating_add(1);
+        self.level = Some(my_level);
+        self.flood_parent = Some(from);
+        // Jittered rebroadcast: neighbours reacting to the same query
+        // copy would otherwise all transmit within the tiny MAC jitter
+        // and collide (broadcast storm).
+        self.pending_flood = Some(IcpdaMsg::Query { level: level.saturating_add(1) });
+        let relay_jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..100_000_000));
+        ctx.set_timer(relay_jitter, TIMER_FLOOD_RELAY);
+        let s = self.config.schedule;
+        let elect_jitter = SimDuration::from_nanos(
+            ctx.rng().gen_range(0..s.elect_after.as_nanos().max(2) / 2),
+        );
+        ctx.set_timer(s.elect_after + elect_jitter, TIMER_ELECT);
+        // Upstream slot: depth-scheduled with intra-slot dispersion (same
+        // hidden-terminal reasoning as TAG's slot dispersion).
+        let dispersion_ns = s.upstream_slot().as_nanos() * 6 / 10;
+        let jitter = if dispersion_ns == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(ctx.rng().gen_range(0..dispersion_ns))
+        };
+        ctx.set_timer(s.upstream_time(my_level) + jitter, TIMER_UPSTREAM);
+    }
+
+    fn handle_elect(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        let p = self.config.election.probability(self.queries_heard);
+        let is_head = p >= 1.0 || ctx.rng().gen_bool(p.clamp(0.0, 1.0));
+        let s = self.config.schedule;
+        if is_head {
+            self.role = Role::Head;
+            ctx.broadcast(IcpdaMsg::HeadAnnounce);
+            // Dispersed so concurrent heads' roster broadcasts (the single
+            // point of failure for a whole cluster) do not collide.
+            ctx.set_timer(s.resign_after, TIMER_RESIGN);
+            let jitter = SimDuration::from_nanos(
+                ctx.rng().gen_range(0..s.roster_after.as_nanos().max(2) / 3),
+            );
+            ctx.set_timer(s.roster_after + jitter, TIMER_ROSTER);
+            ctx.metrics().bump("icpda_heads");
+        } else {
+            // Small dispersion so join unicasts do not collide at heads.
+            let jitter = SimDuration::from_nanos(
+                ctx.rng().gen_range(0..s.join_after.as_nanos().max(1) / 2),
+            );
+            ctx.set_timer(s.join_after + jitter, TIMER_JOIN);
+        }
+    }
+
+    fn handle_join_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        if self.heads_heard.is_empty() {
+            self.role = Role::Orphan;
+            ctx.metrics().bump("icpda_orphan_no_head");
+            return;
+        }
+        let pick = ctx.rng().gen_range(0..self.heads_heard.len());
+        let head = self.heads_heard[pick];
+        self.role = Role::Member(head);
+        ctx.send(head, IcpdaMsg::Join { head });
+    }
+
+    /// Under-sized heads give up their cluster so their joiners (and
+    /// they themselves) can merge into viable neighbouring clusters —
+    /// the paper family's treatment of clusters below the privacy
+    /// minimum.
+    fn handle_resign_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        if self.role != Role::Head || self.roster.is_some() {
+            return;
+        }
+        if self.joiners.len() + 1 >= self.config.min_cluster_size {
+            return;
+        }
+        self.has_resigned = true;
+        self.joiners.clear();
+        ctx.broadcast(IcpdaMsg::Resign { head: ctx.id() });
+        ctx.metrics().bump("icpda_head_resigned");
+        self.schedule_rejoin(ctx);
+    }
+
+    fn schedule_rejoin(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        let base = self.config.schedule.rejoin_after;
+        let jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..base.as_nanos().max(2)));
+        ctx.set_timer(base + jitter, TIMER_REJOIN);
+    }
+
+    fn handle_rejoin_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        // Only re-join if we still lack a viable cluster.
+        match self.role {
+            Role::Member(h) if !self.resigned_heads.contains(&h) => return,
+            Role::Head if !self.has_resigned => return,
+            _ => {}
+        }
+        let me = ctx.id();
+        let candidates: Vec<NodeId> = self
+            .heads_heard
+            .iter()
+            .copied()
+            .filter(|h| *h != me && !self.resigned_heads.contains(h))
+            .collect();
+        if candidates.is_empty() {
+            self.role = Role::Orphan;
+            ctx.metrics().bump("icpda_orphan_no_head");
+            return;
+        }
+        let head = candidates[ctx.rng().gen_range(0..candidates.len())];
+        self.role = Role::Member(head);
+        ctx.send(head, IcpdaMsg::Join { head });
+        ctx.metrics().bump("icpda_rejoined");
+    }
+
+    fn handle_roster_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        if self.has_resigned || self.role != Role::Head {
+            return;
+        }
+        let me = ctx.id();
+        let mut joiners = std::mem::take(&mut self.joiners);
+        joiners.truncate(self.config.max_cluster_size.saturating_sub(1));
+        let roster = Roster::new(me, &joiners);
+        // Random per-cluster stagger: every member shifts the whole share
+        // exchange by this amount, so concurrent clusters do not burst at
+        // the same instants (the dominant collision source otherwise).
+        let stagger_bound_ms = self.config.schedule.cluster_stagger.as_nanos() / 1_000_000;
+        let stagger_ms = if stagger_bound_ms == 0 {
+            0
+        } else {
+            ctx.rng().gen_range(0..stagger_bound_ms.min(u64::from(u16::MAX))) as u16
+        };
+        self.my_stagger_ms = stagger_ms;
+        ctx.broadcast(IcpdaMsg::ClusterInfo {
+            head: me,
+            members: roster.members().to_vec(),
+            stagger_ms,
+        });
+        let participates = roster.len() >= self.config.min_cluster_size;
+        self.roster = Some(roster);
+        if participates {
+            // Losing the roster kills the whole cluster, so the head
+            // repeats it once (receivers are idempotent).
+            let repeat = SimDuration::from_millis(200)
+                + SimDuration::from_nanos(ctx.rng().gen_range(0..200_000_000));
+            ctx.set_timer(repeat, TIMER_ROSTER_REPEAT);
+            self.schedule_share_phases(ctx, stagger_ms);
+        } else {
+            ctx.metrics().bump("icpda_cluster_too_small");
+        }
+    }
+
+    fn handle_roster_repeat(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        if let Some(roster) = self.roster.clone() {
+            ctx.broadcast(IcpdaMsg::ClusterInfo {
+                head: ctx.id(),
+                members: roster.members().to_vec(),
+                stagger_ms: self.my_stagger_ms,
+            });
+        }
+    }
+
+    fn schedule_share_phases(&mut self, ctx: &mut Context<'_, IcpdaMsg>, stagger_ms: u16) {
+        let s = self.config.schedule;
+        let stagger = SimDuration::from_millis(u64::from(stagger_ms));
+        // Dispersion over the gap to the repair deadline keeps share
+        // unicasts from synchronising across members.
+        let window = s.repair_after.saturating_sub(s.shares_after) / 2;
+        let jitter = if window.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(ctx.rng().gen_range(0..window.as_nanos()))
+        };
+        ctx.set_timer(stagger + s.shares_after + jitter, TIMER_SHARES);
+        if self.config.share_repair {
+            ctx.set_timer(stagger + s.repair_after, TIMER_REPAIR);
+            ctx.set_timer(
+                stagger + s.repair_after + SimDuration::from_millis(300),
+                TIMER_REPAIR2,
+            );
+        }
+        let fsum_window = s.solve_after.saturating_sub(s.fsum_after) / 2;
+        let fsum_jitter = if fsum_window.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(ctx.rng().gen_range(0..fsum_window.as_nanos()))
+        };
+        ctx.set_timer(stagger + s.fsum_after + fsum_jitter, TIMER_FSUM);
+        if self.config.share_repair {
+            ctx.set_timer(stagger + s.fsum_repair_after, TIMER_FSUM_REPAIR);
+        }
+        ctx.set_timer(stagger + s.solve_after, TIMER_SOLVE);
+    }
+
+    fn handle_cluster_info(
+        &mut self,
+        ctx: &mut Context<'_, IcpdaMsg>,
+        from: NodeId,
+        head: NodeId,
+        members: &[NodeId],
+        stagger_ms: u16,
+    ) {
+        // Only the head itself may fix its cluster's roster.
+        if from != head || self.role != Role::Member(head) || self.roster.is_some() {
+            return;
+        }
+        let Some(roster) = Roster::from_wire(head, members) else {
+            ctx.metrics().bump("icpda_bad_roster");
+            return;
+        };
+        if !roster.contains(ctx.id()) {
+            // Our join was lost or the cluster was full.
+            self.role = Role::Orphan;
+            ctx.metrics().bump("icpda_orphan_join_lost");
+            return;
+        }
+        let participates = roster.len() >= self.config.min_cluster_size;
+        self.my_stagger_ms = stagger_ms;
+        self.roster = Some(roster);
+        if participates {
+            self.schedule_share_phases(ctx, stagger_ms);
+        }
+    }
+
+    /// Clears one round's aggregation state and schedules the next
+    /// round's phases over the persistent cluster structure.
+    fn begin_round(&mut self, ctx: &mut Context<'_, IcpdaMsg>, round: u16) {
+        self.current_round = round;
+        self.received_shares.clear();
+        self.outgoing_shares.clear();
+        self.raw_readings.clear();
+        self.fsums.clear();
+        self.cluster_aggregate = None;
+        self.shared = false;
+        self.upstream_acc = vec![Fp::ZERO; self.components()];
+        self.upstream_participants = 0;
+        self.absorbed_inputs.clear();
+        self.upstream_sent = false;
+        self.pending_upstream = None;
+        self.alarms_raised.clear();
+        self.alarms_forwarded.clear();
+        // Audit material is per-round: a stale cluster aggregate from the
+        // previous round would convict an honest head as soon as the
+        // readings change.
+        self.monitor = MonitorCache::new();
+        if self.is_base_station {
+            return;
+        }
+        // Re-join the relay schedule for this round.
+        if let Some(level) = self.level {
+            let s = self.config.schedule;
+            let dispersion_ns = s.upstream_slot().as_nanos() * 6 / 10;
+            let jitter = if dispersion_ns == 0 {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_nanos(ctx.rng().gen_range(0..dispersion_ns))
+            };
+            ctx.set_timer(s.upstream_time(level) + jitter, TIMER_UPSTREAM);
+        }
+        if self.participating_roster().is_some() {
+            let stagger = self.my_stagger_ms;
+            self.schedule_share_phases(ctx, stagger);
+        }
+    }
+
+    fn handle_new_round(&mut self, ctx: &mut Context<'_, IcpdaMsg>, round: u16) {
+        if self.excluded || self.is_base_station || round != self.current_round + 1 {
+            return;
+        }
+        self.begin_round(ctx, round);
+        // Flood the round marker onward with the usual jitter.
+        self.pending_flood = Some(IcpdaMsg::NewRound { round });
+        let relay_jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..100_000_000));
+        ctx.set_timer(relay_jitter, TIMER_FLOOD_RELAY);
+    }
+
+    fn handle_shares_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        let Some(roster) = self.participating_roster().cloned() else {
+            return;
+        };
+        let me = ctx.id();
+        let contribution = self.config.function.encode(self.reading);
+        if self.config.privacy == PrivacyMode::Off {
+            // Plain clustering: the raw contribution goes straight to
+            // the head (link-encrypted, but the head reads it).
+            self.shared = true;
+            let raw: ShareVector = contribution.iter().map(|&c| Fp::new(c)).collect();
+            if me == roster.head() {
+                self.raw_readings.insert(me, raw);
+            } else {
+                let key = self
+                    .keys
+                    .link_key(me, roster.head())
+                    .expect("pairwise scheme always shares a key");
+                let nonce = self.next_nonce(me);
+                let sealed = seal(key, nonce, &share_to_bytes(&raw));
+                ctx.send(
+                    roster.head(),
+                    IcpdaMsg::RawReading {
+                        cluster: roster.head(),
+                        sealed,
+                    },
+                );
+                ctx.metrics().bump("icpda_raw_sent");
+            }
+            return;
+        }
+        let my_pos = roster.position(me).expect("roster contains self");
+        let shares = generate_shares(&contribution, roster.len(), ctx.rng());
+        self.shared = true;
+        // Keep own share locally.
+        self.received_shares.insert(me, shares[my_pos].clone());
+        for (j, &member) in roster.members().iter().enumerate() {
+            if member == me {
+                continue;
+            }
+            self.outgoing_shares.insert(member, shares[j].clone());
+            let share = shares[j].clone();
+            self.send_share(ctx, roster.head(), member, &share);
+        }
+    }
+
+    fn handle_raw_reading(
+        &mut self,
+        ctx: &mut Context<'_, IcpdaMsg>,
+        from: NodeId,
+        cluster: NodeId,
+        sealed: &wsn_crypto::Sealed,
+    ) {
+        let me = ctx.id();
+        if me != cluster || self.config.privacy != PrivacyMode::Off {
+            return;
+        }
+        let Some(roster) = self.roster.as_ref() else {
+            return;
+        };
+        if !roster.contains(from) {
+            return;
+        }
+        let Some(key) = self.keys.link_key(from, me) else {
+            return;
+        };
+        match open(key, sealed).and_then(|bytes| share_from_bytes(&bytes)) {
+            Some(raw) if raw.len() == self.components() => {
+                self.raw_readings.insert(from, raw);
+            }
+            _ => ctx.metrics().bump("icpda_raw_bad"),
+        }
+    }
+
+    fn handle_repair_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        if self.config.privacy == PrivacyMode::Off {
+            return;
+        }
+        let Some(roster) = self.participating_roster().cloned() else {
+            return;
+        };
+        let missing: Vec<NodeId> = roster
+            .members()
+            .iter()
+            .copied()
+            .filter(|m| !self.received_shares.contains_key(m))
+            .collect();
+        if !missing.is_empty() {
+            ctx.metrics().add("icpda_shares_missing", missing.len() as u64);
+            ctx.broadcast(IcpdaMsg::ShareNack {
+                cluster: roster.head(),
+                requester: ctx.id(),
+                missing,
+            });
+        }
+    }
+
+    fn handle_share_nack(
+        &mut self,
+        ctx: &mut Context<'_, IcpdaMsg>,
+        cluster: NodeId,
+        requester: NodeId,
+        missing: &[NodeId],
+    ) {
+        let me = ctx.id();
+        let Some(roster) = self.roster.as_ref() else {
+            return;
+        };
+        if roster.head() != cluster || !roster.contains(requester) {
+            return;
+        }
+        // The head forwards the NACK to missing members out of the
+        // requester's radio range (cluster diameter is two hops, so a
+        // broadcast NACK alone cannot reach every addressee).
+        if me == cluster {
+            let forwards: Vec<NodeId> = missing
+                .iter()
+                .copied()
+                .filter(|m| *m != me && *m != requester && roster.contains(*m))
+                .collect();
+            for target in forwards {
+                ctx.metrics().bump("icpda_nack_forwarded");
+                ctx.send(
+                    target,
+                    IcpdaMsg::ShareNack {
+                        cluster,
+                        requester,
+                        missing: vec![target],
+                    },
+                );
+            }
+        }
+        if !missing.contains(&me) || requester == me {
+            return;
+        }
+        if let Some(share) = self.outgoing_shares.get(&requester).cloned() {
+            ctx.metrics().bump("icpda_share_resent");
+            self.send_share(ctx, cluster, requester, &share);
+        }
+    }
+
+    fn handle_share(
+        &mut self,
+        ctx: &mut Context<'_, IcpdaMsg>,
+        origin: NodeId,
+        cluster: NodeId,
+        sealed: &wsn_crypto::Sealed,
+    ) {
+        let me = ctx.id();
+        let Some(roster) = self.roster.as_ref() else {
+            return;
+        };
+        if roster.head() != cluster || !roster.contains(origin) {
+            return;
+        }
+        let Some(key) = self.keys.link_key(origin, me) else {
+            return;
+        };
+        match open(key, sealed).and_then(|bytes| share_from_bytes(&bytes)) {
+            Some(share) if share.len() == self.components() => {
+                self.received_shares.insert(origin, share);
+            }
+            _ => ctx.metrics().bump("icpda_share_bad"),
+        }
+    }
+
+    fn handle_share_relay(
+        &mut self,
+        ctx: &mut Context<'_, IcpdaMsg>,
+        cluster: NodeId,
+        origin: NodeId,
+        to: NodeId,
+        sealed: wsn_crypto::Sealed,
+    ) {
+        // Only the head relays, and only within its own cluster.
+        if ctx.id() != cluster {
+            return;
+        }
+        if let Some(roster) = self.roster.as_ref() {
+            if roster.contains(origin) && roster.contains(to) {
+                ctx.metrics().bump("icpda_relay_forwarded");
+                ctx.send(
+                    to,
+                    IcpdaMsg::Share {
+                        cluster,
+                        origin,
+                        sealed,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_fsum_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        if self.config.privacy == PrivacyMode::Off {
+            return;
+        }
+        let Some(roster) = self.participating_roster().cloned() else {
+            return;
+        };
+        let me = ctx.id();
+        let my_pos = roster.position(me).expect("roster contains self");
+        let mut contributors = 0u64;
+        let mut shares = Vec::new();
+        for (&sender, share) in &self.received_shares {
+            if let Some(bit) = roster.mask_bit(sender) {
+                contributors |= bit;
+                shares.push(share.clone());
+            }
+        }
+        let assembly = if shares.is_empty() {
+            vec![Fp::ZERO; self.components()]
+        } else {
+            assemble(&shares)
+        };
+        self.fsums.insert(my_pos, (assembly.clone(), contributors));
+        ctx.broadcast(IcpdaMsg::FSum {
+            cluster: roster.head(),
+            values: assembly.iter().map(|f| f.to_u64()).collect(),
+            contributors,
+        });
+    }
+
+    fn handle_fsum_repair_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        if self.config.privacy == PrivacyMode::Off {
+            return;
+        }
+        let Some(roster) = self.participating_roster().cloned() else {
+            return;
+        };
+        let mut missing = 0u64;
+        for pos in 0..roster.len() {
+            if !self.fsums.contains_key(&pos) {
+                missing |= 1 << pos;
+            }
+        }
+        if missing != 0 {
+            ctx.metrics().add("icpda_fsums_missing", missing.count_ones().into());
+            ctx.broadcast(IcpdaMsg::FsumNack {
+                cluster: roster.head(),
+                missing,
+            });
+        }
+    }
+
+    fn handle_fsum_nack(
+        &mut self,
+        ctx: &mut Context<'_, IcpdaMsg>,
+        from: NodeId,
+        cluster: NodeId,
+        missing: u64,
+    ) {
+        let Some(roster) = self.roster.as_ref().cloned() else {
+            return;
+        };
+        if roster.head() != cluster || !roster.contains(from) {
+            return;
+        }
+        let me = ctx.id();
+        // The head echoes assemblies the requester missed: members can be
+        // two hops apart, so the original broadcast may be physically
+        // unreachable, but the head hears everyone.
+        if me == cluster {
+            for pos in 0..roster.len() {
+                if missing & (1 << pos) != 0 {
+                    if let Some((assembly, contributors)) = self.fsums.get(&pos).cloned() {
+                        ctx.metrics().bump("icpda_fsum_echoed");
+                        ctx.send(
+                            from,
+                            IcpdaMsg::FsumEcho {
+                                cluster,
+                                position: pos as u8,
+                                values: assembly.iter().map(|f| f.to_u64()).collect(),
+                                contributors,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        let Some(my_pos) = roster.position(me) else {
+            return;
+        };
+        if missing & (1 << my_pos) == 0 {
+            return;
+        }
+        if let Some((assembly, contributors)) = self.fsums.get(&my_pos).cloned() {
+            ctx.metrics().bump("icpda_fsum_resent");
+            ctx.broadcast(IcpdaMsg::FSum {
+                cluster,
+                values: assembly.iter().map(|f| f.to_u64()).collect(),
+                contributors,
+            });
+        }
+    }
+
+    fn handle_fsum_echo(
+        &mut self,
+        ctx: &mut Context<'_, IcpdaMsg>,
+        from: NodeId,
+        cluster: NodeId,
+        position: usize,
+        values: &[u64],
+        contributors: u64,
+    ) {
+        let Some(roster) = self.roster.as_ref() else {
+            return;
+        };
+        // Echoes are only accepted from the head: it is the one node
+        // guaranteed to be in range of every member, and restricting the
+        // echo source keeps the trust surface a single node (consistent
+        // with the paper's non-colluding attacker model).
+        if roster.head() != cluster || from != cluster {
+            return;
+        }
+        if position >= roster.len() || values.len() != self.components() {
+            return;
+        }
+        let assembly: ShareVector = values.iter().map(|&v| Fp::new(v)).collect();
+        match self.fsums.get(&position) {
+            None => {
+                self.fsums.insert(position, (assembly, contributors));
+                ctx.metrics().bump("icpda_fsum_echo_used");
+            }
+            Some((existing, existing_mask)) => {
+                if *existing != assembly || *existing_mask != contributors {
+                    // The direct broadcast is authoritative; a conflicting
+                    // echo means someone is lying.
+                    ctx.metrics().bump("icpda_echo_conflict");
+                }
+            }
+        }
+    }
+
+    fn handle_fsum(
+        &mut self,
+        ctx: &mut Context<'_, IcpdaMsg>,
+        from: NodeId,
+        cluster: NodeId,
+        values: &[u64],
+        contributors: u64,
+    ) {
+        let Some(roster) = self.roster.as_ref() else {
+            return;
+        };
+        if roster.head() != cluster || values.len() != self.components() {
+            return;
+        }
+        let Some(pos) = roster.position(from) else {
+            return;
+        };
+        let _ = ctx;
+        self.fsums
+            .insert(pos, (values.iter().map(|&v| Fp::new(v)).collect(), contributors));
+    }
+
+    fn handle_solve_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        let Some(roster) = self.participating_roster().cloned() else {
+            return;
+        };
+        let is_head = self.role == Role::Head;
+        if self.config.privacy == PrivacyMode::Off {
+            // Plain clustering: only the head holds the readings, so only
+            // the head can produce (or audit) the cluster aggregate —
+            // members get no verification material. That asymmetry is the
+            // synergy ablation A17 measures.
+            if is_head && !self.raw_readings.is_empty() {
+                let mut totals = vec![Fp::ZERO; self.components()];
+                for raw in self.raw_readings.values() {
+                    for (t, &c) in totals.iter_mut().zip(raw) {
+                        *t += c;
+                    }
+                }
+                let aggregate = CachedAggregate {
+                    totals,
+                    participants: self.raw_readings.len() as u32,
+                };
+                self.monitor.record_cluster(ctx.id(), aggregate.clone());
+                self.cluster_aggregate = Some(aggregate);
+                ctx.metrics().bump("icpda_head_solved");
+            }
+            return;
+        }
+        let m = roster.len();
+        if self.fsums.len() != m {
+            ctx.metrics().bump(if is_head {
+                "icpda_head_failed_missing_fsum"
+            } else {
+                "icpda_cluster_failed_missing_fsum"
+            });
+            return;
+        }
+        let mask = self.fsums[&0].1;
+        if (1..m).any(|j| self.fsums[&j].1 != mask) {
+            ctx.metrics().bump(if is_head {
+                "icpda_head_failed_mask_mismatch"
+            } else {
+                "icpda_cluster_failed_mask_mismatch"
+            });
+            return;
+        }
+        if mask == 0 {
+            ctx.metrics().bump("icpda_cluster_failed_empty");
+            return;
+        }
+        let assemblies: Vec<ShareVector> =
+            (0..m).map(|j| self.fsums[&j].0.clone()).collect();
+        let Some(sum) = recover_sum(&assemblies) else {
+            ctx.metrics().bump("icpda_cluster_failed_solve");
+            return;
+        };
+        let aggregate = CachedAggregate {
+            totals: sum,
+            participants: mask.count_ones(),
+        };
+        // Every member records the aggregate: the head to report it, the
+        // members to audit the head (transparent aggregation).
+        self.monitor.record_cluster(roster.head(), aggregate.clone());
+        self.cluster_aggregate = Some(aggregate);
+        ctx.metrics().bump(if is_head {
+            "icpda_head_solved"
+        } else {
+            "icpda_cluster_solved"
+        });
+    }
+
+    fn handle_upstream_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        if self.is_base_station {
+            return;
+        }
+        let me = ctx.id();
+        let mut totals = self.upstream_acc.clone();
+        let mut participants = self.upstream_participants;
+        let mut inputs = self.absorbed_inputs.clone();
+        if self.role == Role::Head {
+            if let Some(agg) = &self.cluster_aggregate {
+                for (t, &c) in totals.iter_mut().zip(&agg.totals) {
+                    *t += c;
+                }
+                participants += agg.participants;
+                inputs.push(InputClaim {
+                    source: MergedRef::Cluster { head: me },
+                    totals: agg.totals_u64(),
+                    participants: agg.participants,
+                });
+            }
+        }
+        self.upstream_sent = true;
+        if let (Some(target), Some(parent)) = (self.slander, self.flood_parent) {
+            ctx.metrics().bump("icpda_slander_sent");
+            ctx.send(
+                parent,
+                IcpdaMsg::Alarm {
+                    accuser: ctx.id(),
+                    accused: target,
+                },
+            );
+        }
+        if participants == 0 && inputs.is_empty() {
+            ctx.metrics().bump("icpda_upstream_skipped");
+            return;
+        }
+        if self.config.integrity == IntegrityMode::Off {
+            inputs.clear();
+        }
+        if let Some(pollution) = self.pollution {
+            pollution.apply(&mut totals, &mut participants, &mut inputs);
+        }
+        let Some(parent) = self.flood_parent else {
+            return;
+        };
+        let msg = IcpdaMsg::Upstream {
+            msg_id: u32::from(self.current_round),
+            totals: totals.iter().map(|f| f.to_u64()).collect(),
+            participants,
+            inputs,
+        };
+        ctx.send(parent, msg.clone());
+        // A single collision at the parent would silently drop a whole
+        // subtree, so every report is transmitted twice; receivers
+        // deduplicate on (sender, msg_id).
+        self.pending_upstream = Some(msg);
+        let jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..100_000_000));
+        ctx.set_timer(SimDuration::from_millis(150) + jitter, TIMER_UPSTREAM_REPEAT);
+        ctx.metrics().bump("icpda_upstream_sent");
+    }
+
+    /// Shared audit path for received and overheard upstream reports.
+    fn audit_upstream(
+        &mut self,
+        ctx: &mut Context<'_, IcpdaMsg>,
+        sender: NodeId,
+        msg_id: u32,
+        totals: &[Fp],
+        participants: u32,
+        inputs: &[InputClaim],
+    ) {
+        if self.config.integrity == IntegrityMode::Off {
+            return;
+        }
+        let outcome = self
+            .monitor
+            .check(totals, participants, inputs, self.config.threshold);
+        match outcome {
+            CheckOutcome::Violation(kind) => {
+                ctx.metrics().bump(match kind {
+                    ViolationKind::InconsistentSum => "icpda_violation_inconsistent",
+                    ViolationKind::ForgedInput => "icpda_violation_forged_input",
+                });
+                if self.alarms_raised.insert(sender) {
+                    ctx.metrics().bump("icpda_alarm_raised");
+                    let alarm = IcpdaMsg::Alarm {
+                        accuser: ctx.id(),
+                        accused: sender,
+                    };
+                    if self.is_base_station {
+                        self.bs_alarms.push((ctx.id(), sender));
+                    } else if let Some(parent) = self.flood_parent {
+                        ctx.send(parent, alarm);
+                    }
+                }
+            }
+            CheckOutcome::Clean => ctx.metrics().bump("icpda_audit_clean"),
+            CheckOutcome::PartialClean => ctx.metrics().bump("icpda_audit_partial"),
+            CheckOutcome::Unknown => ctx.metrics().bump("icpda_audit_unknown"),
+        }
+        // Cache after checking (a sender's own message must not vouch for
+        // itself).
+        self.monitor.record_upstream(
+            sender,
+            msg_id,
+            CachedAggregate {
+                totals: totals.to_vec(),
+                participants,
+            },
+        );
+    }
+
+    fn handle_upstream(
+        &mut self,
+        ctx: &mut Context<'_, IcpdaMsg>,
+        from: NodeId,
+        msg_id: u32,
+        totals_raw: &[u64],
+        participants: u32,
+        inputs: &[InputClaim],
+    ) {
+        if totals_raw.len() != self.components() {
+            ctx.metrics().bump("icpda_upstream_malformed");
+            return;
+        }
+        let totals: Vec<Fp> = totals_raw.iter().map(|&v| Fp::new(v)).collect();
+        if !self.seen_upstream.insert((from, msg_id)) {
+            ctx.metrics().bump("icpda_upstream_duplicate");
+            return;
+        }
+        // With the integrity layer on, every honest report carries an
+        // audit trail (a head lists its cluster, a relay its inputs).
+        // A non-empty report without one is a protocol violation —
+        // refuse it and raise an alarm instead of absorbing blind data.
+        if self.config.integrity == IntegrityMode::On
+            && inputs.is_empty()
+            && (participants > 0 || totals.iter().any(|t| !t.is_zero()))
+        {
+            ctx.metrics().bump("icpda_upstream_unaudited");
+            if self.alarms_raised.insert(from) {
+                let alarm = IcpdaMsg::Alarm {
+                    accuser: ctx.id(),
+                    accused: from,
+                };
+                if self.is_base_station {
+                    self.bs_alarms.push((ctx.id(), from));
+                } else if let Some(parent) = self.flood_parent {
+                    ctx.send(parent, alarm);
+                }
+            }
+            return;
+        }
+        self.audit_upstream(ctx, from, msg_id, &totals, participants, inputs);
+        if self.is_base_station {
+            for (acc, &t) in self.upstream_acc.iter_mut().zip(&totals) {
+                *acc += t;
+            }
+            self.upstream_participants += participants;
+            self.bs_last_update = Some(ctx.now());
+            return;
+        }
+        if self.upstream_sent {
+            self.late_upstream += 1;
+            ctx.metrics().bump("icpda_upstream_late");
+            return;
+        }
+        for (acc, &t) in self.upstream_acc.iter_mut().zip(&totals) {
+            *acc += t;
+        }
+        self.upstream_participants += participants;
+        self.absorbed_inputs.push(InputClaim {
+            source: MergedRef::Relay {
+                sender: from,
+                msg_id,
+            },
+            totals: totals_raw.to_vec(),
+            participants,
+        });
+    }
+
+    fn handle_alarm(
+        &mut self,
+        ctx: &mut Context<'_, IcpdaMsg>,
+        accuser: NodeId,
+        accused: NodeId,
+    ) {
+        if self.is_base_station {
+            if !self.bs_alarms.contains(&(accuser, accused)) {
+                self.bs_alarms.push((accuser, accused));
+            }
+            return;
+        }
+        if self.alarms_forwarded.insert((accuser, accused)) {
+            if let Some(parent) = self.flood_parent {
+                ctx.send(parent, IcpdaMsg::Alarm { accuser, accused });
+            }
+        }
+    }
+
+    fn handle_decision_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        let totals: Vec<u64> = self.upstream_acc.iter().map(|f| f.to_u64()).collect();
+        let value = self.config.function.decode(&totals);
+        let accepted = self.bs_alarms.is_empty();
+        ctx.metrics().bump(if accepted {
+            "icpda_round_accepted"
+        } else {
+            "icpda_round_rejected"
+        });
+        self.decisions.push(BsDecision {
+            totals,
+            participants: self.upstream_participants,
+            value,
+            alarms: std::mem::take(&mut self.bs_alarms),
+            accepted,
+        });
+        // More rounds? Reuse the formed clusters: flood a round marker
+        // and schedule the next decision.
+        if self.decisions.len() < usize::from(self.config.rounds) {
+            let round = self.current_round + 1;
+            self.begin_round(ctx, round);
+            ctx.broadcast(IcpdaMsg::NewRound { round });
+            ctx.set_timer(self.config.schedule.decision_time(), TIMER_DECISION);
+        }
+    }
+}
+
+impl Application for IcpdaNode {
+    type Message = IcpdaMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        if self.is_base_station {
+            ctx.broadcast(IcpdaMsg::Query { level: 0 });
+            ctx.set_timer(self.config.schedule.decision_time(), TIMER_DECISION);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, IcpdaMsg>, from: NodeId, msg: &IcpdaMsg) {
+        match msg {
+            IcpdaMsg::Query { level } => self.handle_query(ctx, from, *level),
+            IcpdaMsg::HeadAnnounce => {
+                if !self.is_base_station {
+                    self.heads_heard.push(from);
+                }
+            }
+            IcpdaMsg::Resign { head } => {
+                // Only the head itself may resign its cluster.
+                if from == *head {
+                    self.resigned_heads.insert(*head);
+                    if self.role == Role::Member(*head) {
+                        self.schedule_rejoin(ctx);
+                    }
+                }
+            }
+            IcpdaMsg::Join { head } => {
+                if *head == ctx.id()
+                    && self.role == Role::Head
+                    && !self.has_resigned
+                    && self.roster.is_none()
+                {
+                    self.joiners.push(from);
+                }
+            }
+            IcpdaMsg::ClusterInfo {
+                head,
+                members,
+                stagger_ms,
+            } => {
+                self.handle_cluster_info(ctx, from, *head, members, *stagger_ms);
+            }
+            IcpdaMsg::Share {
+                cluster,
+                origin,
+                sealed,
+            } => self.handle_share(ctx, *origin, *cluster, sealed),
+            IcpdaMsg::ShareRelay {
+                cluster,
+                origin,
+                to,
+                sealed,
+            } => self.handle_share_relay(ctx, *cluster, *origin, *to, sealed.clone()),
+            IcpdaMsg::RawReading { cluster, sealed } => {
+                self.handle_raw_reading(ctx, from, *cluster, sealed);
+            }
+            IcpdaMsg::ShareNack {
+                cluster,
+                requester,
+                missing,
+            } => {
+                let _ = from;
+                self.handle_share_nack(ctx, *cluster, *requester, missing);
+            }
+            IcpdaMsg::FSum {
+                cluster,
+                values,
+                contributors,
+            } => self.handle_fsum(ctx, from, *cluster, values, *contributors),
+            IcpdaMsg::FsumNack { cluster, missing } => {
+                self.handle_fsum_nack(ctx, from, *cluster, *missing);
+            }
+            IcpdaMsg::FsumEcho {
+                cluster,
+                position,
+                values,
+                contributors,
+            } => self.handle_fsum_echo(
+                ctx,
+                from,
+                *cluster,
+                usize::from(*position),
+                values,
+                *contributors,
+            ),
+            IcpdaMsg::Upstream {
+                msg_id,
+                totals,
+                participants,
+                inputs,
+            } => self.handle_upstream(ctx, from, *msg_id, totals, *participants, inputs),
+            IcpdaMsg::NewRound { round } => self.handle_new_round(ctx, *round),
+            IcpdaMsg::Alarm { accuser, accused } => self.handle_alarm(ctx, *accuser, *accused),
+        }
+    }
+
+    fn on_overhear(&mut self, ctx: &mut Context<'_, IcpdaMsg>, frame: &Frame<IcpdaMsg>) {
+        // Promiscuous monitoring: audit unicast upstream reports addressed
+        // to other nodes.
+        if let IcpdaMsg::Upstream {
+            msg_id,
+            totals,
+            participants,
+            inputs,
+        } = &frame.payload
+        {
+            if totals.len() == self.components() {
+                let totals: Vec<Fp> = totals.iter().map(|&v| Fp::new(v)).collect();
+                self.audit_upstream(ctx, frame.src, *msg_id, &totals, *participants, inputs);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>, token: TimerToken) {
+        match token {
+            TIMER_ELECT => self.handle_elect(ctx),
+            TIMER_JOIN => self.handle_join_timer(ctx),
+            TIMER_ROSTER => self.handle_roster_timer(ctx),
+            TIMER_SHARES => self.handle_shares_timer(ctx),
+            TIMER_REPAIR | TIMER_REPAIR2 => self.handle_repair_timer(ctx),
+            TIMER_FLOOD_RELAY => {
+                if let Some(msg) = self.pending_flood.take() {
+                    ctx.broadcast(msg);
+                }
+            }
+            TIMER_FSUM => self.handle_fsum_timer(ctx),
+            TIMER_FSUM_REPAIR => self.handle_fsum_repair_timer(ctx),
+            TIMER_ROSTER_REPEAT => self.handle_roster_repeat(ctx),
+            TIMER_RESIGN => self.handle_resign_timer(ctx),
+            TIMER_REJOIN => self.handle_rejoin_timer(ctx),
+            TIMER_SOLVE => self.handle_solve_timer(ctx),
+            TIMER_UPSTREAM => self.handle_upstream_timer(ctx),
+            TIMER_UPSTREAM_REPEAT => {
+                if let (Some(msg), Some(parent)) =
+                    (self.pending_upstream.clone(), self.flood_parent)
+                {
+                    ctx.send(parent, msg);
+                }
+            }
+            TIMER_DECISION => self.handle_decision_timer(ctx),
+            _ => {}
+        }
+    }
+}

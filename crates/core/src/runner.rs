@@ -1,0 +1,330 @@
+//! One-call experiment driver: deploy, run a full iCPDA round, extract
+//! every quantity the evaluation figures need.
+
+use crate::attack::Pollution;
+use crate::cluster::Roster;
+use crate::config::IcpdaConfig;
+use crate::node::{BsDecision, IcpdaNode, Role};
+use agg::accuracy::accuracy_ratio;
+use wsn_sim::prelude::*;
+
+/// A configured run, built with [`IcpdaRun::new`] and executed with
+/// [`IcpdaRun::run`].
+///
+/// # Examples
+///
+/// ```
+/// use agg::AggFunction;
+/// use icpda::{IcpdaConfig, IcpdaRun};
+/// use rand::SeedableRng;
+/// use wsn_sim::geometry::Region;
+/// use wsn_sim::prelude::*;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+/// let dep = Deployment::uniform_random_with_central_bs(
+///     120, Region::paper_default(), 50.0, &mut rng);
+/// let readings = agg::readings::count_readings(120);
+/// let outcome = IcpdaRun::new(
+///     dep,
+///     IcpdaConfig::paper_default(AggFunction::Count),
+///     readings,
+///     7,
+/// )
+/// .run();
+/// assert!(outcome.accepted);
+/// assert!(outcome.accuracy() > 0.5);
+/// ```
+#[derive(Debug)]
+pub struct IcpdaRun {
+    deployment: Deployment,
+    sim_config: SimConfig,
+    config: IcpdaConfig,
+    readings: Vec<u64>,
+    seed: u64,
+    attackers: Vec<(NodeId, Pollution)>,
+    excluded: Vec<NodeId>,
+    slanderers: Vec<(NodeId, NodeId)>,
+    reading_schedule: Vec<Vec<u64>>,
+}
+
+impl IcpdaRun {
+    /// Configures a run: node 0 of `deployment` is the base station and
+    /// `readings[i]` is node `i`'s private value (entry 0 ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `readings.len() != deployment.len()`.
+    #[must_use]
+    pub fn new(
+        deployment: Deployment,
+        config: IcpdaConfig,
+        readings: Vec<u64>,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            readings.len(),
+            deployment.len(),
+            "one reading per node (entry 0 unused)"
+        );
+        IcpdaRun {
+            deployment,
+            sim_config: SimConfig::paper_default(),
+            config,
+            readings,
+            seed,
+            attackers: Vec::new(),
+            excluded: Vec::new(),
+            slanderers: Vec::new(),
+            reading_schedule: Vec::new(),
+        }
+    }
+
+    /// Overrides the simulator (radio/MAC/loss/energy) configuration.
+    #[must_use]
+    pub fn with_sim_config(mut self, sim_config: SimConfig) -> Self {
+        self.sim_config = sim_config;
+        self
+    }
+
+    /// Installs data-pollution attackers.
+    #[must_use]
+    pub fn with_attackers(
+        mut self,
+        attackers: impl IntoIterator<Item = (NodeId, Pollution)>,
+    ) -> Self {
+        self.attackers.extend(attackers);
+        self
+    }
+
+    /// Quarantines nodes for this round (the base station's recovery
+    /// mechanism: accused polluters sit out subsequent rounds). Their
+    /// readings are lost — quarantine trades accuracy for trust.
+    #[must_use]
+    pub fn with_excluded(mut self, excluded: impl IntoIterator<Item = NodeId>) -> Self {
+        self.excluded.extend(excluded);
+        self
+    }
+
+    /// Installs slander attackers: each `(slanderer, victim)` pair makes
+    /// the slanderer raise a false alarm against the victim every round.
+    #[must_use]
+    pub fn with_slanderers(
+        mut self,
+        slanderers: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Self {
+        self.slanderers.extend(slanderers);
+        self
+    }
+
+    /// Supplies fresh readings for rounds `1..` of a multi-round session
+    /// (periodic sensing): entry `r − 1` is installed on every node just
+    /// after round `r − 1`'s decision, before round `r`'s share exchange.
+    /// Round 0 uses the constructor's readings. Extra entries are
+    /// ignored; missing entries keep the previous readings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry's length differs from the deployment size.
+    #[must_use]
+    pub fn with_reading_schedule(mut self, schedule: Vec<Vec<u64>>) -> Self {
+        for (i, entry) in schedule.iter().enumerate() {
+            assert_eq!(
+                entry.len(),
+                self.deployment.len(),
+                "reading schedule entry {i} has the wrong length"
+            );
+        }
+        self.reading_schedule = schedule;
+        self
+    }
+
+    /// Executes the configured session (one round unless
+    /// [`crate::IcpdaConfig::rounds`] says otherwise) and collects the
+    /// outcome.
+    #[must_use]
+    pub fn run(self) -> IcpdaOutcome {
+        let config = self.config;
+        let readings = self.readings.clone();
+        let mut round_truths =
+            vec![config.function.ground_truth(&self.readings[1..])];
+        let mut sim = Simulator::new(self.deployment, self.sim_config, self.seed, |id| {
+            IcpdaNode::new(config, id == NodeId::new(0), readings[id.index()])
+        });
+        for (node, pollution) in &self.attackers {
+            sim.app_mut(*node).set_pollution(*pollution);
+        }
+        for (slanderer, victim) in &self.slanderers {
+            sim.app_mut(*slanderer).set_slander(*victim);
+        }
+        for node in &self.excluded {
+            if *node != NodeId::new(0) {
+                sim.app_mut(*node).set_excluded();
+            }
+        }
+        // Periodic sensing: install round r's readings right after round
+        // r−1's decision (the share exchange starts no earlier than
+        // shares_after later).
+        for round in 1..config.rounds {
+            let boundary = SimTime::ZERO
+                + config.schedule.decision_time() * u64::from(round)
+                + SimDuration::from_millis(50);
+            sim.run_until(boundary);
+            if let Some(new_readings) = self.reading_schedule.get(usize::from(round) - 1) {
+                for (i, &r) in new_readings.iter().enumerate().skip(1) {
+                    sim.app_mut(NodeId::new(i as u32)).set_reading(r);
+                }
+                round_truths.push(config.function.ground_truth(&new_readings[1..]));
+            } else {
+                round_truths.push(*round_truths.last().expect("non-empty"));
+            }
+        }
+        let deadline = SimTime::ZERO
+            + config.schedule.decision_time() * u64::from(config.rounds)
+            + SimDuration::from_secs(1);
+        sim.run_until(deadline);
+
+        let decisions = sim.app(NodeId::new(0)).decisions().to_vec();
+        let decision = decisions
+            .last()
+            .cloned()
+            .expect("decision timer fires before the deadline");
+        let mut heads = 0usize;
+        let mut members = 0usize;
+        let mut orphans = 0usize;
+        let mut included = 0usize;
+        let mut rosters = Vec::new();
+        let mut cluster_sizes = Vec::new();
+        for (id, app) in sim.apps() {
+            if id == NodeId::new(0) {
+                continue;
+            }
+            match app.role() {
+                Role::Head => {
+                    heads += 1;
+                    if let Some(r) = app.roster() {
+                        cluster_sizes.push(r.len());
+                    }
+                    // A reading is "included" when its cluster head solved:
+                    // the head's aggregate is what travels upstream.
+                    if let Some(agg) = app.cluster_aggregate() {
+                        included += agg.participants as usize;
+                    }
+                }
+                Role::Member(_) => members += 1,
+                Role::Orphan => orphans += 1,
+                Role::Undecided => {}
+            }
+            if app.shared() {
+                if let Some(r) = app.roster() {
+                    rosters.push((id, r.clone()));
+                }
+            }
+        }
+        let metrics = sim.metrics();
+        IcpdaOutcome {
+            truth: *round_truths.last().expect("non-empty"),
+            round_truths,
+            value: decision.value,
+            participants: decision.participants,
+            accepted: decision.accepted,
+            alarms: decision.alarms.clone(),
+            decision,
+            decisions,
+            heads,
+            members,
+            orphans,
+            included,
+            cluster_sizes,
+            rosters,
+            clusters_solved: metrics.user_counter("icpda_head_solved"),
+            total_bytes: metrics.total_bytes_sent(),
+            total_frames: metrics.total_frames_sent(),
+            energy_mj: metrics.total_energy_mj(),
+            collisions: metrics.total_lost(LossCause::Collision),
+            last_update: sim.app(NodeId::new(0)).last_update(),
+            finished_at: sim.now(),
+            user_counters: metrics.user_counters().collect(),
+        }
+    }
+}
+
+/// Everything one round produced.
+#[derive(Clone, Debug)]
+pub struct IcpdaOutcome {
+    /// The base station's decision for the final round.
+    pub decision: BsDecision,
+    /// Every round's decision, in order (one entry unless
+    /// [`crate::IcpdaConfig::rounds`] > 1).
+    pub decisions: Vec<BsDecision>,
+    /// Ground truth per round (tracks the reading schedule).
+    pub round_truths: Vec<f64>,
+    /// Decoded statistic at the base station (final round).
+    pub value: f64,
+    /// Ground truth over all deployed sensors for the final round's
+    /// readings (see `round_truths` for earlier rounds).
+    pub truth: f64,
+    /// Sensors the base station's totals claim to include.
+    pub participants: u32,
+    /// Whether the round was accepted (no alarms).
+    pub accepted: bool,
+    /// Alarms delivered to the base station.
+    pub alarms: Vec<(NodeId, NodeId)>,
+    /// Self-elected cluster heads.
+    pub heads: usize,
+    /// Nodes that joined a cluster.
+    pub members: usize,
+    /// Nodes that heard the query but could not participate.
+    pub orphans: usize,
+    /// Nodes whose reading ended up in a solved cluster aggregate.
+    pub included: usize,
+    /// Sizes of all formed clusters (per head).
+    pub cluster_sizes: Vec<usize>,
+    /// `(node, roster)` for every node that transmitted shares — input
+    /// to [`crate::privacy::evaluate_disclosure`].
+    pub rosters: Vec<(NodeId, Roster)>,
+    /// Clusters whose aggregate was successfully recovered.
+    pub clusters_solved: u64,
+    /// Total on-air bytes (the overhead figure).
+    pub total_bytes: u64,
+    /// Total frames transmitted.
+    pub total_frames: u64,
+    /// Total energy, millijoules.
+    pub energy_mj: f64,
+    /// Receptions lost to collisions.
+    pub collisions: u64,
+    /// When the base station last absorbed an upstream report.
+    pub last_update: Option<wsn_sim::SimTime>,
+    /// Virtual end time of the run.
+    pub finished_at: wsn_sim::SimTime,
+    /// All protocol counters, for ad-hoc inspection.
+    pub user_counters: Vec<(&'static str, u64)>,
+}
+
+impl IcpdaOutcome {
+    /// The paper's accuracy metric for this round.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        accuracy_ratio(self.value, self.truth)
+    }
+
+    /// Fraction of sensors that participated in the aggregate.
+    #[must_use]
+    pub fn participation(&self) -> f64 {
+        let n = self.heads + self.members + self.orphans;
+        if n == 0 {
+            0.0
+        } else {
+            self.included as f64 / n as f64
+        }
+    }
+
+    /// Mean cluster size.
+    #[must_use]
+    pub fn mean_cluster_size(&self) -> f64 {
+        if self.cluster_sizes.is_empty() {
+            0.0
+        } else {
+            self.cluster_sizes.iter().sum::<usize>() as f64 / self.cluster_sizes.len() as f64
+        }
+    }
+}

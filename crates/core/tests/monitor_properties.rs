@@ -1,0 +1,131 @@
+//! Property-based tests of the audit engine: soundness (honest reports
+//! are never convicted) and completeness (any value change in a held
+//! input is convicted) over random report shapes.
+
+use agg::field::Fp;
+use icpda::monitor::{CachedAggregate, CheckOutcome, MonitorCache};
+use icpda::msg::{InputClaim, MergedRef};
+use proptest::prelude::*;
+use wsn_sim::NodeId;
+
+fn arb_inputs() -> impl Strategy<Value = Vec<(MergedRef, Vec<u64>, u32)>> {
+    prop::collection::vec(
+        (
+            prop_oneof![
+                (0u32..20, 0u32..4).prop_map(|(s, m)| MergedRef::Relay {
+                    sender: NodeId::new(s),
+                    msg_id: m,
+                }),
+                (0u32..20).prop_map(|h| MergedRef::Cluster { head: NodeId::new(h) }),
+            ],
+            prop::collection::vec(0u64..1_000_000, 1..3),
+            0u32..50,
+        ),
+        1..6,
+    )
+    .prop_filter("distinct sources", |v| {
+        let mut seen = std::collections::HashSet::new();
+        v.iter().all(|(r, _, _)| seen.insert(*r))
+    })
+    .prop_filter("consistent arity", |v| {
+        let arity = v[0].1.len();
+        v.iter().all(|(_, t, _)| t.len() == arity)
+    })
+}
+
+fn build_report(
+    inputs: &[(MergedRef, Vec<u64>, u32)],
+) -> (Vec<Fp>, u32, Vec<InputClaim>) {
+    let arity = inputs[0].1.len();
+    let mut totals = vec![Fp::ZERO; arity];
+    let mut participants = 0u32;
+    let mut claims = Vec::new();
+    for (source, t, p) in inputs {
+        for (acc, &v) in totals.iter_mut().zip(t) {
+            *acc += Fp::new(v);
+        }
+        participants += p;
+        claims.push(InputClaim {
+            source: *source,
+            totals: t.clone(),
+            participants: *p,
+        });
+    }
+    (totals, participants, claims)
+}
+
+fn cache_holding(inputs: &[(MergedRef, Vec<u64>, u32)], upto: usize) -> MonitorCache {
+    let mut cache = MonitorCache::new();
+    for (source, t, p) in inputs.iter().take(upto) {
+        let agg = CachedAggregate {
+            totals: t.iter().map(|&v| Fp::new(v)).collect(),
+            participants: *p,
+        };
+        match source {
+            MergedRef::Relay { sender, msg_id } => cache.record_upstream(*sender, *msg_id, agg),
+            MergedRef::Cluster { head } => cache.record_cluster(*head, agg),
+        }
+    }
+    cache
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness: an honest report is never convicted, whatever subset
+    /// of its inputs the monitor happens to hold.
+    #[test]
+    fn honest_reports_never_convicted(
+        inputs in arb_inputs(),
+        held in any::<prop::sample::Index>(),
+        th in 0u64..100,
+    ) {
+        let (totals, participants, claims) = build_report(&inputs);
+        let upto = held.index(inputs.len() + 1);
+        let cache = cache_holding(&inputs, upto);
+        let outcome = cache.check(&totals, participants, &claims, th);
+        prop_assert!(
+            !matches!(outcome, CheckOutcome::Violation(_)),
+            "honest report convicted: {outcome:?}"
+        );
+    }
+
+    /// Completeness: changing any held input's value beyond Th is
+    /// convicted — whether or not the attacker keeps the totals
+    /// consistent.
+    #[test]
+    fn forged_held_inputs_always_convicted(
+        inputs in arb_inputs(),
+        victim in any::<prop::sample::Index>(),
+        delta in 101u64..1_000_000,
+        keep_consistent in any::<bool>(),
+    ) {
+        let (mut totals, participants, mut claims) = build_report(&inputs);
+        // Monitor holds everything.
+        let cache = cache_holding(&inputs, inputs.len());
+        let v = victim.index(claims.len());
+        claims[v].totals[0] = (Fp::new(claims[v].totals[0]) + Fp::new(delta)).to_u64();
+        if keep_consistent {
+            totals[0] += Fp::new(delta);
+        }
+        let outcome = cache.check(&totals, participants, &claims, 100);
+        prop_assert!(
+            matches!(outcome, CheckOutcome::Violation(_)),
+            "forgery missed: {outcome:?}"
+        );
+    }
+
+    /// Totals not matching the claim sum is convicted by ANY monitor,
+    /// even one holding nothing.
+    #[test]
+    fn inconsistent_totals_convicted_by_blind_monitors(
+        inputs in arb_inputs(),
+        delta in 101u64..1_000_000,
+    ) {
+        let (mut totals, participants, claims) = build_report(&inputs);
+        totals[0] += Fp::new(delta);
+        let blind = MonitorCache::new();
+        let outcome = blind.check(&totals, participants, &claims, 100);
+        prop_assert!(matches!(outcome, CheckOutcome::Violation(_)));
+    }
+}

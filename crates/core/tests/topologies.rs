@@ -1,0 +1,100 @@
+//! Unusual-topology stress tests: multihop chains, corner base
+//! stations, large dense fields.
+
+use agg::AggFunction;
+use icpda::{IcpdaConfig, IcpdaRun};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_sim::geometry::{Point, Region};
+use wsn_sim::prelude::*;
+
+#[test]
+fn thin_chain_degrades_gracefully() {
+    // A 2-wide ladder: barely enough neighbours for 3-clusters anywhere.
+    let mut pts = vec![Point::new(0.0, 0.0)]; // BS at one end
+    for i in 1..40 {
+        pts.push(Point::new(f64::from(i / 2) * 22.0, f64::from(i % 2) * 20.0));
+    }
+    let n = pts.len();
+    let dep = Deployment::from_positions(pts, Region::new(600.0, 40.0), 50.0);
+    let out = IcpdaRun::new(
+        dep,
+        IcpdaConfig::paper_default(AggFunction::Count),
+        agg::readings::count_readings(n),
+        3,
+    )
+    .run();
+    // The chain is connected, so the round completes and never
+    // over-counts; cluster coverage on a thin strip is inherently poor.
+    assert!(out.accepted);
+    assert!(out.value <= (n - 1) as f64);
+    assert!(out.heads + out.members + out.orphans < n);
+}
+
+#[test]
+fn corner_base_station_still_collects() {
+    // The BS in a corner doubles the network radius; the depth-scheduled
+    // epoch must still deliver.
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let mut dep =
+        Deployment::uniform_random(400, Region::paper_default(), 50.0, &mut rng);
+    // Rebuild with node 0 pinned at the corner.
+    let mut pts: Vec<Point> = dep.node_ids().map(|i| dep.position(i)).collect();
+    pts[0] = Point::new(1.0, 1.0);
+    dep = Deployment::from_positions(pts, Region::paper_default(), 50.0);
+    let out = IcpdaRun::new(
+        dep,
+        IcpdaConfig::paper_default(AggFunction::Count),
+        agg::readings::count_readings(400),
+        5,
+    )
+    .run();
+    assert!(out.accepted);
+    assert!(
+        out.accuracy() > 0.85,
+        "corner BS accuracy {}",
+        out.accuracy()
+    );
+}
+
+#[test]
+fn thousand_node_field_runs_and_holds_accuracy() {
+    // The paper's privacy experiments use 1000-node fields; make sure a
+    // full round at that scale completes with healthy accuracy.
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let dep = Deployment::uniform_random_with_central_bs(
+        1000,
+        Region::new(520.0, 520.0), // degree ≈ 22
+        50.0,
+        &mut rng,
+    );
+    let out = IcpdaRun::new(
+        dep,
+        IcpdaConfig::paper_default(AggFunction::Count),
+        agg::readings::count_readings(1000),
+        6,
+    )
+    .run();
+    assert!(out.accepted);
+    assert!(out.accuracy() > 0.9, "{}", out.accuracy());
+    assert!(out.value <= 999.0);
+}
+
+#[test]
+fn two_node_network_cannot_cluster_but_terminates() {
+    // BS + one sensor: no cluster can reach the privacy minimum of 3.
+    let dep = Deployment::from_positions(
+        vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+        Region::new(50.0, 50.0),
+        50.0,
+    );
+    let out = IcpdaRun::new(
+        dep,
+        IcpdaConfig::paper_default(AggFunction::Count),
+        vec![0, 1],
+        7,
+    )
+    .run();
+    assert!(out.accepted, "an empty result is still a clean result");
+    assert_eq!(out.value, 0.0, "privacy minimum blocks a 2-node cluster");
+}

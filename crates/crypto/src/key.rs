@@ -1,0 +1,268 @@
+//! Key management schemes.
+//!
+//! iCPDA is agnostic to the key-management scheme — one of the merits the
+//! paper family claims. We implement the two schemes the papers discuss:
+//!
+//! * [`PairwiseKeys`] — every node pair shares a unique key (derived from
+//!   a network master secret). A link is readable only by its endpoints.
+//! * [`RandomPredistribution`] — the Eschenauer–Gligor scheme: every node
+//!   holds a random ring of `ring_size` keys drawn from a pool of
+//!   `pool_size`; two neighbours use the lowest-id key they share. A
+//!   *third* node that happens to hold the same pool key can decrypt the
+//!   link — one of the two privacy-leak avenues the paper analyses.
+
+use crate::cipher::LinkKey;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use wsn_sim::NodeId;
+
+/// Derives the key two endpoints use on their link, if any.
+///
+/// Implementations must be symmetric: `link_key(a, b) == link_key(b, a)`.
+pub trait KeyManager {
+    /// The key for link `(a, b)`, or `None` if the endpoints share no key.
+    fn link_key(&self, a: NodeId, b: NodeId) -> Option<LinkKey>;
+
+    /// Whether a third node `observer` also holds the key used on link
+    /// `(a, b)` and can therefore decrypt traffic on it.
+    fn third_party_can_read(&self, observer: NodeId, a: NodeId, b: NodeId) -> bool;
+}
+
+/// Unique pairwise keys derived from a master secret.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_crypto::key::{KeyManager, PairwiseKeys};
+/// use wsn_sim::NodeId;
+///
+/// let km = PairwiseKeys::new(0xfeed);
+/// let k = km.link_key(NodeId::new(1), NodeId::new(2));
+/// assert_eq!(k, km.link_key(NodeId::new(2), NodeId::new(1)));
+/// assert!(!km.third_party_can_read(NodeId::new(3), NodeId::new(1), NodeId::new(2)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PairwiseKeys {
+    master: u64,
+}
+
+impl PairwiseKeys {
+    /// Creates the scheme from a network master secret.
+    #[must_use]
+    pub fn new(master: u64) -> Self {
+        PairwiseKeys { master }
+    }
+}
+
+impl KeyManager for PairwiseKeys {
+    fn link_key(&self, a: NodeId, b: NodeId) -> Option<LinkKey> {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let pair = (u64::from(lo.as_u32()) << 32) | u64::from(hi.as_u32());
+        Some(LinkKey(self.master).derive(pair ^ 0xA5A5_5A5A))
+    }
+
+    fn third_party_can_read(&self, observer: NodeId, a: NodeId, b: NodeId) -> bool {
+        // Pairwise keys are unique to the pair; only endpoints hold them.
+        observer == a || observer == b
+    }
+}
+
+/// Eschenauer–Gligor random key predistribution.
+#[derive(Clone, Debug)]
+pub struct RandomPredistribution {
+    pool_seed: u64,
+    rings: Vec<Vec<u32>>,
+}
+
+impl RandomPredistribution {
+    /// Assigns every one of `n` nodes a random ring of `ring_size`
+    /// distinct keys from a pool of `pool_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring_size` is zero or exceeds `pool_size`.
+    #[must_use]
+    pub fn generate<R: Rng + ?Sized>(
+        n: usize,
+        pool_size: u32,
+        ring_size: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            ring_size > 0 && ring_size <= pool_size as usize,
+            "ring size must be in 1..=pool_size"
+        );
+        let pool: Vec<u32> = (0..pool_size).collect();
+        let rings = (0..n)
+            .map(|_| {
+                let mut ring: Vec<u32> = pool
+                    .choose_multiple(rng, ring_size)
+                    .copied()
+                    .collect();
+                ring.sort_unstable();
+                ring
+            })
+            .collect();
+        RandomPredistribution {
+            pool_seed: rng.gen(),
+            rings,
+        }
+    }
+
+    /// The key ring of a node (sorted pool-key ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn ring(&self, id: NodeId) -> &[u32] {
+        &self.rings[id.index()]
+    }
+
+    /// The pool-key id two nodes would agree on (lowest shared), if any.
+    #[must_use]
+    pub fn shared_pool_key(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        let (ra, rb) = (self.ring(a), self.ring(b));
+        // Both rings are sorted: linear merge.
+        let (mut i, mut j) = (0, 0);
+        while i < ra.len() && j < rb.len() {
+            match ra[i].cmp(&rb[j]) {
+                std::cmp::Ordering::Equal => return Some(ra[i]),
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+            }
+        }
+        None
+    }
+
+    /// Probability that two random nodes share at least one key —
+    /// the classic `1 - C(P-k,k)/C(P,k)` connectivity of the scheme,
+    /// estimated empirically over this instance's rings.
+    #[must_use]
+    pub fn empirical_share_rate(&self) -> f64 {
+        let n = self.rings.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut shared = 0usize;
+        let mut total = 0usize;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                total += 1;
+                if self
+                    .shared_pool_key(NodeId::new(a as u32), NodeId::new(b as u32))
+                    .is_some()
+                {
+                    shared += 1;
+                }
+            }
+        }
+        shared as f64 / total as f64
+    }
+}
+
+impl KeyManager for RandomPredistribution {
+    fn link_key(&self, a: NodeId, b: NodeId) -> Option<LinkKey> {
+        self.shared_pool_key(a, b)
+            .map(|k| LinkKey(self.pool_seed).derive(u64::from(k)))
+    }
+
+    fn third_party_can_read(&self, observer: NodeId, a: NodeId, b: NodeId) -> bool {
+        if observer == a || observer == b {
+            return true;
+        }
+        match self.shared_pool_key(a, b) {
+            Some(k) => self.ring(observer).binary_search(&k).is_ok(),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pairwise_is_symmetric_and_unique() {
+        let km = PairwiseKeys::new(7);
+        let k12 = km.link_key(NodeId::new(1), NodeId::new(2)).unwrap();
+        let k21 = km.link_key(NodeId::new(2), NodeId::new(1)).unwrap();
+        let k13 = km.link_key(NodeId::new(1), NodeId::new(3)).unwrap();
+        assert_eq!(k12, k21);
+        assert_ne!(k12, k13);
+    }
+
+    #[test]
+    fn pairwise_different_masters_differ() {
+        let a = PairwiseKeys::new(1).link_key(NodeId::new(0), NodeId::new(1));
+        let b = PairwiseKeys::new(2).link_key(NodeId::new(0), NodeId::new(1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn predistribution_rings_have_requested_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let kp = RandomPredistribution::generate(20, 100, 10, &mut rng);
+        for i in 0..20 {
+            let ring = kp.ring(NodeId::new(i));
+            assert_eq!(ring.len(), 10);
+            assert!(ring.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+        }
+    }
+
+    #[test]
+    fn shared_pool_key_is_symmetric() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let kp = RandomPredistribution::generate(30, 60, 12, &mut rng);
+        for a in 0..30u32 {
+            for b in 0..30u32 {
+                assert_eq!(
+                    kp.shared_pool_key(NodeId::new(a), NodeId::new(b)),
+                    kp.shared_pool_key(NodeId::new(b), NodeId::new(a))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn third_party_reads_iff_holds_shared_key() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let kp = RandomPredistribution::generate(15, 30, 8, &mut rng);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        if let Some(k) = kp.shared_pool_key(a, b) {
+            for o in 2..15u32 {
+                let o = NodeId::new(o);
+                assert_eq!(
+                    kp.third_party_can_read(o, a, b),
+                    kp.ring(o).contains(&k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn share_rate_matches_theory_roughly() {
+        // P=100, k=10: P(share) = 1 - C(90,10)/C(100,10) ~ 0.67.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let kp = RandomPredistribution::generate(80, 100, 10, &mut rng);
+        let rate = kp.empirical_share_rate();
+        assert!((rate - 0.67).abs() < 0.08, "rate {rate}");
+    }
+
+    #[test]
+    fn full_pool_ring_always_shares() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let kp = RandomPredistribution::generate(5, 8, 8, &mut rng);
+        assert_eq!(kp.shared_pool_key(NodeId::new(0), NodeId::new(4)), Some(0));
+        assert!((kp.empirical_share_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring size")]
+    fn oversized_ring_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let _ = RandomPredistribution::generate(2, 4, 5, &mut rng);
+    }
+}

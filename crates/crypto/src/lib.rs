@@ -1,0 +1,34 @@
+//! # wsn-crypto — key management and link-level crypto substrate
+//!
+//! Simulation-grade cryptography for the iCPDA reproduction:
+//!
+//! * [`cipher`] — a toy sealed-box (stream cipher + keyed tag). **Not
+//!   secure**; it exists so the simulation can decide deterministically
+//!   who can read or forge what, which is all the paper's evaluation
+//!   needs.
+//! * [`key`] — the two key-management schemes the paper family discusses:
+//!   unique pairwise keys and Eschenauer–Gligor random key
+//!   predistribution.
+//! * [`eavesdrop`] — the `p_x`-parameterised link adversary of the
+//!   paper's privacy analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use wsn_crypto::cipher::{open, seal};
+//! use wsn_crypto::key::{KeyManager, PairwiseKeys};
+//! use wsn_sim::NodeId;
+//!
+//! let km = PairwiseKeys::new(0xC0FFEE);
+//! let key = km.link_key(NodeId::new(1), NodeId::new(2)).expect("pairwise always shares");
+//! let sealed = seal(key, 7, b"reading=21");
+//! assert_eq!(open(key, &sealed).as_deref(), Some(&b"reading=21"[..]));
+//! ```
+
+pub mod cipher;
+pub mod eavesdrop;
+pub mod key;
+
+pub use cipher::{authenticate, open, seal, LinkKey, Sealed};
+pub use eavesdrop::LinkAdversary;
+pub use key::{KeyManager, PairwiseKeys, RandomPredistribution};

@@ -1,0 +1,87 @@
+//! Property-based tests of the crypto substrate.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_crypto::key::{KeyManager, PairwiseKeys, RandomPredistribution};
+use wsn_crypto::{open, seal, LinkKey};
+use wsn_sim::NodeId;
+
+proptest! {
+    /// Seal/open is the identity for the right key and fails closed for
+    /// any other key.
+    #[test]
+    fn seal_open_roundtrip(
+        key in any::<u64>(),
+        wrong in any::<u64>(),
+        nonce in any::<u64>(),
+        msg in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let sealed = seal(LinkKey(key), nonce, &msg);
+        prop_assert_eq!(open(LinkKey(key), &sealed), Some(msg.clone()));
+        if wrong != key {
+            prop_assert_eq!(open(LinkKey(wrong), &sealed), None);
+        }
+    }
+
+    /// Any single-byte tamper of the ciphertext is rejected.
+    #[test]
+    fn tampering_any_byte_is_detected(
+        key in any::<u64>(),
+        msg in prop::collection::vec(any::<u8>(), 1..100),
+        idx in any::<prop::sample::Index>(),
+        flip in 1u8..,
+    ) {
+        let mut sealed = seal(LinkKey(key), 9, &msg);
+        let i = idx.index(sealed.ciphertext.len());
+        sealed.ciphertext[i] ^= flip;
+        prop_assert_eq!(open(LinkKey(key), &sealed), None);
+    }
+
+    /// Pairwise keys: symmetric in the pair, unique across pairs (no
+    /// collisions observed over sampled node sets).
+    #[test]
+    fn pairwise_keys_symmetric_and_distinct(
+        master in any::<u64>(),
+        a in 0u32..1000,
+        b in 0u32..1000,
+        c in 0u32..1000,
+    ) {
+        let km = PairwiseKeys::new(master);
+        let (na, nb, nc) = (NodeId::new(a), NodeId::new(b), NodeId::new(c));
+        prop_assert_eq!(km.link_key(na, nb), km.link_key(nb, na));
+        if (a, b) != (a, c) && b != c {
+            prop_assert_ne!(km.link_key(na, nb), km.link_key(na, nc));
+        }
+    }
+
+    /// Predistribution: the agreed key is symmetric and actually present
+    /// in both rings; third-party readability is exactly ring membership.
+    #[test]
+    fn predistribution_agreement_is_consistent(
+        seed in any::<u64>(),
+        ring in 2usize..20,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let kp = RandomPredistribution::generate(12, 40, ring, &mut rng);
+        for a in 0..12u32 {
+            for b in (a + 1)..12 {
+                let (na, nb) = (NodeId::new(a), NodeId::new(b));
+                prop_assert_eq!(kp.shared_pool_key(na, nb), kp.shared_pool_key(nb, na));
+                if let Some(k) = kp.shared_pool_key(na, nb) {
+                    prop_assert!(kp.ring(na).contains(&k));
+                    prop_assert!(kp.ring(nb).contains(&k));
+                    for o in 0..12u32 {
+                        if o != a && o != b {
+                            let no = NodeId::new(o);
+                            prop_assert_eq!(
+                                kp.third_party_can_read(no, na, nb),
+                                kp.ring(no).contains(&k)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The protocol-facing interface: [`Application`] and [`Context`].
+//!
+//! A protocol implements [`Application`] once per *node*; the simulator
+//! owns one instance per deployed node and invokes the callbacks as frames
+//! arrive and timers fire. All side effects (sending, timers) go through
+//! the [`Context`], which buffers them as commands the engine executes
+//! after the callback returns — this keeps callbacks free of re-entrancy
+//! and makes the event order deterministic.
+
+use crate::frame::{Destination, Frame, WireSize};
+use crate::ids::NodeId;
+use crate::metrics::Metrics;
+use crate::time::{SimDuration, SimTime};
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// Token passed back to [`Application::on_timer`]; protocols encode which
+/// logical timer fired (e.g. "cluster-formation deadline").
+pub type TimerToken = u64;
+
+/// Handle to a scheduled timer, usable with [`Context::cancel_timer`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerId(pub(crate) u64);
+
+/// A node-local protocol state machine.
+///
+/// One value of the implementing type exists per node. Callbacks must not
+/// block; they interact with the network exclusively through the
+/// [`Context`].
+pub trait Application {
+    /// The protocol's message type. Its [`WireSize`] drives airtime,
+    /// collisions, byte counters and energy.
+    type Message: Clone + fmt::Debug + WireSize;
+
+    /// Invoked once for every node at simulation start (time zero),
+    /// in ascending node-id order.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        let _ = ctx;
+    }
+
+    /// A frame addressed to this node (unicast to it, or broadcast)
+    /// was received successfully.
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Self::Message>,
+        from: NodeId,
+        msg: &Self::Message,
+    );
+
+    /// A frame addressed to *another* node was overheard (promiscuous
+    /// mode). The integrity layer's peer monitoring lives here.
+    fn on_overhear(&mut self, ctx: &mut Context<'_, Self::Message>, frame: &Frame<Self::Message>) {
+        let _ = (ctx, frame);
+    }
+
+    /// A timer set via [`Context::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Message>, token: TimerToken) {
+        let _ = (ctx, token);
+    }
+}
+
+/// Buffered side effect produced by an application callback.
+#[derive(Debug)]
+pub(crate) enum Command<M> {
+    Send {
+        dest: Destination,
+        payload: M,
+        size_bytes: usize,
+    },
+    SetTimer {
+        at: SimTime,
+        token: TimerToken,
+        id: TimerId,
+    },
+    CancelTimer {
+        id: TimerId,
+    },
+}
+
+/// The environment handed to every [`Application`] callback.
+///
+/// Provides the node's identity, virtual clock, one-hop neighborhood,
+/// a deterministic per-node RNG, protocol counters, and the send/timer
+/// primitives.
+pub struct Context<'a, M> {
+    pub(crate) now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) neighbors: &'a [NodeId],
+    pub(crate) rng: &'a mut ChaCha8Rng,
+    pub(crate) metrics: &'a mut Metrics,
+    pub(crate) commands: &'a mut Vec<Command<M>>,
+    pub(crate) next_timer_id: &'a mut u64,
+}
+
+impl<'a, M: WireSize> Context<'a, M> {
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// One-hop neighbors (sorted by id). The paper family assumes nodes
+    /// know their one-hop neighborhood (learned from HELLO traffic); the
+    /// simulator exposes it directly as an oracle with identical content.
+    #[must_use]
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// Deterministic per-node random source.
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        self.rng
+    }
+
+    /// Protocol-level named counters (see [`Metrics::bump`]).
+    pub fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
+    }
+
+    /// Queues a unicast to `to`. Neighbors other than `to` will overhear
+    /// the frame. Sending to a node out of radio range is legal but the
+    /// frame will never be delivered.
+    pub fn send(&mut self, to: NodeId, payload: M) {
+        let size_bytes = payload.wire_size();
+        self.commands.push(Command::Send {
+            dest: Destination::Unicast(to),
+            payload,
+            size_bytes,
+        });
+    }
+
+    /// Queues a local broadcast to all nodes in radio range.
+    pub fn broadcast(&mut self, payload: M) {
+        let size_bytes = payload.wire_size();
+        self.commands.push(Command::Send {
+            dest: Destination::Broadcast,
+            payload,
+            size_bytes,
+        });
+    }
+
+    /// Schedules `on_timer(token)` to fire after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: TimerToken) -> TimerId {
+        let id = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        self.commands.push(Command::SetTimer {
+            at: self.now + delay,
+            token,
+            id,
+        });
+        id
+    }
+
+    /// Cancels a previously scheduled timer. Cancelling an already-fired
+    /// or unknown timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.commands.push(Command::CancelTimer { id });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn harness<'a, M: WireSize>(
+        cmds: &'a mut Vec<Command<M>>,
+        rng: &'a mut ChaCha8Rng,
+        metrics: &'a mut Metrics,
+        next_id: &'a mut u64,
+    ) -> Context<'a, M> {
+        Context {
+            now: SimTime::from_millis(5),
+            node: NodeId::new(2),
+            neighbors: &[],
+            rng,
+            metrics,
+            commands: cmds,
+            next_timer_id: next_id,
+        }
+    }
+
+    #[test]
+    fn send_records_wire_size() {
+        let mut cmds = Vec::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut metrics = Metrics::new(4);
+        let mut next_id = 0;
+        let mut ctx = harness::<Vec<u8>>(&mut cmds, &mut rng, &mut metrics, &mut next_id);
+        ctx.send(NodeId::new(1), vec![0; 9]);
+        ctx.broadcast(vec![0; 3]);
+        match &cmds[0] {
+            Command::Send {
+                dest, size_bytes, ..
+            } => {
+                assert_eq!(*dest, Destination::Unicast(NodeId::new(1)));
+                assert_eq!(*size_bytes, 9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &cmds[1] {
+            Command::Send {
+                dest, size_bytes, ..
+            } => {
+                assert_eq!(*dest, Destination::Broadcast);
+                assert_eq!(*size_bytes, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timers_get_unique_ids_and_absolute_times() {
+        let mut cmds = Vec::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut metrics = Metrics::new(4);
+        let mut next_id = 0;
+        let mut ctx = harness::<()>(&mut cmds, &mut rng, &mut metrics, &mut next_id);
+        let a = ctx.set_timer(SimDuration::from_millis(10), 7);
+        let b = ctx.set_timer(SimDuration::from_millis(20), 8);
+        assert_ne!(a, b);
+        ctx.cancel_timer(a);
+        match &cmds[0] {
+            Command::SetTimer { at, token, id } => {
+                assert_eq!(*at, SimTime::from_millis(15));
+                assert_eq!(*token, 7);
+                assert_eq!(*id, a);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(&cmds[2], Command::CancelTimer { id } if *id == a));
+    }
+}

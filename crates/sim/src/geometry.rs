@@ -1,0 +1,177 @@
+//! Planar geometry for node placement.
+
+use std::fmt;
+
+/// A point in the deployment plane, in meters.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_sim::geometry::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance_to(b), 5.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Point {
+    /// Horizontal coordinate in meters.
+    pub x: f64,
+    /// Vertical coordinate in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from coordinates in meters.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point, in meters.
+    #[must_use]
+    pub fn distance_to(self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (cheaper than [`Point::distance_to`]
+    /// when only comparisons are needed).
+    #[must_use]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// A rectangular deployment region with its lower-left corner at the origin.
+///
+/// The paper family deploys sensors uniformly at random over a
+/// 400 m × 400 m square; [`Region::paper_default`] returns exactly that.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Region {
+    /// Width in meters.
+    pub width: f64,
+    /// Height in meters.
+    pub height: f64,
+}
+
+impl Region {
+    /// Creates a region of the given dimensions in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not a positive finite number.
+    #[must_use]
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width.is_finite() && width > 0.0 && height.is_finite() && height > 0.0,
+            "region dimensions must be positive and finite"
+        );
+        Region { width, height }
+    }
+
+    /// The 400 m × 400 m square used throughout the paper's evaluation.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Region::new(400.0, 400.0)
+    }
+
+    /// Area in square meters.
+    #[must_use]
+    pub fn area(self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Whether a point lies inside the region (inclusive of edges).
+    #[must_use]
+    pub fn contains(self, p: Point) -> bool {
+        p.x >= 0.0 && p.x <= self.width && p.y >= 0.0 && p.y <= self.height
+    }
+
+    /// The center of the region.
+    #[must_use]
+    pub fn center(self) -> Point {
+        Point::new(self.width / 2.0, self.height / 2.0)
+    }
+
+    /// The expected node degree when `n` nodes with radio range `r` are
+    /// placed uniformly at random in this region (border effects ignored):
+    /// `(n - 1) · πr² / area`.
+    ///
+    /// This is the quantity tabulated in the paper's "network size vs.
+    /// network density" table.
+    #[must_use]
+    pub fn expected_degree(self, n: usize, radio_range: f64) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        (n as f64 - 1.0) * std::f64::consts::PI * radio_range * radio_range / self.area()
+    }
+}
+
+impl Default for Region {
+    fn default() -> Self {
+        Region::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert!((a.distance_to(b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_sq(b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(-3.5, 7.0);
+        let b = Point::new(10.0, 0.25);
+        assert_eq!(a.distance_to(b), b.distance_to(a));
+    }
+
+    #[test]
+    fn region_contains_boundaries() {
+        let r = Region::new(10.0, 20.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(10.0, 20.0)));
+        assert!(!r.contains(Point::new(10.1, 5.0)));
+        assert!(!r.contains(Point::new(5.0, -0.1)));
+    }
+
+    #[test]
+    fn paper_default_region() {
+        let r = Region::paper_default();
+        assert_eq!(r.width, 400.0);
+        assert_eq!(r.height, 400.0);
+        assert_eq!(r.area(), 160_000.0);
+        assert_eq!(r.center(), Point::new(200.0, 200.0));
+    }
+
+    #[test]
+    fn expected_degree_matches_paper_table() {
+        // The paper family's table: 400 nodes on 400x400 at r=50 has average
+        // degree ~19.6 expected (measured ~18.6 due to border effects).
+        let r = Region::paper_default();
+        let d = r.expected_degree(400, 50.0);
+        assert!((d - 19.58).abs() < 0.1, "got {d}");
+        assert_eq!(r.expected_degree(0, 50.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn region_rejects_zero_dims() {
+        let _ = Region::new(0.0, 5.0);
+    }
+}

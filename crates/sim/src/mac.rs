@@ -1,0 +1,99 @@
+//! CSMA/CA medium-access parameters.
+//!
+//! The simulator implements a simplified unslotted CSMA/CA in the engine
+//! ([`crate::sim`]): before transmitting, a node senses the channel (the
+//! union of transmissions audible at its own position); if busy it defers
+//! to the end of the sensed busy period plus a random binary-exponential
+//! backoff. Collisions occur at *receivers*: two receptions whose airtimes
+//! overlap corrupt each other. There are no acknowledgements or link-layer
+//! retransmissions — matching the broadcast-heavy protocols of the paper,
+//! where per-frame ACKs would be meaningless for HELLO floods.
+
+use crate::time::SimDuration;
+
+/// Parameters of the CSMA/CA layer.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_sim::mac::MacConfig;
+///
+/// let mac = MacConfig::default();
+/// assert!(mac.max_attempts >= 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MacConfig {
+    /// Duration of one backoff slot.
+    pub slot: SimDuration,
+    /// Maximum binary-exponential backoff exponent: the backoff window for
+    /// attempt `k` is `[0, 2^min(k, max_backoff_exp))` slots.
+    pub max_backoff_exp: u32,
+    /// Attempts (carrier-sense rounds) before a frame is dropped by the MAC.
+    pub max_attempts: u32,
+    /// Random delay in `[0, initial_jitter)` added before the *first*
+    /// carrier-sense of every frame; de-synchronises nodes that react to
+    /// the same broadcast, which is essential for flood-heavy protocols.
+    pub initial_jitter: SimDuration,
+}
+
+impl MacConfig {
+    /// Defaults tuned for 1 Mbps sensor radios: 128 µs slots, window up to
+    /// 2⁶ slots, 16 attempts, 4 ms initial jitter.
+    #[must_use]
+    pub const fn paper_default() -> Self {
+        MacConfig {
+            slot: SimDuration::from_micros(128),
+            max_backoff_exp: 6,
+            max_attempts: 16,
+            initial_jitter: SimDuration::from_millis(4),
+        }
+    }
+
+    /// An idealised MAC with no jitter and effectively unlimited attempts;
+    /// useful in unit tests that need deterministic timing.
+    #[must_use]
+    pub const fn ideal() -> Self {
+        MacConfig {
+            slot: SimDuration::from_micros(1),
+            max_backoff_exp: 0,
+            max_attempts: u32::MAX,
+            initial_jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// The backoff window (in slots) for the `attempt`-th retry (0-based).
+    #[must_use]
+    pub fn backoff_window(&self, attempt: u32) -> u64 {
+        1u64 << attempt.min(self.max_backoff_exp)
+    }
+}
+
+impl Default for MacConfig {
+    fn default() -> Self {
+        MacConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_window_doubles_then_caps() {
+        let mac = MacConfig {
+            max_backoff_exp: 3,
+            ..MacConfig::paper_default()
+        };
+        assert_eq!(mac.backoff_window(0), 1);
+        assert_eq!(mac.backoff_window(1), 2);
+        assert_eq!(mac.backoff_window(3), 8);
+        assert_eq!(mac.backoff_window(10), 8);
+    }
+
+    #[test]
+    fn ideal_mac_has_no_jitter() {
+        let mac = MacConfig::ideal();
+        assert!(mac.initial_jitter.is_zero());
+        assert_eq!(mac.backoff_window(5), 1);
+    }
+}

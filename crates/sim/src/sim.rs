@@ -1,0 +1,630 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Simulator`] owns the deployment, one [`Application`] instance per
+//! node, per-node MAC state, the event heap and the metrics. It is
+//! single-threaded and fully deterministic: running the same protocol on
+//! the same deployment with the same seed produces an identical event
+//! trace, which is what makes the paper's seeded multi-trial experiments
+//! reproducible.
+//!
+//! # Medium model
+//!
+//! * **Carrier sense** — a node defers transmission while any transmission
+//!   is audible at its own position, then backs off a random number of
+//!   slots (binary exponential, see [`MacConfig`]).
+//! * **Receiver-side collisions** — two receptions whose airtimes overlap
+//!   at a receiver corrupt each other (no capture effect).
+//! * **Half-duplex** — a node that is transmitting cannot receive.
+//! * **Promiscuous overhearing** — every successfully received frame is
+//!   delivered: as [`Application::on_message`] if addressed to the node,
+//!   as [`Application::on_overhear`] otherwise.
+
+use crate::app::{Application, Command, Context, TimerId, TimerToken};
+use crate::frame::{Destination, Frame};
+use crate::mac::MacConfig;
+use crate::metrics::{EnergyModel, Metrics};
+use crate::radio::{LossModel, RadioConfig};
+use crate::trace::{Trace, TraceKind};
+use crate::ids::NodeId;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Deployment;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::rc::Rc;
+
+/// Engine-level configuration: radio, MAC, loss and energy models.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimConfig {
+    /// Physical-layer parameters.
+    pub radio: RadioConfig,
+    /// Medium-access parameters.
+    pub mac: MacConfig,
+    /// Stochastic loss applied per reception.
+    pub loss: LossModel,
+    /// Energy cost model.
+    pub energy: EnergyModel,
+    /// Retained entries of the link-layer event trace
+    /// ([`crate::trace::Trace`]); 0 disables tracing.
+    pub trace_capacity: usize,
+}
+
+impl SimConfig {
+    /// The paper's setup: 1 Mbps radio, CSMA defaults, no extra stochastic
+    /// loss (collisions only), mote energy model.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        SimConfig::default()
+    }
+
+    /// An idealised lossless configuration: no jitter, no stochastic
+    /// loss. Collisions can still occur if two nodes transmit at exactly
+    /// the same instant, so tests using this config should serialise
+    /// transmissions in time.
+    #[must_use]
+    pub fn ideal() -> Self {
+        SimConfig {
+            mac: MacConfig::ideal(),
+            ..SimConfig::default()
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Timer {
+        node: NodeId,
+        token: TimerToken,
+        id: TimerId,
+    },
+    MacAttempt {
+        node: NodeId,
+    },
+    TxEnd {
+        node: NodeId,
+    },
+    RxEnd {
+        node: NodeId,
+        frame: Rc<Frame<M>>,
+    },
+}
+
+struct EventEntry<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for EventEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for EventEntry<M> {}
+impl<M> PartialOrd for EventEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for EventEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+#[derive(Debug)]
+struct RxInFlight {
+    seq: u64,
+    end: SimTime,
+    corrupted: bool,
+}
+
+struct MacState<M> {
+    queue: VecDeque<Frame<M>>,
+    attempts: u32,
+    /// A `MacAttempt` event is pending or a transmission is in progress.
+    active: bool,
+    tx_busy_until: SimTime,
+    medium_busy_until: SimTime,
+    rx_in_flight: Vec<RxInFlight>,
+}
+
+impl<M> Default for MacState<M> {
+    fn default() -> Self {
+        MacState {
+            queue: VecDeque::new(),
+            attempts: 0,
+            active: false,
+            tx_busy_until: SimTime::ZERO,
+            medium_busy_until: SimTime::ZERO,
+            rx_in_flight: Vec::new(),
+        }
+    }
+}
+
+/// The discrete-event wireless sensor network simulator.
+///
+/// # Examples
+///
+/// A two-node ping: node 0 broadcasts at start, node 1 counts receptions.
+///
+/// ```
+/// use wsn_sim::app::{Application, Context};
+/// use wsn_sim::geometry::{Point, Region};
+/// use wsn_sim::sim::{SimConfig, Simulator};
+/// use wsn_sim::time::SimTime;
+/// use wsn_sim::topology::Deployment;
+/// use wsn_sim::NodeId;
+///
+/// struct Ping {
+///     got: u32,
+/// }
+/// impl Application for Ping {
+///     type Message = Vec<u8>;
+///     fn on_start(&mut self, ctx: &mut Context<'_, Vec<u8>>) {
+///         if ctx.id() == NodeId::new(0) {
+///             ctx.broadcast(vec![1, 2, 3]);
+///         }
+///     }
+///     fn on_message(&mut self, _ctx: &mut Context<'_, Vec<u8>>, _from: NodeId, _m: &Vec<u8>) {
+///         self.got += 1;
+///     }
+/// }
+///
+/// let dep = Deployment::from_positions(
+///     vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+///     Region::new(100.0, 100.0),
+///     50.0,
+/// );
+/// let mut sim = Simulator::new(dep, SimConfig::ideal(), 7, |_| Ping { got: 0 });
+/// sim.run_until(SimTime::from_secs(1));
+/// assert_eq!(sim.app(NodeId::new(1)).got, 1);
+/// ```
+pub struct Simulator<A: Application> {
+    deployment: Deployment,
+    config: SimConfig,
+    now: SimTime,
+    heap: BinaryHeap<Reverse<EventEntry<A::Message>>>,
+    event_seq: u64,
+    frame_seq: u64,
+    next_timer_id: u64,
+    cancelled_timers: HashSet<u64>,
+    apps: Vec<A>,
+    rngs: Vec<ChaCha8Rng>,
+    mac: Vec<MacState<A::Message>>,
+    metrics: Metrics,
+    trace: Trace,
+    events_processed: u64,
+    started: bool,
+}
+
+impl<A: Application> Simulator<A> {
+    /// Creates a simulator over `deployment`, building one application per
+    /// node with `build` (called in node-id order). `seed` drives every
+    /// random choice of the run (MAC jitter, loss, application RNGs).
+    pub fn new(
+        deployment: Deployment,
+        config: SimConfig,
+        seed: u64,
+        mut build: impl FnMut(NodeId) -> A,
+    ) -> Self {
+        let n = deployment.len();
+        let apps: Vec<A> = (0..n as u32).map(|i| build(NodeId::new(i))).collect();
+        let rngs = (0..n as u64)
+            .map(|i| ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i + 1)))
+            .collect();
+        let mac = (0..n).map(|_| MacState::default()).collect();
+        Simulator {
+            metrics: Metrics::new(n),
+            trace: Trace::new(config.trace_capacity),
+            deployment,
+            config,
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            event_seq: 0,
+            frame_seq: 0,
+            next_timer_id: 0,
+            cancelled_timers: HashSet::new(),
+            apps,
+            rngs,
+            mac,
+            events_processed: 0,
+            started: false,
+        }
+    }
+
+    /// The deployment this simulator runs over.
+    #[must_use]
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// Engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Immutable access to a node's application state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn app(&self, id: NodeId) -> &A {
+        &self.apps[id.index()]
+    }
+
+    /// Mutable access to a node's application state (e.g. to inject an
+    /// attack or a reading between rounds).
+    pub fn app_mut(&mut self, id: NodeId) -> &mut A {
+        &mut self.apps[id.index()]
+    }
+
+    /// Iterates over `(id, app)` pairs.
+    pub fn apps(&self) -> impl Iterator<Item = (NodeId, &A)> {
+        self.apps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (NodeId::new(i as u32), a))
+    }
+
+    /// Traffic/energy counters.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The link-layer event trace (empty unless
+    /// [`SimConfig::trace_capacity`] is non-zero).
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    fn schedule(&mut self, time: SimTime, kind: EventKind<A::Message>) {
+        debug_assert!(time >= self.now, "scheduling into the past");
+        let seq = self.event_seq;
+        self.event_seq += 1;
+        self.heap.push(Reverse(EventEntry { time, seq, kind }));
+    }
+
+    /// Runs `on_start` on every node (idempotent; run_* call it lazily).
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.apps.len() {
+            let node = NodeId::new(i as u32);
+            self.with_ctx(node, |app, ctx| app.on_start(ctx));
+        }
+    }
+
+    /// Invokes `f` with a fresh context for `node`, then executes the
+    /// buffered commands.
+    fn with_ctx(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut Context<'_, A::Message>)) {
+        let mut commands: Vec<Command<A::Message>> = Vec::new();
+        {
+            let ctx = &mut Context {
+                now: self.now,
+                node,
+                neighbors: self.deployment.neighbors(node),
+                rng: &mut self.rngs[node.index()],
+                metrics: &mut self.metrics,
+                commands: &mut commands,
+                next_timer_id: &mut self.next_timer_id,
+            };
+            f(&mut self.apps[node.index()], ctx);
+        }
+        for cmd in commands {
+            match cmd {
+                Command::Send {
+                    dest,
+                    payload,
+                    size_bytes,
+                } => self.enqueue_frame(node, dest, payload, size_bytes),
+                Command::SetTimer { at, token, id } => {
+                    self.schedule(at.max(self.now), EventKind::Timer { node, token, id });
+                }
+                Command::CancelTimer { id } => {
+                    self.cancelled_timers.insert(id.0);
+                }
+            }
+        }
+    }
+
+    fn enqueue_frame(
+        &mut self,
+        src: NodeId,
+        dest: Destination,
+        payload: A::Message,
+        size_bytes: usize,
+    ) {
+        let frame = Frame {
+            seq: self.frame_seq,
+            src,
+            dest,
+            payload,
+            size_bytes,
+        };
+        self.frame_seq += 1;
+        let st = &mut self.mac[src.index()];
+        st.queue.push_back(frame);
+        if !st.active {
+            st.active = true;
+            st.attempts = 0;
+            let jitter = sample_jitter(&mut self.rngs[src.index()], self.config.mac.initial_jitter);
+            self.schedule(self.now + jitter, EventKind::MacAttempt { node: src });
+        }
+    }
+
+    fn handle_mac_attempt(&mut self, node: NodeId) {
+        let now = self.now;
+        let mac_cfg = self.config.mac;
+        let st = &mut self.mac[node.index()];
+        if st.queue.is_empty() {
+            st.active = false;
+            return;
+        }
+        if st.medium_busy_until > now {
+            // Channel busy: defer to end of busy period + random backoff.
+            st.attempts += 1;
+            if st.attempts >= mac_cfg.max_attempts {
+                st.queue.pop_front();
+                st.attempts = 0;
+                self.metrics.node_mut(node).mac_drops += 1;
+                self.trace.record(now, TraceKind::MacDrop { node });
+                if self.mac[node.index()].queue.is_empty() {
+                    self.mac[node.index()].active = false;
+                } else {
+                    self.schedule(now, EventKind::MacAttempt { node });
+                }
+                return;
+            }
+            let window = mac_cfg.backoff_window(st.attempts);
+            let slots = self.rngs[node.index()].gen_range(0..window);
+            let retry_at = self.mac[node.index()].medium_busy_until + mac_cfg.slot * slots;
+            self.schedule(retry_at, EventKind::MacAttempt { node });
+            return;
+        }
+        // Channel clear: transmit the head frame.
+        let frame = st
+            .queue
+            .pop_front()
+            .expect("queue checked non-empty above");
+        st.attempts = 0;
+        let airtime = self.config.radio.airtime(frame.size_bytes);
+        let on_air = self.config.radio.on_air_bytes(frame.size_bytes) as u64;
+        let end = now + airtime;
+        st.tx_busy_until = end;
+        st.medium_busy_until = st.medium_busy_until.max(end);
+        {
+            let nm = self.metrics.node_mut(node);
+            nm.frames_sent += 1;
+            nm.bytes_sent += on_air;
+            nm.energy_tx_nj += on_air as f64 * self.config.energy.tx_nj_per_byte;
+        }
+        self.trace.record(
+            now,
+            TraceKind::FrameSent {
+                src: node,
+                dest: frame.dest,
+                seq: frame.seq,
+                bytes: on_air as usize,
+            },
+        );
+        let frame = Rc::new(frame);
+        let neighbors: Vec<NodeId> = self.deployment.neighbors(node).to_vec();
+        for r in neighbors {
+            let rst = &mut self.mac[r.index()];
+            rst.medium_busy_until = rst.medium_busy_until.max(end);
+            if rst.tx_busy_until > now {
+                // Half-duplex: receiver is transmitting, frame missed.
+                self.metrics.node_mut(r).lost_half_duplex += 1;
+                self.trace.record(
+                    now,
+                    TraceKind::FrameLost {
+                        node: r,
+                        seq: frame.seq,
+                        cause: crate::metrics::LossCause::HalfDuplex,
+                    },
+                );
+                continue;
+            }
+            // Collision: overlap with any in-flight reception corrupts both.
+            let mut corrupted = false;
+            for inflight in rst.rx_in_flight.iter_mut() {
+                if inflight.end > now {
+                    inflight.corrupted = true;
+                    corrupted = true;
+                }
+            }
+            rst.rx_in_flight.push(RxInFlight {
+                seq: frame.seq,
+                end,
+                corrupted,
+            });
+            self.schedule(
+                end,
+                EventKind::RxEnd {
+                    node: r,
+                    frame: Rc::clone(&frame),
+                },
+            );
+        }
+        self.schedule(end, EventKind::TxEnd { node });
+    }
+
+    fn handle_tx_end(&mut self, node: NodeId) {
+        let st = &mut self.mac[node.index()];
+        if st.queue.is_empty() {
+            st.active = false;
+        } else {
+            let jitter = sample_jitter(&mut self.rngs[node.index()], self.config.mac.initial_jitter);
+            self.schedule(self.now + jitter, EventKind::MacAttempt { node });
+        }
+    }
+
+    fn handle_rx_end(&mut self, node: NodeId, frame: Rc<Frame<A::Message>>) {
+        let st = &mut self.mac[node.index()];
+        let idx = st
+            .rx_in_flight
+            .iter()
+            .position(|r| r.seq == frame.seq)
+            .expect("RxEnd without matching in-flight record");
+        let record = st.rx_in_flight.swap_remove(idx);
+        if record.corrupted {
+            self.metrics.node_mut(node).lost_collision += 1;
+            self.trace.record(
+                self.now,
+                TraceKind::FrameLost {
+                    node,
+                    seq: frame.seq,
+                    cause: crate::metrics::LossCause::Collision,
+                },
+            );
+            return;
+        }
+        let distance_ratio = self
+            .deployment
+            .position(node)
+            .distance_to(self.deployment.position(frame.src))
+            / self.deployment.radio_range();
+        if self
+            .config
+            .loss
+            .drops(&mut self.rngs[node.index()], distance_ratio)
+        {
+            self.metrics.node_mut(node).lost_stochastic += 1;
+            self.trace.record(
+                self.now,
+                TraceKind::FrameLost {
+                    node,
+                    seq: frame.seq,
+                    cause: crate::metrics::LossCause::Stochastic,
+                },
+            );
+            return;
+        }
+        let on_air = self.config.radio.on_air_bytes(frame.size_bytes) as u64;
+        let rx_energy = on_air as f64 * self.config.energy.rx_nj_per_byte;
+        let addressed = frame.addressed_to(node);
+        {
+            let nm = self.metrics.node_mut(node);
+            nm.energy_rx_nj += rx_energy;
+            if addressed {
+                nm.frames_received += 1;
+                nm.bytes_received += on_air;
+            } else {
+                nm.frames_overheard += 1;
+            }
+        }
+        self.trace.record(
+            self.now,
+            TraceKind::FrameDelivered {
+                node,
+                seq: frame.seq,
+                addressed,
+            },
+        );
+        if addressed {
+            let src = frame.src;
+            let payload = frame.payload.clone();
+            self.with_ctx(node, |app, ctx| app.on_message(ctx, src, &payload));
+        } else {
+            self.with_ctx(node, |app, ctx| app.on_overhear(ctx, &frame));
+        }
+    }
+
+    fn execute(&mut self, kind: EventKind<A::Message>) {
+        self.events_processed += 1;
+        match kind {
+            EventKind::Timer { node, token, id } => {
+                if !self.cancelled_timers.remove(&id.0) {
+                    self.trace
+                        .record(self.now, TraceKind::TimerFired { node, token });
+                    self.with_ctx(node, |app, ctx| app.on_timer(ctx, token));
+                }
+            }
+            EventKind::MacAttempt { node } => self.handle_mac_attempt(node),
+            EventKind::TxEnd { node } => self.handle_tx_end(node),
+            EventKind::RxEnd { node, frame } => self.handle_rx_end(node, frame),
+        }
+    }
+
+    /// Executes a single event. Returns `false` if the event queue is
+    /// empty (the simulation is quiescent).
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        match self.heap.pop() {
+            Some(Reverse(entry)) => {
+                debug_assert!(entry.time >= self.now, "event time went backwards");
+                self.now = entry.time;
+                self.execute(entry.kind);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until virtual time `deadline` (inclusive) or quiescence,
+    /// whichever comes first. On return, `now()` is `deadline` unless the
+    /// queue drained earlier.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.ensure_started();
+        loop {
+            match self.heap.peek() {
+                Some(Reverse(entry)) if entry.time <= deadline => {
+                    let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
+                    self.now = entry.time;
+                    self.execute(entry.kind);
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(deadline.min(SimTime::MAX));
+    }
+
+    /// Runs for `d` more virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Runs until no events remain or `max_time` is reached; returns the
+    /// time of quiescence (or `max_time`).
+    pub fn run_to_quiescence(&mut self, max_time: SimTime) -> SimTime {
+        self.ensure_started();
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if entry.time > max_time {
+                break;
+            }
+            let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
+            self.now = entry.time;
+            self.execute(entry.kind);
+        }
+        self.now
+    }
+}
+
+fn sample_jitter(rng: &mut ChaCha8Rng, max: SimDuration) -> SimDuration {
+    if max.is_zero() {
+        SimDuration::ZERO
+    } else {
+        SimDuration::from_nanos(rng.gen_range(0..max.as_nanos()))
+    }
+}

@@ -1,0 +1,512 @@
+//! Node deployment and the induced unit-disk communication graph.
+//!
+//! A [`Deployment`] fixes node positions inside a [`Region`] and, together
+//! with a radio range, induces the undirected *unit-disk graph* the
+//! simulator uses for connectivity: two nodes share a link iff their
+//! distance is at most the radio range. The struct precomputes adjacency
+//! lists and offers the graph statistics the paper's evaluation reports
+//! (average degree, connectivity, hop counts from the base station).
+
+use crate::geometry::{Point, Region};
+use crate::ids::NodeId;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Positions of all nodes plus the precomputed unit-disk adjacency.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use wsn_sim::geometry::Region;
+/// use wsn_sim::topology::Deployment;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let dep = Deployment::uniform_random(100, Region::paper_default(), 50.0, &mut rng);
+/// assert_eq!(dep.len(), 100);
+/// assert!(dep.average_degree() > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Deployment {
+    positions: Vec<Point>,
+    region: Region,
+    radio_range: f64,
+    neighbors: Vec<Vec<NodeId>>,
+}
+
+impl Deployment {
+    /// Places `n` nodes uniformly at random in `region` — the deployment
+    /// model of the paper's evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radio_range` is not positive and finite.
+    #[must_use]
+    pub fn uniform_random<R: Rng + ?Sized>(
+        n: usize,
+        region: Region,
+        radio_range: f64,
+        rng: &mut R,
+    ) -> Self {
+        let positions = (0..n)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.0..=region.width),
+                    rng.gen_range(0.0..=region.height),
+                )
+            })
+            .collect();
+        Deployment::from_positions(positions, region, radio_range)
+    }
+
+    /// Like [`Deployment::uniform_random`] but forces node `0` (the
+    /// conventional base station) to the center of the region, which is
+    /// where the paper family places the query root.
+    #[must_use]
+    pub fn uniform_random_with_central_bs<R: Rng + ?Sized>(
+        n: usize,
+        region: Region,
+        radio_range: f64,
+        rng: &mut R,
+    ) -> Self {
+        let mut dep = Deployment::uniform_random(n, region, radio_range, rng);
+        if n > 0 {
+            dep.positions[0] = region.center();
+            dep.rebuild_adjacency();
+        }
+        dep
+    }
+
+    /// Places nodes in Gaussian hotspots: `hotspots` cluster centers
+    /// uniform in the region, each node attached to a random center with
+    /// a normally distributed offset of standard deviation `spread`
+    /// (clamped to the region). Models the non-uniform deployments
+    /// (buildings, road-sides) that the uniform model idealises away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hotspots` is 0 or `spread` is not positive and finite.
+    #[must_use]
+    pub fn gaussian_hotspots<R: Rng + ?Sized>(
+        n: usize,
+        region: Region,
+        radio_range: f64,
+        hotspots: usize,
+        spread: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(hotspots > 0, "need at least one hotspot");
+        assert!(
+            spread.is_finite() && spread > 0.0,
+            "spread must be positive and finite"
+        );
+        let centers: Vec<Point> = (0..hotspots)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.0..=region.width),
+                    rng.gen_range(0.0..=region.height),
+                )
+            })
+            .collect();
+        let normal = move |rng: &mut R| -> f64 {
+            // Box–Muller transform.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let positions = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    // Conventional central base station.
+                    return region.center();
+                }
+                let c = centers[rng.gen_range(0..centers.len())];
+                Point::new(
+                    (c.x + normal(rng) * spread).clamp(0.0, region.width),
+                    (c.y + normal(rng) * spread).clamp(0.0, region.height),
+                )
+            })
+            .collect();
+        Deployment::from_positions(positions, region, radio_range)
+    }
+
+    /// Places nodes on a regular grid with the given spacing, filling the
+    /// region row-major until `n` nodes are placed. Useful for
+    /// deterministic tests where exact degrees matter.
+    #[must_use]
+    pub fn grid(n: usize, region: Region, spacing: f64, radio_range: f64) -> Self {
+        assert!(spacing > 0.0, "grid spacing must be positive");
+        let cols = (region.width / spacing).floor() as usize + 1;
+        let positions = (0..n)
+            .map(|i| {
+                let col = i % cols;
+                let row = i / cols;
+                Point::new(
+                    (col as f64 * spacing).min(region.width),
+                    (row as f64 * spacing).min(region.height),
+                )
+            })
+            .collect();
+        Deployment::from_positions(positions, region, radio_range)
+    }
+
+    /// Builds a deployment from explicit positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radio_range` is not positive and finite, or if any
+    /// position lies outside `region`.
+    #[must_use]
+    pub fn from_positions(positions: Vec<Point>, region: Region, radio_range: f64) -> Self {
+        assert!(
+            radio_range.is_finite() && radio_range > 0.0,
+            "radio range must be positive and finite"
+        );
+        for (i, p) in positions.iter().enumerate() {
+            assert!(region.contains(*p), "position {i} ({p}) outside region");
+        }
+        let mut dep = Deployment {
+            positions,
+            region,
+            radio_range,
+            neighbors: Vec::new(),
+        };
+        dep.rebuild_adjacency();
+        dep
+    }
+
+    fn rebuild_adjacency(&mut self) {
+        let n = self.positions.len();
+        let range_sq = self.radio_range * self.radio_range;
+        let mut neighbors = vec![Vec::new(); n];
+        // Grid-bucket the nodes so adjacency is O(n · local density) rather
+        // than O(n²); matters for the 1000-node privacy experiments.
+        let cell = self.radio_range.max(1e-9);
+        let cols = (self.region.width / cell).floor() as i64 + 1;
+        let rows = (self.region.height / cell).floor() as i64 + 1;
+        let bucket_of = |p: Point| -> (i64, i64) {
+            (
+                ((p.x / cell).floor() as i64).clamp(0, cols - 1),
+                ((p.y / cell).floor() as i64).clamp(0, rows - 1),
+            )
+        };
+        let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, p) in self.positions.iter().enumerate() {
+            buckets.entry(bucket_of(*p)).or_default().push(i);
+        }
+        for (i, p) in self.positions.iter().enumerate() {
+            let (bx, by) = bucket_of(*p);
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    if let Some(cands) = buckets.get(&(bx + dx, by + dy)) {
+                        for &j in cands {
+                            if j != i && p.distance_sq(self.positions[j]) <= range_sq {
+                                neighbors[i].push(NodeId::new(j as u32));
+                            }
+                        }
+                    }
+                }
+            }
+            neighbors[i].sort_unstable();
+        }
+        self.neighbors = neighbors;
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if the deployment has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The deployment region.
+    #[must_use]
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// The radio range in meters.
+    #[must_use]
+    pub fn radio_range(&self) -> f64 {
+        self.radio_range
+    }
+
+    /// Position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn position(&self, id: NodeId) -> Point {
+        self.positions[id.index()]
+    }
+
+    /// Neighbors of `id` in the unit-disk graph, sorted by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.neighbors[id.index()]
+    }
+
+    /// Degree of a node.
+    #[must_use]
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.neighbors[id.index()].len()
+    }
+
+    /// Whether `a` and `b` share a link.
+    #[must_use]
+    pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Mean node degree — the density metric the paper tabulates.
+    #[must_use]
+    pub fn average_degree(&self) -> f64 {
+        if self.positions.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.neighbors.iter().map(Vec::len).sum();
+        total as f64 / self.positions.len() as f64
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.positions.len() as u32).map(NodeId::new)
+    }
+
+    /// BFS hop distance from `root` to every node; `None` for unreachable
+    /// nodes. Index the result by [`NodeId::index`].
+    #[must_use]
+    pub fn hop_counts_from(&self, root: NodeId) -> Vec<Option<u32>> {
+        let n = self.positions.len();
+        let mut dist = vec![None; n];
+        if root.index() >= n {
+            return dist;
+        }
+        let mut queue = VecDeque::new();
+        dist[root.index()] = Some(0);
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()].expect("queued nodes have distances");
+            for &v in &self.neighbors[u.index()] {
+                if dist[v.index()].is_none() {
+                    dist[v.index()] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Whether the unit-disk graph is connected (vacuously true for 0 or
+    /// 1 nodes).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        match self.positions.len() {
+            0 | 1 => true,
+            _ => self
+                .hop_counts_from(NodeId::new(0))
+                .iter()
+                .all(Option::is_some),
+        }
+    }
+
+    /// Fraction of nodes reachable from `root` (including `root`).
+    #[must_use]
+    pub fn reachable_fraction(&self, root: NodeId) -> f64 {
+        if self.positions.is_empty() {
+            return 0.0;
+        }
+        let reached = self
+            .hop_counts_from(root)
+            .iter()
+            .filter(|d| d.is_some())
+            .count();
+        reached as f64 / self.positions.len() as f64
+    }
+
+    /// The maximum hop count from `root` among reachable nodes (network
+    /// "radius" as seen from the base station).
+    #[must_use]
+    pub fn eccentricity(&self, root: NodeId) -> u32 {
+        self.hop_counts_from(root)
+            .iter()
+            .filter_map(|d| *d)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn line(n: usize, spacing: f64, range: f64) -> Deployment {
+        let pts = (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect();
+        Deployment::from_positions(pts, Region::new(1_000.0, 10.0), range)
+    }
+
+    #[test]
+    fn line_adjacency() {
+        let dep = line(5, 10.0, 10.0);
+        assert_eq!(dep.neighbors(NodeId::new(0)), &[NodeId::new(1)]);
+        assert_eq!(
+            dep.neighbors(NodeId::new(2)),
+            &[NodeId::new(1), NodeId::new(3)]
+        );
+        assert!(dep.are_neighbors(NodeId::new(3), NodeId::new(4)));
+        assert!(!dep.are_neighbors(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let dep = Deployment::uniform_random(150, Region::paper_default(), 50.0, &mut rng);
+        for a in dep.node_ids() {
+            for &b in dep.neighbors(a) {
+                assert!(dep.are_neighbors(b, a), "{a}->{b} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn bucketed_adjacency_matches_bruteforce() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let dep = Deployment::uniform_random(120, Region::new(200.0, 120.0), 35.0, &mut rng);
+        for a in dep.node_ids() {
+            for b in dep.node_ids() {
+                if a == b {
+                    continue;
+                }
+                let expect =
+                    dep.position(a).distance_to(dep.position(b)) <= dep.radio_range();
+                assert_eq!(dep.are_neighbors(a, b), expect, "{a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn hop_counts_on_line() {
+        let dep = line(6, 10.0, 10.0);
+        let hops = dep.hop_counts_from(NodeId::new(0));
+        let got: Vec<u32> = hops.iter().map(|h| h.unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(dep.eccentricity(NodeId::new(0)), 5);
+        assert!(dep.is_connected());
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        // Two nodes farther apart than the range.
+        let pts = vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)];
+        let dep = Deployment::from_positions(pts, Region::new(200.0, 10.0), 50.0);
+        assert!(!dep.is_connected());
+        assert_eq!(dep.reachable_fraction(NodeId::new(0)), 0.5);
+        assert_eq!(dep.hop_counts_from(NodeId::new(0))[1], None);
+    }
+
+    #[test]
+    fn average_degree_tracks_density() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let sparse =
+            Deployment::uniform_random(200, Region::paper_default(), 50.0, &mut rng);
+        let dense = Deployment::uniform_random(600, Region::paper_default(), 50.0, &mut rng);
+        assert!(dense.average_degree() > sparse.average_degree());
+        // Paper's table I: degree ~8.8 at N=200, ~28.4 at N=600.
+        assert!((sparse.average_degree() - 8.8).abs() < 2.5);
+        assert!((dense.average_degree() - 28.4).abs() < 4.0);
+    }
+
+    #[test]
+    fn central_bs_is_centered() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let dep = Deployment::uniform_random_with_central_bs(
+            50,
+            Region::paper_default(),
+            50.0,
+            &mut rng,
+        );
+        assert_eq!(dep.position(NodeId::new(0)), Region::paper_default().center());
+    }
+
+    #[test]
+    fn grid_deployment_degrees() {
+        // 3x3 grid, spacing 10, range 10: corner has 2 neighbors (no
+        // diagonals at range 10 < 14.1), center has 4.
+        let dep = Deployment::grid(9, Region::new(20.0, 20.0), 10.0, 10.0);
+        assert_eq!(dep.degree(NodeId::new(0)), 2);
+        assert_eq!(dep.degree(NodeId::new(4)), 4);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_topology() {
+        let mk = || {
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            Deployment::uniform_random(80, Region::paper_default(), 50.0, &mut rng)
+        };
+        let (a, b) = (mk(), mk());
+        for id in a.node_ids() {
+            assert_eq!(a.position(id), b.position(id));
+            assert_eq!(a.neighbors(id), b.neighbors(id));
+        }
+    }
+
+    #[test]
+    fn hotspot_deployment_is_clumpier_than_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let uniform = Deployment::uniform_random(300, Region::paper_default(), 50.0, &mut rng);
+        let hotspot = Deployment::gaussian_hotspots(
+            300,
+            Region::paper_default(),
+            50.0,
+            5,
+            40.0,
+            &mut rng,
+        );
+        // Same node count, but clustering raises the mean degree and the
+        // degree variance.
+        assert!(hotspot.average_degree() > uniform.average_degree() * 1.3);
+        let var = |d: &Deployment| {
+            let degs: Vec<f64> = d.node_ids().map(|i| d.degree(i) as f64).collect();
+            let m = degs.iter().sum::<f64>() / degs.len() as f64;
+            degs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / degs.len() as f64
+        };
+        assert!(var(&hotspot) > var(&uniform));
+        // All positions clamped inside the region.
+        for id in hotspot.node_ids() {
+            assert!(Region::paper_default().contains(hotspot.position(id)));
+        }
+        assert_eq!(hotspot.position(NodeId::new(0)), Region::paper_default().center());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hotspot")]
+    fn hotspots_validated() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = Deployment::gaussian_hotspots(10, Region::paper_default(), 50.0, 0, 10.0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside region")]
+    fn positions_validated_against_region() {
+        let _ = Deployment::from_positions(
+            vec![Point::new(500.0, 0.0)],
+            Region::paper_default(),
+            50.0,
+        );
+    }
+}

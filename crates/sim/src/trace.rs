@@ -1,0 +1,269 @@
+//! Bounded event tracing.
+//!
+//! When enabled (see [`SimConfig::trace_capacity`]), the engine records
+//! every link-layer event into a bounded ring buffer — the tool of first
+//! resort when a protocol misbehaves on a particular topology ("did the
+//! roster broadcast reach n42, and if not, who collided with it?").
+//!
+//! Tracing is off by default: the buffer costs memory and a few
+//! nanoseconds per event, and the metrics counters answer most
+//! aggregate questions more cheaply.
+//!
+//! [`SimConfig::trace_capacity`]: crate::sim::SimConfig::trace_capacity
+
+use crate::frame::Destination;
+use crate::ids::NodeId;
+use crate::metrics::LossCause;
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceKind {
+    /// A frame was put on the air.
+    FrameSent {
+        /// Transmitting node.
+        src: NodeId,
+        /// Unicast target or broadcast.
+        dest: Destination,
+        /// Global frame sequence number.
+        seq: u64,
+        /// On-air bytes.
+        bytes: usize,
+    },
+    /// A frame was delivered to an application.
+    FrameDelivered {
+        /// Receiving node.
+        node: NodeId,
+        /// Global frame sequence number.
+        seq: u64,
+        /// `true` if delivered as addressed recipient, `false` if
+        /// overheard.
+        addressed: bool,
+    },
+    /// A reception failed.
+    FrameLost {
+        /// The receiver that lost the frame.
+        node: NodeId,
+        /// Global frame sequence number.
+        seq: u64,
+        /// Why it was lost.
+        cause: LossCause,
+    },
+    /// A node's MAC dropped a frame after exhausting its attempts.
+    MacDrop {
+        /// The sending node that gave up.
+        node: NodeId,
+    },
+    /// An application timer fired.
+    TimerFired {
+        /// The node whose timer fired.
+        node: NodeId,
+        /// The application-chosen token.
+        token: u64,
+    },
+}
+
+/// One traced event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// A bounded ring buffer of [`TraceEntry`] values; when full, the oldest
+/// entries are evicted.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl Trace {
+    /// Creates a trace retaining at most `capacity` entries
+    /// (0 disables recording entirely).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            entries: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Whether recording is enabled.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    pub(crate) fn record(&mut self, time: SimTime, kind: TraceKind) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.evicted += 1;
+        }
+        self.entries.push_back(TraceEntry { time, kind });
+    }
+
+    /// Number of retained entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted because the buffer was full.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Iterates over retained entries in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Retained entries involving `node` (as sender, receiver or timer
+    /// owner).
+    pub fn involving(&self, node: NodeId) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| match e.kind {
+            TraceKind::FrameSent { src, dest, .. } => {
+                src == node || dest == Destination::Unicast(node)
+            }
+            TraceKind::FrameDelivered { node: n, .. }
+            | TraceKind::FrameLost { node: n, .. }
+            | TraceKind::MacDrop { node: n }
+            | TraceKind::TimerFired { node: n, .. } => n == node,
+        })
+    }
+
+    /// The fate of frame `seq` at every receiver, in order.
+    pub fn frame_fate(&self, seq: u64) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| match e.kind {
+            TraceKind::FrameSent { seq: s, .. }
+            | TraceKind::FrameDelivered { seq: s, .. }
+            | TraceKind::FrameLost { seq: s, .. } => s == seq,
+            _ => false,
+        })
+    }
+
+    /// Drops all retained entries (the eviction counter survives).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(t: u64, node: u32) -> (SimTime, TraceKind) {
+        (
+            SimTime::from_nanos(t),
+            TraceKind::TimerFired {
+                node: NodeId::new(node),
+                token: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::new(0);
+        assert!(!tr.enabled());
+        let (t, k) = entry(1, 1);
+        tr.record(t, k);
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut tr = Trace::new(2);
+        for i in 0..5u64 {
+            let (t, k) = entry(i, i as u32);
+            tr.record(t, k);
+        }
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.evicted(), 3);
+        let times: Vec<u64> = tr.iter().map(|e| e.time.as_nanos()).collect();
+        assert_eq!(times, vec![3, 4]);
+    }
+
+    #[test]
+    fn involving_filters_by_node() {
+        let mut tr = Trace::new(10);
+        let (t, k) = entry(1, 7);
+        tr.record(t, k);
+        let (t, k) = entry(2, 9);
+        tr.record(t, k);
+        tr.record(
+            SimTime::from_nanos(3),
+            TraceKind::FrameSent {
+                src: NodeId::new(1),
+                dest: Destination::Unicast(NodeId::new(7)),
+                seq: 5,
+                bytes: 10,
+            },
+        );
+        assert_eq!(tr.involving(NodeId::new(7)).count(), 2);
+        assert_eq!(tr.involving(NodeId::new(9)).count(), 1);
+        assert_eq!(tr.involving(NodeId::new(3)).count(), 0);
+    }
+
+    #[test]
+    fn frame_fate_follows_one_seq() {
+        let mut tr = Trace::new(10);
+        tr.record(
+            SimTime::from_nanos(1),
+            TraceKind::FrameSent {
+                src: NodeId::new(0),
+                dest: Destination::Broadcast,
+                seq: 42,
+                bytes: 10,
+            },
+        );
+        tr.record(
+            SimTime::from_nanos(2),
+            TraceKind::FrameDelivered {
+                node: NodeId::new(1),
+                seq: 42,
+                addressed: true,
+            },
+        );
+        tr.record(
+            SimTime::from_nanos(2),
+            TraceKind::FrameLost {
+                node: NodeId::new(2),
+                seq: 42,
+                cause: LossCause::Collision,
+            },
+        );
+        let (t, k) = entry(3, 1);
+        tr.record(t, k);
+        assert_eq!(tr.frame_fate(42).count(), 3);
+        assert_eq!(tr.frame_fate(43).count(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_eviction_counter() {
+        let mut tr = Trace::new(1);
+        let (t, k) = entry(1, 1);
+        tr.record(t, k);
+        let (t, k) = entry(2, 1);
+        tr.record(t, k);
+        tr.clear();
+        assert!(tr.is_empty());
+        assert_eq!(tr.evicted(), 1);
+    }
+}

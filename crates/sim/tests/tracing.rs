@@ -1,0 +1,83 @@
+//! Engine-level tests of the event trace.
+
+use wsn_sim::geometry::{Point, Region};
+use wsn_sim::prelude::*;
+use wsn_sim::trace::TraceKind;
+
+struct Beacon;
+
+impl Application for Beacon {
+    type Message = Vec<u8>;
+    fn on_start(&mut self, ctx: &mut Context<'_, Vec<u8>>) {
+        if ctx.id() == NodeId::new(0) {
+            ctx.set_timer(SimDuration::from_millis(1), 7);
+        }
+    }
+    fn on_message(&mut self, _ctx: &mut Context<'_, Vec<u8>>, _from: NodeId, _m: &Vec<u8>) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_, Vec<u8>>, _token: TimerToken) {
+        ctx.broadcast(vec![0; 4]);
+    }
+}
+
+fn two_nodes(trace_capacity: usize) -> Simulator<Beacon> {
+    let dep = Deployment::from_positions(
+        vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+        Region::new(100.0, 100.0),
+        50.0,
+    );
+    let mut config = SimConfig::ideal();
+    config.trace_capacity = trace_capacity;
+    Simulator::new(dep, config, 1, |_| Beacon)
+}
+
+#[test]
+fn trace_records_send_delivery_and_timer() {
+    let mut sim = two_nodes(64);
+    sim.run_until(SimTime::from_secs(1));
+    let trace = sim.trace();
+    assert!(trace.enabled());
+    let kinds: Vec<_> = trace.iter().map(|e| e.kind).collect();
+    assert!(kinds.iter().any(|k| matches!(
+        k,
+        TraceKind::TimerFired { node, token: 7 } if *node == NodeId::new(0)
+    )));
+    assert!(kinds.iter().any(|k| matches!(
+        k,
+        TraceKind::FrameSent { src, dest: Destination::Broadcast, .. }
+            if *src == NodeId::new(0)
+    )));
+    assert!(kinds.iter().any(|k| matches!(
+        k,
+        TraceKind::FrameDelivered { node, addressed: true, .. }
+            if *node == NodeId::new(1)
+    )));
+    // Events are chronological.
+    let times: Vec<_> = trace.iter().map(|e| e.time).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn trace_disabled_by_default() {
+    let mut sim = two_nodes(0);
+    sim.run_until(SimTime::from_secs(1));
+    assert!(sim.trace().is_empty());
+    assert!(!sim.trace().enabled());
+    // The round still happened.
+    assert_eq!(sim.metrics().total_frames_sent(), 1);
+}
+
+#[test]
+fn frame_fate_links_send_to_delivery() {
+    let mut sim = two_nodes(64);
+    sim.run_until(SimTime::from_secs(1));
+    let seq = sim
+        .trace()
+        .iter()
+        .find_map(|e| match e.kind {
+            TraceKind::FrameSent { seq, .. } => Some(seq),
+            _ => None,
+        })
+        .expect("a frame was sent");
+    let fate: Vec<_> = sim.trace().frame_fate(seq).collect();
+    assert_eq!(fate.len(), 2, "send + one delivery");
+}

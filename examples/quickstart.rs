@@ -1,0 +1,59 @@
+//! Quickstart: one privacy-preserving, integrity-protected COUNT query.
+//!
+//! Deploys the paper's reference network (400 nodes, 400 m × 400 m,
+//! 50 m radio range, base station in the center), runs one complete
+//! iCPDA round and prints what the base station learned — and what it
+//! could *not* learn (any individual reading).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use agg::AggFunction;
+use icpda::{IcpdaConfig, IcpdaRun};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_sim::geometry::Region;
+use wsn_sim::topology::Deployment;
+
+fn main() {
+    let n = 400;
+    let mut rng = ChaCha8Rng::seed_from_u64(2026);
+    let deployment =
+        Deployment::uniform_random_with_central_bs(n, Region::paper_default(), 50.0, &mut rng);
+    println!(
+        "deployed {n} nodes, average degree {:.1}, {} connected to the base station",
+        deployment.average_degree(),
+        (deployment.reachable_fraction(wsn_sim::NodeId::new(0)) * n as f64) as usize,
+    );
+
+    let readings = agg::readings::count_readings(n);
+    let config = IcpdaConfig::paper_default(AggFunction::Count);
+    let outcome = IcpdaRun::new(deployment, config, readings, 7).run();
+
+    println!("\n--- base station decision ---");
+    println!("accepted          : {}", outcome.accepted);
+    println!("COUNT collected   : {}", outcome.value);
+    println!("ground truth      : {}", outcome.truth);
+    println!("accuracy          : {:.3}", outcome.accuracy());
+    println!("participants      : {}", outcome.participants);
+    println!(
+        "clusters          : {} heads, mean size {:.1}, {} solved",
+        outcome.heads,
+        outcome.mean_cluster_size(),
+        outcome.clusters_solved
+    );
+    println!(
+        "traffic           : {} frames, {} bytes, {:.1} mJ",
+        outcome.total_frames, outcome.total_bytes, outcome.energy_mj
+    );
+    println!(
+        "result latency    : {}",
+        outcome
+            .last_update
+            .map_or_else(|| "n/a".to_string(), |t| t.to_string())
+    );
+    println!(
+        "\nevery reading travelled only as blinded shares; without breaking \
+         all of a node's intra-cluster links, no eavesdropper (nor the \
+         aggregators themselves) learned any individual value."
+    );
+}

@@ -1,0 +1,66 @@
+//! Advanced metering — the paper's motivating application.
+//!
+//! A utility reads a neighbourhood of smart meters hourly. Per-household
+//! consumption is privacy-sensitive (it reveals occupancy and behaviour),
+//! and the aggregate drives billing and grid planning, so it must be
+//! pollution-proof. This example runs one 24-round session: clusters
+//! form once and persist; every hour the meters sample fresh readings
+//! and only the share exchange + upstream aggregation repeat. The
+//! utility sees the daily load curve — computed without any meter ever
+//! revealing its own reading.
+//!
+//! Run with: `cargo run --release --example smart_metering`
+
+use agg::AggFunction;
+use icpda::{IcpdaConfig, IcpdaRun};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_sim::geometry::Region;
+use wsn_sim::topology::Deployment;
+
+fn main() {
+    let meters = 300;
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let deployment = Deployment::uniform_random_with_central_bs(
+        meters,
+        Region::paper_default(),
+        50.0,
+        &mut rng,
+    );
+    let mut config = IcpdaConfig::paper_default(AggFunction::Average);
+    config.rounds = 24;
+
+    // Hour 0's readings seed the run; hours 1..24 arrive via the
+    // schedule (installed between rounds — periodic sensing).
+    let mut workload_rng = ChaCha8Rng::seed_from_u64(99);
+    let first = agg::readings::metering_readings(meters, 0, &mut workload_rng);
+    let schedule: Vec<Vec<u64>> = (1..24)
+        .map(|hour| agg::readings::metering_readings(meters, hour, &mut workload_rng))
+        .collect();
+
+    let outcome = IcpdaRun::new(deployment, config, first, 1)
+        .with_reading_schedule(schedule)
+        .run();
+
+    println!("hour | avg load (W) | truth (W) | accuracy | accepted");
+    println!("-----+--------------+-----------+----------+---------");
+    for (hour, (decision, truth)) in outcome
+        .decisions
+        .iter()
+        .zip(&outcome.round_truths)
+        .enumerate()
+    {
+        println!(
+            "{hour:>4} | {:>12.0} | {:>9.0} | {:>8.3} | {}",
+            decision.value,
+            truth,
+            decision.value / truth.max(1.0),
+            decision.accepted,
+        );
+    }
+    println!(
+        "\nthe morning (~07h) and evening (~19h) peaks are visible in the \
+         aggregate; clusters formed once and served all 24 hours; \
+         individual household profiles never left their meters unblinded."
+    );
+}

@@ -1,0 +1,66 @@
+//! TAG vs. iCPDA, side by side — the paper's headline comparison.
+//!
+//! Same deployment, same COUNT query: the plain TAG tree (no privacy, no
+//! integrity) against iCPDA. Prints the cost of the two guarantees in
+//! bytes, energy and latency, and what TAG silently gives away.
+//!
+//! Run with: `cargo run --release --example tag_vs_icpda`
+
+use agg::tag::{run_tag, TagConfig};
+use agg::AggFunction;
+use icpda::{IcpdaConfig, IcpdaRun};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wsn_sim::geometry::Region;
+use wsn_sim::prelude::*;
+
+fn main() {
+    println!("nodes |        | accuracy | bytes    | energy mJ | latency s");
+    println!("------+--------+----------+----------+-----------+----------");
+    for n in [200usize, 400, 600] {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let deployment = Deployment::uniform_random_with_central_bs(
+            n,
+            Region::paper_default(),
+            50.0,
+            &mut rng,
+        );
+        let readings = agg::readings::count_readings(n);
+
+        let tag = run_tag(
+            deployment.clone(),
+            SimConfig::paper_default(),
+            TagConfig::paper_default(AggFunction::Count),
+            &readings,
+            5,
+        );
+        println!(
+            "{n:>5} | TAG    | {:>8.3} | {:>8} | {:>9.1} | {:>8.1}",
+            agg::accuracy_ratio(tag.value, tag.truth),
+            tag.total_bytes,
+            tag.energy_mj,
+            tag.last_report_at.map_or(0.0, |t| t.as_secs_f64()),
+        );
+
+        let icpda = IcpdaRun::new(
+            deployment,
+            IcpdaConfig::paper_default(AggFunction::Count),
+            readings,
+            5,
+        )
+        .run();
+        println!(
+            "{n:>5} | iCPDA  | {:>8.3} | {:>8} | {:>9.1} | {:>8.1}",
+            icpda.accuracy(),
+            icpda.total_bytes,
+            icpda.energy_mj,
+            icpda.last_update.map_or(0.0, |t| t.as_secs_f64()),
+        );
+    }
+    println!(
+        "\nTAG is cheaper and a touch more accurate — but every leaf \
+         reading crosses the first hop in the clear, and one compromised \
+         aggregator can silently rewrite the total. iCPDA buys both \
+         guarantees for a constant factor of traffic."
+    );
+}

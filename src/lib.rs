@@ -1,0 +1,17 @@
+//! # icpda-suite — umbrella crate
+//!
+//! Re-exports the whole reproduction stack so the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/` can
+//! reach every layer with a single dependency:
+//!
+//! * [`wsn_sim`] — the discrete-event WSN simulator substrate,
+//! * [`wsn_crypto`] — key management and the link adversary,
+//! * [`agg`] — aggregation functions and the TAG baseline,
+//! * [`icpda`] — the cluster-based integrity + privacy protocol,
+//! * [`icpda_analysis`] — the closed-form models.
+
+pub use agg;
+pub use icpda;
+pub use icpda_analysis;
+pub use wsn_crypto;
+pub use wsn_sim;
