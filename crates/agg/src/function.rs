@@ -228,19 +228,18 @@ impl AggFunction {
                 } else {
                     let n = readings.len() as f64;
                     let mean = readings.iter().map(|&r| r as f64).sum::<f64>() / n;
-                    readings.iter().map(|&r| (r as f64 - mean).powi(2)).sum::<f64>() / n
+                    readings
+                        .iter()
+                        .map(|&r| (r as f64 - mean).powi(2))
+                        .sum::<f64>()
+                        / n
                 }
             }
-            AggFunction::ApproxMax { .. } => {
-                readings.iter().copied().max().unwrap_or(0) as f64
+            AggFunction::ApproxMax { .. } => readings.iter().copied().max().unwrap_or(0) as f64,
+            AggFunction::ApproxMin { .. } => readings.iter().copied().min().unwrap_or(0) as f64,
+            AggFunction::GroupedSum { .. } => {
+                readings.iter().map(|&r| unpack_grouped(r).1 as f64).sum()
             }
-            AggFunction::ApproxMin { .. } => {
-                readings.iter().copied().min().unwrap_or(0) as f64
-            }
-            AggFunction::GroupedSum { .. } => readings
-                .iter()
-                .map(|&r| unpack_grouped(r).1 as f64)
-                .sum(),
         }
     }
 

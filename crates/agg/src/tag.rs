@@ -324,9 +324,7 @@ pub fn run_tag(
         deployment.len(),
         "one reading per node (entry 0 unused)"
     );
-    let truth = tag_config
-        .function
-        .ground_truth(&readings[1..]);
+    let truth = tag_config.function.ground_truth(&readings[1..]);
     let readings = readings.to_vec();
     let mut sim = Simulator::new(deployment, sim_config, seed, |id| {
         TagNode::new(tag_config, id == NodeId::new(0), readings[id.index()])
@@ -394,8 +392,11 @@ mod tests {
 
     #[test]
     fn count_on_random_network_is_near_exact() {
+        // Connected sample: on a disconnected deployment nodes outside
+        // the base station's component are unreachable by construction,
+        // which would test percolation, not TAG.
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let dep = Deployment::uniform_random_with_central_bs(
+        let dep = Deployment::connected_uniform_random_with_central_bs(
             150,
             Region::paper_default(),
             50.0,
@@ -461,7 +462,10 @@ mod tests {
         );
         assert_eq!(out.value, 3.0);
         assert_eq!(out.participants, 2);
-        assert!((out.truth - 103.0).abs() < 1e-9, "truth includes stranded node");
+        assert!(
+            (out.truth - 103.0).abs() < 1e-9,
+            "truth includes stranded node"
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ fn heavy_stochastic_loss_shears_the_tree_but_never_overcounts() {
         4,
     );
     assert!(out.value <= 199.0);
-    assert!(out.value > 20.0, "some subtrees must survive: {}", out.value);
+    assert!(
+        out.value > 20.0,
+        "some subtrees must survive: {}",
+        out.value
+    );
 }
 
 #[test]

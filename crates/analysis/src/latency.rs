@@ -14,11 +14,7 @@ use wsn_sim::SimDuration;
 /// the level-1 slot plus the 60 % in-slot dispersion, for an epoch of
 /// `epoch` seconds over `max_depth` levels starting after `formation`.
 #[must_use]
-pub fn tag_result_time(
-    formation: SimDuration,
-    epoch: SimDuration,
-    max_depth: u16,
-) -> SimDuration {
+pub fn tag_result_time(formation: SimDuration, epoch: SimDuration, max_depth: u16) -> SimDuration {
     let slot = epoch / u64::from(max_depth);
     // Level-1 nodes fire at (max_depth − 1) slots; mean dispersion 30 %.
     formation + slot * u64::from(max_depth - 1) + slot * 3 / 10
@@ -53,11 +49,7 @@ mod tests {
     #[test]
     fn tag_model_matches_papers_schedule() {
         // 2 s formation + 10 s epoch over 20 levels: last report ≈ 11.65 s.
-        let t = tag_result_time(
-            SimDuration::from_secs(2),
-            SimDuration::from_secs(10),
-            20,
-        );
+        let t = tag_result_time(SimDuration::from_secs(2), SimDuration::from_secs(10), 20);
         assert!((t.as_secs_f64() - 11.65).abs() < 0.01, "{t}");
     }
 
@@ -66,7 +58,12 @@ mod tests {
         let s = PhaseSchedule::paper_default();
         let icpda = icpda_result_time(&s);
         let tag = tag_result_time(SimDuration::from_secs(2), SimDuration::from_secs(10), 20);
-        let premium = icpda_premium(&s, SimDuration::from_secs(2), SimDuration::from_secs(10), 20);
+        let premium = icpda_premium(
+            &s,
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(10),
+            20,
+        );
         assert_eq!(icpda.saturating_sub(tag), premium);
         // The default schedules put the premium at ~10 s (measured in
         // Figure 7 as 10.0 s flat across N).

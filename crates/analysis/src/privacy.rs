@@ -63,7 +63,11 @@ mod tests {
     fn extremes() {
         assert_eq!(disclosure_probability(0.0, 4), 0.0);
         assert_eq!(disclosure_probability(1.0, 4), 1.0);
-        assert_eq!(disclosure_probability(0.3, 1), 1.0, "singleton has no cover");
+        assert_eq!(
+            disclosure_probability(0.3, 1),
+            1.0,
+            "singleton has no cover"
+        );
     }
 
     #[test]

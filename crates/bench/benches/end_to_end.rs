@@ -76,8 +76,9 @@ fn bench_flood(c: &mut Criterion) {
     group.bench_function("n400", |bch| {
         bch.iter(|| {
             let dep = paper_deployment(400, 1);
-            let mut sim =
-                Simulator::new(dep, SimConfig::paper_default(), 3, |_| Flood { relayed: false });
+            let mut sim = Simulator::new(dep, SimConfig::paper_default(), 3, |_| Flood {
+                relayed: false,
+            });
             sim.run_to_quiescence(SimTime::from_secs(60));
             sim.events_processed()
         })

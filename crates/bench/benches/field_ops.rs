@@ -12,7 +12,9 @@ fn bench_field(c: &mut Criterion) {
     c.bench_function("fp_inverse", |bch| {
         bch.iter(|| black_box(a).inverse().expect("nonzero"))
     });
-    c.bench_function("fp_pow", |bch| bch.iter(|| black_box(a).pow(black_box(1_000_003))));
+    c.bench_function("fp_pow", |bch| {
+        bch.iter(|| black_box(a).pow(black_box(1_000_003)))
+    });
 }
 
 fn bench_recover(c: &mut Criterion) {

@@ -28,7 +28,9 @@ fn bench_assemble(c: &mut Criterion) {
     let shares: Vec<_> = (0..16)
         .map(|i| generate_shares(&[i as u64], 16, &mut rng)[0].clone())
         .collect();
-    c.bench_function("assemble_16", |bch| bch.iter(|| assemble(black_box(&shares))));
+    c.bench_function("assemble_16", |bch| {
+        bch.iter(|| assemble(black_box(&shares)))
+    });
 }
 
 fn bench_seal_share(c: &mut Criterion) {

@@ -1,6 +1,6 @@
 //! Regenerates the "fig10_ablation" evaluation artefact. See
 //! `icpda_bench::experiments::fig10_ablation`.
 
-fn main() {
-    icpda_bench::experiments::fig10_ablation::run();
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::fig10_ablation::run)
 }

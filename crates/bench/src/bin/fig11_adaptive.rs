@@ -1,6 +1,6 @@
 //! Regenerates the "fig11_adaptive" evaluation artefact. See
 //! `icpda_bench::experiments::fig11_adaptive`.
 
-fn main() {
-    icpda_bench::experiments::fig11_adaptive::run();
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::fig11_adaptive::run)
 }

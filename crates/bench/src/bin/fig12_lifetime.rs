@@ -1,6 +1,6 @@
 //! Regenerates the "fig12_lifetime" evaluation artefact. See
 //! `icpda_bench::experiments::fig12_lifetime`.
 
-fn main() {
-    icpda_bench::experiments::fig12_lifetime::run();
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::fig12_lifetime::run)
 }

@@ -1,6 +1,6 @@
 //! Regenerates the "fig13_keyscheme" evaluation artefact. See
 //! `icpda_bench::experiments::fig13_keyscheme`.
 
-fn main() {
-    icpda_bench::experiments::fig13_keyscheme::run();
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::fig13_keyscheme::run)
 }

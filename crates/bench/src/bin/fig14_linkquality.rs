@@ -1,6 +1,6 @@
 //! Regenerates the "fig14_linkquality" evaluation artefact. See
 //! `icpda_bench::experiments::fig14_linkquality`.
 
-fn main() {
-    icpda_bench::experiments::fig14_linkquality::run();
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::fig14_linkquality::run)
 }

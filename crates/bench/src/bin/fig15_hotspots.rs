@@ -1,6 +1,6 @@
 //! Regenerates the "fig15_hotspots" evaluation artefact. See
 //! `icpda_bench::experiments::fig15_hotspots`.
 
-fn main() {
-    icpda_bench::experiments::fig15_hotspots::run();
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::fig15_hotspots::run)
 }

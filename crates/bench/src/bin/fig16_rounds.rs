@@ -1,6 +1,6 @@
 //! Regenerates the "fig16_rounds" evaluation artefact. See
 //! `icpda_bench::experiments::fig16_rounds`.
 
-fn main() {
-    icpda_bench::experiments::fig16_rounds::run();
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::fig16_rounds::run)
 }

@@ -1,6 +1,6 @@
 //! Regenerates the "fig17_synergy" evaluation artefact. See
 //! `icpda_bench::experiments::fig17_synergy`.
 
-fn main() {
-    icpda_bench::experiments::fig17_synergy::run();
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::fig17_synergy::run)
 }

@@ -1,6 +1,6 @@
 //! Regenerates the "fig2_overhead" evaluation artefact. See
 //! `icpda_bench::experiments::fig2_overhead`.
 
-fn main() {
-    icpda_bench::experiments::fig2_overhead::run();
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::fig2_overhead::run)
 }

@@ -1,6 +1,6 @@
 //! Regenerates the "fig3_accuracy" evaluation artefact. See
 //! `icpda_bench::experiments::fig3_accuracy`.
 
-fn main() {
-    icpda_bench::experiments::fig3_accuracy::run();
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::fig3_accuracy::run)
 }

@@ -1,6 +1,6 @@
 //! Regenerates the "fig4_privacy" evaluation artefact. See
 //! `icpda_bench::experiments::fig4_privacy`.
 
-fn main() {
-    icpda_bench::experiments::fig4_privacy::run();
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::fig4_privacy::run)
 }

@@ -1,6 +1,6 @@
 //! Regenerates the "fig5_integrity" evaluation artefact. See
 //! `icpda_bench::experiments::fig5_integrity`.
 
-fn main() {
-    icpda_bench::experiments::fig5_integrity::run();
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::fig5_integrity::run)
 }

@@ -1,6 +1,6 @@
 //! Regenerates the "fig6_clusters" evaluation artefact. See
 //! `icpda_bench::experiments::fig6_clusters`.
 
-fn main() {
-    icpda_bench::experiments::fig6_clusters::run();
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::fig6_clusters::run)
 }

@@ -1,6 +1,6 @@
 //! Regenerates the "fig7_latency" evaluation artefact. See
 //! `icpda_bench::experiments::fig7_latency`.
 
-fn main() {
-    icpda_bench::experiments::fig7_latency::run();
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::fig7_latency::run)
 }

@@ -1,6 +1,6 @@
 //! Regenerates the "fig9_energy" evaluation artefact. See
 //! `icpda_bench::experiments::fig9_energy`.
 
-fn main() {
-    icpda_bench::experiments::fig9_energy::run();
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::fig9_energy::run)
 }

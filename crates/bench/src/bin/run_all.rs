@@ -1,5 +1,5 @@
 //! Regenerates every table and figure of the evaluation in order.
 
-fn main() {
-    icpda_bench::experiments::run_all();
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::run_all)
 }

@@ -1,6 +1,6 @@
 //! Regenerates the "tab1_degree" evaluation artefact. See
 //! `icpda_bench::experiments::tab1_degree`.
 
-fn main() {
-    icpda_bench::experiments::tab1_degree::run();
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::tab1_degree::run)
 }

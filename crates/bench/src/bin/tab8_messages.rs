@@ -1,6 +1,6 @@
 //! Regenerates the "tab8_messages" evaluation artefact. See
 //! `icpda_bench::experiments::tab8_messages`.
 
-fn main() {
-    icpda_bench::experiments::tab8_messages::run();
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::tab8_messages::run)
 }

@@ -8,40 +8,40 @@
 //! attack goes from ~100 % detected to 0 %).
 
 use super::icpda_round;
+use crate::parallel::par_sweep;
 use crate::{f1, f3, mean, paper_deployment, Table, N_SWEEP};
 use agg::AggFunction;
 use icpda::{IcpdaConfig, IcpdaRun, IntegrityMode, Pollution};
 
 const SEEDS: u64 = 5;
 
-fn detection_rate(n: usize, config: IcpdaConfig) -> f64 {
-    let mut detected = 0u32;
-    for seed in 0..SEEDS {
-        let honest = icpda_round(n, seed, config);
-        let Some(head) = honest
-            .rosters
-            .iter()
-            .find_map(|(node, r)| (r.head() == *node).then_some(*node))
-        else {
-            continue;
-        };
-        let out = IcpdaRun::new(
-            paper_deployment(n, seed),
-            config,
-            agg::readings::count_readings(n),
-            seed.wrapping_mul(31).wrapping_add(7),
-        )
-        .with_attackers([(head, Pollution::inflate(1_000))])
-        .run();
-        if !out.accepted {
-            detected += 1;
-        }
-    }
-    f64::from(detected) / SEEDS as f64
+/// Whether a totals-inflating head is caught in one seeded trial.
+fn detected(n: usize, seed: u64, config: IcpdaConfig) -> bool {
+    let honest = icpda_round(n, seed, config);
+    let Some(head) = honest
+        .rosters
+        .iter()
+        .find_map(|(node, r)| (r.head() == *node).then_some(*node))
+    else {
+        return false;
+    };
+    let out = IcpdaRun::new(
+        paper_deployment(n, seed),
+        config,
+        agg::readings::count_readings(n),
+        seed.wrapping_mul(31).wrapping_add(7),
+    )
+    .with_attackers([(head, Pollution::inflate(1_000))])
+    .run();
+    !out.accepted
 }
 
 /// Regenerates ablation A10.
-pub fn run() {
+///
+/// # Errors
+///
+/// Propagates CSV write failures.
+pub fn run() -> std::io::Result<()> {
     let mut table = Table::new(
         "Ablation A10 — integrity layer on vs. off (CPDA)",
         &[
@@ -58,19 +58,25 @@ pub fn run() {
     let on = IcpdaConfig::paper_default(AggFunction::Count);
     let mut off = on;
     off.integrity = IntegrityMode::Off;
-    for n in N_SWEEP {
-        let mut bytes_on = Vec::new();
-        let mut bytes_off = Vec::new();
-        let mut acc_on = Vec::new();
-        let mut acc_off = Vec::new();
-        for seed in 0..SEEDS {
-            let o = icpda_round(n, seed, on);
-            bytes_on.push(o.total_bytes as f64);
-            acc_on.push(o.accuracy());
-            let f = icpda_round(n, seed, off);
-            bytes_off.push(f.total_bytes as f64);
-            acc_off.push(f.accuracy());
-        }
+    let per_n = par_sweep("fig10_ablation", &N_SWEEP, SEEDS, |&n, seed| {
+        let o = icpda_round(n, seed, on);
+        let f = icpda_round(n, seed, off);
+        (
+            o.total_bytes as f64,
+            o.accuracy(),
+            f.total_bytes as f64,
+            f.accuracy(),
+            detected(n, seed, off),
+            detected(n, seed, on),
+        )
+    });
+    for (n, trials) in N_SWEEP.iter().zip(per_n) {
+        let bytes_on: Vec<f64> = trials.iter().map(|t| t.0).collect();
+        let acc_on: Vec<f64> = trials.iter().map(|t| t.1).collect();
+        let bytes_off: Vec<f64> = trials.iter().map(|t| t.2).collect();
+        let acc_off: Vec<f64> = trials.iter().map(|t| t.3).collect();
+        let detect_off = trials.iter().filter(|t| t.4).count() as f64 / SEEDS as f64;
+        let detect_on = trials.iter().filter(|t| t.5).count() as f64 / SEEDS as f64;
         let (bo, bf) = (mean(&bytes_on), mean(&bytes_off));
         table.row(vec![
             n.to_string(),
@@ -79,9 +85,9 @@ pub fn run() {
             f1((bo / bf - 1.0) * 100.0),
             f3(mean(&acc_off)),
             f3(mean(&acc_on)),
-            f3(detection_rate(n, off)),
-            f3(detection_rate(n, on)),
+            f3(detect_off),
+            f3(detect_on),
         ]);
     }
-    table.emit("fig10_ablation");
+    table.emit("fig10_ablation")
 }

@@ -8,6 +8,7 @@
 //! sizes grow — trading share-exchange weight for backbone thinness.
 
 use super::icpda_round;
+use crate::parallel::par_sweep;
 use crate::{f1, f3, mean, Table};
 use agg::AggFunction;
 use icpda::{HeadElection, IcpdaConfig};
@@ -15,7 +16,11 @@ use icpda::{HeadElection, IcpdaConfig};
 const SEEDS: u64 = 5;
 
 /// Regenerates ablation A11.
-pub fn run() {
+///
+/// # Errors
+///
+/// Propagates CSV write failures.
+pub fn run() -> std::io::Result<()> {
     let mut table = Table::new(
         "Ablation A11 — fixed p_c = 0.25 vs. adaptive k",
         &[
@@ -27,34 +32,44 @@ pub fn run() {
             "accuracy",
         ],
     );
-    for n in [200usize, 400, 600] {
-        for (label, election) in [
-            ("fixed 0.25", HeadElection::Fixed(0.25)),
-            ("adaptive k=3", HeadElection::Adaptive { k: 3.0 }),
-            ("adaptive k=5", HeadElection::Adaptive { k: 5.0 }),
-        ] {
-            let mut heads = Vec::new();
-            let mut sizes = Vec::new();
-            let mut part = Vec::new();
-            let mut acc = Vec::new();
-            for seed in 0..SEEDS {
-                let mut config = IcpdaConfig::paper_default(AggFunction::Count);
-                config.election = election;
-                let out = icpda_round(n, seed, config);
-                heads.push(out.heads as f64 / (n - 1) as f64);
-                sizes.push(out.mean_cluster_size());
-                part.push(out.included as f64 / (n - 1) as f64);
-                acc.push(out.accuracy());
-            }
-            table.row(vec![
-                n.to_string(),
-                label.to_string(),
-                f3(mean(&heads)),
-                f1(mean(&sizes)),
-                f3(mean(&part)),
-                f3(mean(&acc)),
-            ]);
-        }
+    let elections = [
+        ("fixed 0.25", HeadElection::Fixed(0.25)),
+        ("adaptive k=3", HeadElection::Adaptive { k: 3.0 }),
+        ("adaptive k=5", HeadElection::Adaptive { k: 5.0 }),
+    ];
+    let cases: Vec<(usize, &str, HeadElection)> = [200usize, 400, 600]
+        .iter()
+        .flat_map(|&n| elections.iter().map(move |&(l, e)| (n, l, e)))
+        .collect();
+    let per_case = par_sweep(
+        "fig11_adaptive",
+        &cases,
+        SEEDS,
+        |&(n, _, election), seed| {
+            let mut config = IcpdaConfig::paper_default(AggFunction::Count);
+            config.election = election;
+            let out = icpda_round(n, seed, config);
+            (
+                out.heads as f64 / (n - 1) as f64,
+                out.mean_cluster_size(),
+                out.included as f64 / (n - 1) as f64,
+                out.accuracy(),
+            )
+        },
+    );
+    for ((n, label, _), trials) in cases.iter().zip(per_case) {
+        let heads: Vec<f64> = trials.iter().map(|t| t.0).collect();
+        let sizes: Vec<f64> = trials.iter().map(|t| t.1).collect();
+        let part: Vec<f64> = trials.iter().map(|t| t.2).collect();
+        let acc: Vec<f64> = trials.iter().map(|t| t.3).collect();
+        table.row(vec![
+            n.to_string(),
+            (*label).to_string(),
+            f3(mean(&heads)),
+            f1(mean(&sizes)),
+            f3(mean(&part)),
+            f3(mean(&acc)),
+        ]);
     }
-    table.emit("fig11_adaptive");
+    table.emit("fig11_adaptive")
 }

@@ -9,6 +9,7 @@
 //! *lifetime* is larger than in bytes because overhearing burns receive
 //! energy at every neighbour.
 
+use crate::parallel::par_sweep;
 use crate::{f1, mean, paper_deployment, Table, N_SWEEP};
 use agg::tag::{TagConfig, TagNode};
 use agg::AggFunction;
@@ -51,7 +52,11 @@ fn per_round_max_mj(n: usize, seed: u64) -> (f64, f64) {
 }
 
 /// Regenerates extension E12.
-pub fn run() {
+///
+/// # Errors
+///
+/// Propagates CSV write failures.
+pub fn run() -> std::io::Result<()> {
     let mut table = Table::new(
         "Extension E12 — network lifetime (rounds until first node exhausts a 50 J radio budget)",
         &[
@@ -63,14 +68,13 @@ pub fn run() {
             "lifetime ratio",
         ],
     );
-    for n in N_SWEEP {
-        let mut tag_max = Vec::new();
-        let mut icpda_max = Vec::new();
-        for seed in 0..SEEDS {
-            let (t, i) = per_round_max_mj(n, seed);
-            tag_max.push(t);
-            icpda_max.push(i);
-        }
+    let per_n = par_sweep("fig12_lifetime", &N_SWEEP, SEEDS, |&n, seed| {
+        per_round_max_mj(n, seed)
+    });
+    for (n, trials) in N_SWEEP.iter().zip(per_n) {
+        let n = *n;
+        let tag_max: Vec<f64> = trials.iter().map(|t| t.0).collect();
+        let icpda_max: Vec<f64> = trials.iter().map(|t| t.1).collect();
         let (t, i) = (mean(&tag_max), mean(&icpda_max));
         let (lt, li) = (BUDGET_MJ / t, BUDGET_MJ / i);
         table.row(vec![
@@ -82,5 +86,5 @@ pub fn run() {
             f1(lt / li),
         ]);
     }
-    table.emit("fig12_lifetime");
+    table.emit("fig12_lifetime")
 }

@@ -11,6 +11,7 @@
 //! pool / larger the rings.
 
 use super::icpda_round;
+use crate::parallel::par_sweep;
 use crate::{f3, mean, Table};
 use agg::AggFunction;
 use icpda::{evaluate_disclosure, evaluate_disclosure_with_keys, IcpdaConfig};
@@ -26,7 +27,11 @@ const N: usize = 600;
 const SAMPLES: u64 = 10;
 
 /// Regenerates extension E13.
-pub fn run() {
+///
+/// # Errors
+///
+/// Propagates CSV write failures.
+pub fn run() -> std::io::Result<()> {
     let outcome = icpda_round(N, 1, IcpdaConfig::paper_default(AggFunction::Count));
     let mut table = Table::new(
         "Extension E13 — P_disclose vs. captured nodes, by key scheme (N = 600)",
@@ -39,12 +44,12 @@ pub fn run() {
         ],
     );
     let node_pool: Vec<NodeId> = (1..N as u32).map(NodeId::new).collect();
-    for captured_count in [0usize, 5, 10, 20, 40, 80] {
-        let mut pairwise = Vec::new();
-        let mut eg_1000_50 = Vec::new();
-        let mut eg_1000_200 = Vec::new();
-        let mut eg_200_50 = Vec::new();
-        for sample in 0..SAMPLES {
+    let counts = [0usize, 5, 10, 20, 40, 80];
+    let per_count = par_sweep(
+        "fig13_keyscheme",
+        &counts,
+        SAMPLES,
+        |&captured_count, sample| {
             let mut rng = ChaCha8Rng::seed_from_u64(sample * 71 + 3);
             let captured: HashSet<NodeId> = node_pool
                 .choose_multiple(&mut rng, captured_count)
@@ -56,19 +61,24 @@ pub fn run() {
             for &c in &captured {
                 adv.compromise_node(c);
             }
-            pairwise.push(evaluate_disclosure(&outcome.rosters, &adv).probability());
-            for (pool, ring, acc) in [
-                (1000u32, 50usize, &mut eg_1000_50),
-                (1000, 200, &mut eg_1000_200),
-                (200, 50, &mut eg_200_50),
-            ] {
+            let pairwise = evaluate_disclosure(&outcome.rosters, &adv).probability();
+            let mut eg = [0.0f64; 3];
+            for ((pool, ring), slot) in [(1000u32, 50usize), (1000, 200), (200, 50)]
+                .into_iter()
+                .zip(&mut eg)
+            {
                 let keys = RandomPredistribution::generate(N, pool, ring, &mut rng);
-                acc.push(
-                    evaluate_disclosure_with_keys(&outcome.rosters, &keys, &captured)
-                        .probability(),
-                );
+                *slot =
+                    evaluate_disclosure_with_keys(&outcome.rosters, &keys, &captured).probability();
             }
-        }
+            (pairwise, eg[0], eg[1], eg[2])
+        },
+    );
+    for (captured_count, samples) in counts.iter().zip(per_count) {
+        let pairwise: Vec<f64> = samples.iter().map(|s| s.0).collect();
+        let eg_1000_50: Vec<f64> = samples.iter().map(|s| s.1).collect();
+        let eg_1000_200: Vec<f64> = samples.iter().map(|s| s.2).collect();
+        let eg_200_50: Vec<f64> = samples.iter().map(|s| s.3).collect();
         table.row(vec![
             captured_count.to_string(),
             f3(mean(&pairwise)),
@@ -77,5 +87,5 @@ pub fn run() {
             f3(mean(&eg_200_50)),
         ]);
     }
-    table.emit("fig13_keyscheme");
+    table.emit("fig13_keyscheme")
 }

@@ -10,6 +10,7 @@
 //! quantifying how much of the paper's accuracy rests on channel
 //! quality.
 
+use crate::parallel::par_sweep;
 use crate::{f3, mean, paper_deployment, Table};
 use agg::tag::{run_tag, TagConfig};
 use agg::AggFunction;
@@ -20,49 +21,59 @@ const N: usize = 400;
 const SEEDS: u64 = 5;
 
 /// Regenerates extension E14.
-pub fn run() {
+///
+/// # Errors
+///
+/// Propagates CSV write failures.
+pub fn run() -> std::io::Result<()> {
     let mut table = Table::new(
         "Extension E14 — accuracy under edge-of-range loss (N = 400, loss = e·(d/r)^4)",
-        &["edge loss e", "TAG accuracy", "iCPDA accuracy", "honest rejects"],
+        &[
+            "edge loss e",
+            "TAG accuracy",
+            "iCPDA accuracy",
+            "honest rejects",
+        ],
     );
-    for edge_loss in [0.0, 0.1, 0.2, 0.3, 0.5] {
+    let losses = [0.0, 0.1, 0.2, 0.3, 0.5];
+    let per_loss = par_sweep("fig14_linkquality", &losses, SEEDS, |&edge_loss, seed| {
         let mut sim_config = SimConfig::paper_default();
         sim_config.loss = LossModel::DistanceDependent {
             alpha: 4.0,
             edge_loss,
         };
-        let mut tag_acc = Vec::new();
-        let mut icpda_acc = Vec::new();
-        let mut rejects = 0u32;
-        for seed in 0..SEEDS {
-            let readings = agg::readings::count_readings(N);
-            let t = run_tag(
-                paper_deployment(N, seed),
-                sim_config,
-                TagConfig::paper_default(AggFunction::Count),
-                &readings,
-                seed + 1,
-            );
-            tag_acc.push(agg::accuracy_ratio(t.value, t.truth));
-            let i = IcpdaRun::new(
-                paper_deployment(N, seed),
-                IcpdaConfig::paper_default(AggFunction::Count),
-                readings,
-                seed + 1,
-            )
-            .with_sim_config(sim_config)
-            .run();
-            icpda_acc.push(i.accuracy());
-            if !i.accepted {
-                rejects += 1;
-            }
-        }
+        let readings = agg::readings::count_readings(N);
+        let t = run_tag(
+            paper_deployment(N, seed),
+            sim_config,
+            TagConfig::paper_default(AggFunction::Count),
+            &readings,
+            seed + 1,
+        );
+        let i = IcpdaRun::new(
+            paper_deployment(N, seed),
+            IcpdaConfig::paper_default(AggFunction::Count),
+            readings,
+            seed + 1,
+        )
+        .with_sim_config(sim_config)
+        .run();
+        (
+            agg::accuracy_ratio(t.value, t.truth),
+            i.accuracy(),
+            !i.accepted,
+        )
+    });
+    for (edge_loss, trials) in losses.iter().zip(per_loss) {
+        let tag_acc: Vec<f64> = trials.iter().map(|t| t.0).collect();
+        let icpda_acc: Vec<f64> = trials.iter().map(|t| t.1).collect();
+        let rejects = trials.iter().filter(|t| t.2).count();
         table.row(vec![
-            f3(edge_loss),
+            f3(*edge_loss),
             f3(mean(&tag_acc)),
             f3(mean(&icpda_acc)),
             format!("{rejects}/{SEEDS}"),
         ]);
     }
-    table.emit("fig14_linkquality");
+    table.emit("fig14_linkquality")
 }

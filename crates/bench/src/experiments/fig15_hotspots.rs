@@ -11,6 +11,7 @@
 //! strain the channel. Fixed `p_c` scales head count with the local
 //! population and degrades much more gracefully.
 
+use crate::parallel::par_trials;
 use crate::{f1, f3, mean, Table};
 use agg::AggFunction;
 use icpda::{HeadElection, IcpdaConfig, IcpdaRun};
@@ -23,29 +24,39 @@ const N: usize = 400;
 const SEEDS: u64 = 5;
 
 fn run_on(
-    deploy: impl Fn(u64) -> Deployment,
+    label: &str,
+    deploy: impl Fn(u64) -> Deployment + Sync,
     election: HeadElection,
 ) -> (f64, f64, f64) {
-    let mut acc = Vec::new();
-    let mut part = Vec::new();
-    let mut degree = Vec::new();
-    for seed in 0..SEEDS {
+    let trials = par_trials(label, SEEDS, |seed| {
         let dep = deploy(seed);
-        degree.push(dep.average_degree());
+        let degree = dep.average_degree();
         let mut config = IcpdaConfig::paper_default(AggFunction::Count);
         config.election = election;
         let out = IcpdaRun::new(dep, config, agg::readings::count_readings(N), seed + 1).run();
-        acc.push(out.accuracy());
-        part.push(out.included as f64 / (N - 1) as f64);
-    }
+        (degree, out.accuracy(), out.included as f64 / (N - 1) as f64)
+    });
+    let degree: Vec<f64> = trials.iter().map(|t| t.0).collect();
+    let acc: Vec<f64> = trials.iter().map(|t| t.1).collect();
+    let part: Vec<f64> = trials.iter().map(|t| t.2).collect();
     (mean(&degree), mean(&acc), mean(&part))
 }
 
 /// Regenerates extension E15.
-pub fn run() {
+///
+/// # Errors
+///
+/// Propagates CSV write failures.
+pub fn run() -> std::io::Result<()> {
     let mut table = Table::new(
         "Extension E15 — uniform vs. hotspot deployments (N = 400)",
-        &["deployment", "election", "mean degree", "accuracy", "participation"],
+        &[
+            "deployment",
+            "election",
+            "mean degree",
+            "accuracy",
+            "participation",
+        ],
     );
     let uniform = |seed: u64| {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -61,16 +72,14 @@ pub fn run() {
         ("fixed 0.25", HeadElection::Fixed(0.25)),
         ("adaptive k=4", HeadElection::Adaptive { k: 4.0 }),
     ] {
-        let (d, a, p) = run_on(uniform, election);
-        table.row(vec![
-            "uniform".into(),
-            name.into(),
-            f1(d),
-            f3(a),
-            f3(p),
-        ]);
+        let (d, a, p) = run_on(&format!("fig15 uniform/{name}"), uniform, election);
+        table.row(vec!["uniform".into(), name.into(), f1(d), f3(a), f3(p)]);
         for spots in [4usize, 8] {
-            let (d, a, p) = run_on(hotspots(spots), election);
+            let (d, a, p) = run_on(
+                &format!("fig15 {spots}-hotspots/{name}"),
+                hotspots(spots),
+                election,
+            );
             table.row(vec![
                 format!("{spots} hotspots"),
                 name.into(),
@@ -80,5 +89,5 @@ pub fn run() {
             ]);
         }
     }
-    table.emit("fig15_hotspots");
+    table.emit("fig15_hotspots")
 }

@@ -9,6 +9,7 @@
 //! the traffic; an honest datum for anyone hoping cluster reuse pays
 //! for the privacy overhead.
 
+use crate::parallel::par_sweep;
 use crate::{f1, f3, mean, paper_deployment, Table};
 use agg::AggFunction;
 use icpda::{IcpdaConfig, IcpdaRun};
@@ -16,34 +17,12 @@ use icpda::{IcpdaConfig, IcpdaRun};
 const N: usize = 400;
 const SEEDS: u64 = 5;
 
-fn bytes_with_rounds(rounds: u16) -> (f64, f64) {
-    let mut bytes = Vec::new();
-    let mut acc = Vec::new();
-    for seed in 0..SEEDS {
-        let mut config = IcpdaConfig::paper_default(AggFunction::Count);
-        config.rounds = rounds;
-        let out = IcpdaRun::new(
-            paper_deployment(N, seed),
-            config,
-            agg::readings::count_readings(N),
-            seed + 1,
-        )
-        .run();
-        bytes.push(out.total_bytes as f64);
-        // Mean accuracy over the session's rounds.
-        let mean_acc = out
-            .decisions
-            .iter()
-            .map(|d| d.value / out.truth.max(1.0))
-            .sum::<f64>()
-            / out.decisions.len() as f64;
-        acc.push(mean_acc);
-    }
-    (mean(&bytes), mean(&acc))
-}
-
 /// Regenerates extension E16.
-pub fn run() {
+///
+/// # Errors
+///
+/// Propagates CSV write failures.
+pub fn run() -> std::io::Result<()> {
     let mut table = Table::new(
         "Extension E16 — multi-round sessions over persistent clusters (N = 400)",
         &[
@@ -54,24 +33,45 @@ pub fn run() {
             "mean accuracy",
         ],
     );
-    let (first, acc1) = bytes_with_rounds(1);
-    table.row(vec![
-        "1".into(),
-        f1(first),
-        f1(first),
-        "-".into(),
-        f3(acc1),
-    ]);
-    for rounds in [2u16, 4, 8] {
-        let (total, acc) = bytes_with_rounds(rounds);
+    let round_counts = [1u16, 2, 4, 8];
+    let per_rounds = par_sweep("fig16_rounds", &round_counts, SEEDS, |&rounds, seed| {
+        let mut config = IcpdaConfig::paper_default(AggFunction::Count);
+        config.rounds = rounds;
+        let out = IcpdaRun::new(
+            paper_deployment(N, seed),
+            config,
+            agg::readings::count_readings(N),
+            seed + 1,
+        )
+        .run();
+        // Mean accuracy over the session's rounds.
+        let mean_acc = out
+            .decisions
+            .iter()
+            .map(|d| d.value / out.truth.max(1.0))
+            .sum::<f64>()
+            / out.decisions.len() as f64;
+        (out.total_bytes as f64, mean_acc)
+    });
+    let summaries: Vec<(f64, f64)> = per_rounds
+        .iter()
+        .map(|trials| {
+            let bytes: Vec<f64> = trials.iter().map(|t| t.0).collect();
+            let acc: Vec<f64> = trials.iter().map(|t| t.1).collect();
+            (mean(&bytes), mean(&acc))
+        })
+        .collect();
+    let (first, acc1) = summaries[0];
+    table.row(vec!["1".into(), f1(first), f1(first), "-".into(), f3(acc1)]);
+    for (rounds, (total, acc)) in round_counts[1..].iter().zip(&summaries[1..]) {
         let marginal = (total - first) / f64::from(rounds - 1);
         table.row(vec![
             rounds.to_string(),
-            f1(total),
-            f1(total / f64::from(rounds)),
+            f1(*total),
+            f1(total / f64::from(*rounds)),
             f1(marginal),
-            f3(acc),
+            f3(*acc),
         ]);
     }
-    table.emit("fig16_rounds");
+    table.emit("fig16_rounds")
 }

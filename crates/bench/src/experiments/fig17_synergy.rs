@@ -11,45 +11,40 @@
 //! forging head is not an add-on; it is a dividend of the privacy
 //! layer's broadcast assemblies.
 
+use crate::parallel::par_trials;
 use crate::{f1, f3, paper_deployment, Table, TRIALS};
 use agg::AggFunction;
 use icpda::{IcpdaConfig, IcpdaRun, Pollution, PrivacyMode};
 
 const N: usize = 400;
 
-fn detection_rate(config: IcpdaConfig, pollution: Pollution) -> f64 {
-    let mut detected = 0u32;
-    let mut attempts = 0u32;
-    for seed in 0..TRIALS {
+fn detection_rate(label: &str, config: IcpdaConfig, pollution: Pollution) -> f64 {
+    // Per trial: None when no head formed, else whether the forgery
+    // was caught.
+    let verdicts = par_trials(label, TRIALS, |seed| {
         let dep = paper_deployment(N, seed);
         let readings = agg::readings::count_readings(N);
         let honest = IcpdaRun::new(dep.clone(), config, readings.clone(), seed + 1).run();
-        let Some(head) = honest
+        let head = honest
             .rosters
             .iter()
-            .find_map(|(n, r)| (r.head() == *n).then_some(*n))
-        else {
-            continue;
-        };
-        attempts += 1;
+            .find_map(|(n, r)| (r.head() == *n).then_some(*n))?;
         let out = IcpdaRun::new(dep, config, readings, seed + 1)
             .with_attackers([(head, pollution)])
             .run();
-        if !out.accepted {
-            detected += 1;
-        }
-    }
+        Some(!out.accepted)
+    });
+    let attempts = verdicts.iter().flatten().count();
+    let detected = verdicts.iter().flatten().filter(|&&d| d).count();
     if attempts == 0 {
         0.0
     } else {
-        f64::from(detected) / f64::from(attempts)
+        detected as f64 / attempts as f64
     }
 }
 
-fn stats(config: IcpdaConfig) -> (f64, f64) {
-    let mut bytes = 0.0;
-    let mut acc = 0.0;
-    for seed in 0..TRIALS {
+fn stats(label: &str, config: IcpdaConfig) -> (f64, f64) {
+    let trials = par_trials(label, TRIALS, |seed| {
         let out = IcpdaRun::new(
             paper_deployment(N, seed),
             config,
@@ -57,16 +52,21 @@ fn stats(config: IcpdaConfig) -> (f64, f64) {
             seed + 1,
         )
         .run();
-        bytes += out.total_bytes as f64;
-        acc += out.accuracy();
-    }
+        (out.total_bytes as f64, out.accuracy())
+    });
+    let bytes: f64 = trials.iter().map(|t| t.0).sum();
+    let acc: f64 = trials.iter().map(|t| t.1).sum();
     (bytes / TRIALS as f64, acc / TRIALS as f64)
 }
 
 /// Regenerates ablation A17. Attackers are heads identified via the
 /// roster list (in privacy-off mode rosters still record who
 /// contributed, via the raw-reading path).
-pub fn run() {
+///
+/// # Errors
+///
+/// Propagates CSV write failures.
+pub fn run() -> std::io::Result<()> {
     let mut table = Table::new(
         "Ablation A17 — privacy⇄integrity synergy (N = 400, one forging head)",
         &[
@@ -77,17 +77,28 @@ pub fn run() {
             "detect consistent forgery",
         ],
     );
-    for (label, privacy) in [("on", PrivacyMode::On), ("off (raw to head)", PrivacyMode::Off)] {
+    for (label, privacy) in [
+        ("on", PrivacyMode::On),
+        ("off (raw to head)", PrivacyMode::Off),
+    ] {
         let mut config = IcpdaConfig::paper_default(AggFunction::Count);
         config.privacy = privacy;
-        let (bytes, acc) = stats(config);
+        let (bytes, acc) = stats(&format!("fig17 stats/{label}"), config);
         table.row(vec![
             label.into(),
             f1(bytes),
             f3(acc),
-            f3(detection_rate(config, Pollution::inflate(5_000))),
-            f3(detection_rate(config, Pollution::forge_input(5_000))),
+            f3(detection_rate(
+                &format!("fig17 naive/{label}"),
+                config,
+                Pollution::inflate(5_000),
+            )),
+            f3(detection_rate(
+                &format!("fig17 forge/{label}"),
+                config,
+                Pollution::forge_input(5_000),
+            )),
         ]);
     }
-    table.emit("fig17_synergy");
+    table.emit("fig17_synergy")
 }

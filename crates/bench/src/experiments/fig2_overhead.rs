@@ -8,6 +8,7 @@
 //! cluster analogue of the paper family's `(2l+1)/2` overhead ratio.
 
 use super::{icpda_round, tag_round};
+use crate::parallel::par_sweep;
 use crate::{f1, f3, mean, Table, N_SWEEP};
 use agg::AggFunction;
 use icpda::{IcpdaConfig, IntegrityMode};
@@ -16,7 +17,11 @@ use icpda_analysis::overhead::predicted_ratio;
 const SEEDS: u64 = 5;
 
 /// Regenerates Figure 2.
-pub fn run() {
+///
+/// # Errors
+///
+/// Propagates CSV write failures.
+pub fn run() -> std::io::Result<()> {
     let mut table = Table::new(
         "Figure 2 — total on-air bytes per COUNT query",
         &[
@@ -29,20 +34,19 @@ pub fn run() {
             "msg-ratio model",
         ],
     );
-    for n in N_SWEEP {
-        let mut tag_bytes = Vec::new();
-        let mut cpda_bytes = Vec::new();
-        let mut icpda_bytes = Vec::new();
-        let mut mean_m = Vec::new();
-        for seed in 0..SEEDS {
-            tag_bytes.push(tag_round(n, seed, AggFunction::Count).total_bytes as f64);
-            let mut off = IcpdaConfig::paper_default(AggFunction::Count);
-            off.integrity = IntegrityMode::Off;
-            cpda_bytes.push(icpda_round(n, seed, off).total_bytes as f64);
-            let on = icpda_round(n, seed, IcpdaConfig::paper_default(AggFunction::Count));
-            mean_m.push(on.mean_cluster_size());
-            icpda_bytes.push(on.total_bytes as f64);
-        }
+    let per_n = par_sweep("fig2_overhead", &N_SWEEP, SEEDS, |&n, seed| {
+        let tag = tag_round(n, seed, AggFunction::Count).total_bytes as f64;
+        let mut off = IcpdaConfig::paper_default(AggFunction::Count);
+        off.integrity = IntegrityMode::Off;
+        let cpda = icpda_round(n, seed, off).total_bytes as f64;
+        let on = icpda_round(n, seed, IcpdaConfig::paper_default(AggFunction::Count));
+        (tag, cpda, on.total_bytes as f64, on.mean_cluster_size())
+    });
+    for (n, trials) in N_SWEEP.iter().zip(per_n) {
+        let tag_bytes: Vec<f64> = trials.iter().map(|t| t.0).collect();
+        let cpda_bytes: Vec<f64> = trials.iter().map(|t| t.1).collect();
+        let icpda_bytes: Vec<f64> = trials.iter().map(|t| t.2).collect();
+        let mean_m: Vec<f64> = trials.iter().map(|t| t.3).collect();
         let (t, c, i) = (mean(&tag_bytes), mean(&cpda_bytes), mean(&icpda_bytes));
         table.row(vec![
             n.to_string(),
@@ -54,5 +58,5 @@ pub fn run() {
             f3(predicted_ratio(mean(&mean_m).max(2.0))),
         ]);
     }
-    table.emit("fig2_overhead");
+    table.emit("fig2_overhead")
 }

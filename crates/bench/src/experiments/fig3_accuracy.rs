@@ -10,6 +10,7 @@
 //! larger than 18" conclusion.
 
 use super::{icpda_round, tag_round};
+use crate::parallel::par_sweep;
 use crate::{f3, mean, stddev, Table, N_SWEEP, RADIO_RANGE, TRIALS};
 use agg::AggFunction;
 use icpda::IcpdaConfig;
@@ -17,7 +18,11 @@ use icpda_analysis::coverage::{expected_degree, participation_bound};
 use wsn_sim::geometry::Region;
 
 /// Regenerates Figure 3.
-pub fn run() {
+///
+/// # Errors
+///
+/// Propagates CSV write failures.
+pub fn run() -> std::io::Result<()> {
     let mut table = Table::new(
         "Figure 3 — COUNT accuracy (collected / truth)",
         &[
@@ -31,18 +36,20 @@ pub fn run() {
             "participation bound",
         ],
     );
-    for n in N_SWEEP {
-        let mut tag_acc = Vec::new();
-        let mut icpda_acc = Vec::new();
-        let mut part = Vec::new();
-        for seed in 0..TRIALS {
-            let t = tag_round(n, seed, AggFunction::Count);
-            tag_acc.push(agg::accuracy_ratio(t.value, t.truth));
-            let i = icpda_round(n, seed, IcpdaConfig::paper_default(AggFunction::Count));
-            icpda_acc.push(i.accuracy());
-            part.push(i.included as f64 / (n - 1) as f64);
-        }
-        let degree = expected_degree(n, Region::paper_default(), RADIO_RANGE);
+    let per_n = par_sweep("fig3_accuracy", &N_SWEEP, TRIALS, |&n, seed| {
+        let t = tag_round(n, seed, AggFunction::Count);
+        let i = icpda_round(n, seed, IcpdaConfig::paper_default(AggFunction::Count));
+        (
+            agg::accuracy_ratio(t.value, t.truth),
+            i.accuracy(),
+            i.included as f64 / (n - 1) as f64,
+        )
+    });
+    for (n, trials) in N_SWEEP.iter().zip(per_n) {
+        let tag_acc: Vec<f64> = trials.iter().map(|t| t.0).collect();
+        let icpda_acc: Vec<f64> = trials.iter().map(|t| t.1).collect();
+        let part: Vec<f64> = trials.iter().map(|t| t.2).collect();
+        let degree = expected_degree(*n, Region::paper_default(), RADIO_RANGE);
         table.row(vec![
             n.to_string(),
             f3(degree),
@@ -54,5 +61,5 @@ pub fn run() {
             f3(participation_bound(0.25, degree)),
         ]);
     }
-    table.emit("fig3_accuracy");
+    table.emit("fig3_accuracy")
 }

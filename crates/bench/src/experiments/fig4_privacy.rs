@@ -10,6 +10,7 @@
 //! paper's operating range.
 
 use super::icpda_round;
+use crate::parallel::{par_map, par_trials};
 use crate::{f3, mean, Table};
 use agg::AggFunction;
 use icpda::{evaluate_disclosure, IcpdaConfig, IcpdaRun};
@@ -25,11 +26,15 @@ const RUNS: u64 = 3;
 const ADVERSARIES: u64 = 30;
 
 /// Regenerates Figure 4.
-pub fn run() {
+///
+/// # Errors
+///
+/// Propagates CSV write failures.
+pub fn run() -> std::io::Result<()> {
     // Collect rosters from several large runs once.
-    let outcomes: Vec<_> = (0..RUNS)
-        .map(|seed| icpda_round(N, seed, IcpdaConfig::paper_default(AggFunction::Count)))
-        .collect();
+    let outcomes = par_trials("fig4_privacy rosters", RUNS, |seed| {
+        icpda_round(N, seed, IcpdaConfig::paper_default(AggFunction::Count))
+    });
     let cluster_sizes: Vec<usize> = outcomes
         .iter()
         .flat_map(|o| o.cluster_sizes.iter().copied())
@@ -46,7 +51,9 @@ pub fn run() {
             "Monte-Carlo",
         ],
     );
-    for step in 1..=10u32 {
+    let steps: Vec<u32> = (1..=10u32).collect();
+    let step_jobs: Vec<(String, u32)> = steps.iter().map(|s| (format!("p_x={s}%"), *s)).collect();
+    let monte_carlo = par_map("fig4_privacy monte-carlo", step_jobs, |&step| {
         let p_x = f64::from(step) / 100.0;
         let mut measured = Vec::new();
         for (i, out) in outcomes.iter().enumerate() {
@@ -55,16 +62,20 @@ pub fn run() {
                 measured.push(evaluate_disclosure(&out.rosters, &adv).probability());
             }
         }
+        mean(&measured)
+    });
+    for (step, measured) in steps.iter().zip(monte_carlo) {
+        let p_x = f64::from(*step) / 100.0;
         table.row(vec![
             f3(p_x),
             format!("{:.5}", disclosure_probability(p_x, 3)),
             format!("{:.5}", disclosure_probability(p_x, 4)),
             format!("{:.5}", disclosure_probability(p_x, 5)),
             format!("{:.5}", mixed_disclosure(p_x, &cluster_sizes)),
-            format!("{:.5}", mean(&measured)),
+            format!("{:.5}", measured),
         ]);
     }
-    table.emit("fig4_privacy");
+    table.emit("fig4_privacy")?;
 
     // The paper family's exact setup for this figure: 1000 nodes at
     // average degree 7 and 17 (region side chosen to hit the density).
@@ -74,8 +85,11 @@ pub fn run() {
         "Figure 4b — P_disclose at N = 1000, average degree 7 vs. 17 (paper's setup)",
         &["p_x", "degree≈7 measured", "degree≈17 measured"],
     );
-    let mut per_density = Vec::new();
-    for target_degree in [7.0f64, 17.0] {
+    let degree_jobs: Vec<(String, f64)> = [7.0f64, 17.0]
+        .iter()
+        .map(|d| (format!("degree={d}"), *d))
+        .collect();
+    let per_density = par_map("fig4b_density runs", degree_jobs, |&target_degree| {
         // (n−1)·πr²/A = degree  ⇒  side = sqrt((n−1)·πr²/degree).
         let side = ((999.0 * std::f64::consts::PI * 2500.0) / target_degree).sqrt();
         let mut rng = ChaCha8Rng::seed_from_u64(4);
@@ -85,15 +99,14 @@ pub fn run() {
             50.0,
             &mut rng,
         );
-        let out = IcpdaRun::new(
+        IcpdaRun::new(
             dep,
             IcpdaConfig::paper_default(AggFunction::Count),
             agg::readings::count_readings(1000),
             9,
         )
-        .run();
-        per_density.push(out);
-    }
+        .run()
+    });
     for step in [2u32, 5, 10] {
         let p_x = f64::from(step) / 100.0;
         let mut cells = vec![f3(p_x)];
@@ -107,5 +120,5 @@ pub fn run() {
         }
         density_table.row(cells);
     }
-    density_table.emit("fig4b_density");
+    density_table.emit("fig4b_density")
 }

@@ -15,6 +15,7 @@
 //!    to benign deviation — the paper's threshold-selection experiment.
 
 use super::icpda_round;
+use crate::parallel::par_map;
 use crate::{f3, paper_deployment, Table, TRIALS};
 use agg::AggFunction;
 use icpda::{IcpdaConfig, IcpdaRun, Pollution};
@@ -43,7 +44,11 @@ fn attacked_run(seed: u64, attackers: &[(NodeId, Pollution)], config: IcpdaConfi
 }
 
 /// Regenerates Figure 5.
-pub fn run() {
+///
+/// # Errors
+///
+/// Propagates CSV write failures.
+pub fn run() -> std::io::Result<()> {
     let config = IcpdaConfig::paper_default(AggFunction::Count);
 
     let mut table = Table::new(
@@ -56,26 +61,37 @@ pub fn run() {
         ],
     );
     // k = 0 row measures the honest false-reject rate.
-    for k in [0usize, 1, 2, 4, 8] {
-        let mut rates = [0.0f64; 3];
-        for (mi, mk) in [
-            Pollution::inflate(1_000),
-            Pollution::forge_input(1_000),
-            Pollution::phantom(1_000, 10),
-        ]
+    let ks = [0usize, 1, 2, 4, 8];
+    let pollutions = [
+        Pollution::inflate(1_000),
+        Pollution::forge_input(1_000),
+        Pollution::phantom(1_000, 10),
+    ];
+    let jobs: Vec<(String, (usize, usize, u64))> = ks
         .iter()
         .enumerate()
-        {
-            let mut detected = 0u32;
-            for seed in 0..TRIALS {
-                let heads = pick_heads(N, seed, k);
-                let attackers: Vec<(NodeId, Pollution)> =
-                    heads.iter().map(|&h| (h, *mk)).collect();
-                if attacked_run(seed, &attackers, config) {
-                    detected += 1;
-                }
-            }
-            rates[mi] = f64::from(detected) / TRIALS as f64;
+        .flat_map(|(ki, &k)| {
+            pollutions.iter().enumerate().flat_map(move |(mi, _)| {
+                (0..TRIALS).map(move |seed| (format!("k={k}/m{mi}/seed={seed}"), (ki, mi, seed)))
+            })
+        })
+        .collect();
+    let detected = par_map("fig5a_detection", jobs, |&(ki, mi, seed)| {
+        let heads = pick_heads(N, seed, ks[ki]);
+        let attackers: Vec<(NodeId, Pollution)> =
+            heads.iter().map(|&h| (h, pollutions[mi])).collect();
+        attacked_run(seed, &attackers, config)
+    });
+    for (ki, k) in ks.iter().enumerate() {
+        let mut rates = [0.0f64; 3];
+        for (mi, rate) in rates.iter_mut().enumerate() {
+            let hits = detected
+                .iter()
+                .skip((ki * pollutions.len() + mi) * TRIALS as usize)
+                .take(TRIALS as usize)
+                .filter(|&&d| d)
+                .count();
+            *rate = hits as f64 / TRIALS as f64;
         }
         table.row(vec![
             k.to_string(),
@@ -84,31 +100,45 @@ pub fn run() {
             f3(rates[2]),
         ]);
     }
-    table.emit("fig5a_detection");
+    table.emit("fig5a_detection")?;
 
     let mut th_table = Table::new(
         "Figure 5b — detection vs. tolerance Th and pollution magnitude Δ (one head attacker)",
         &["Δ \\ Th", "0", "50", "500", "5000"],
     );
-    for delta in [10u64, 100, 1_000, 10_000] {
+    let deltas = [10u64, 100, 1_000, 10_000];
+    let ths = [0u64, 50, 500, 5_000];
+    let th_jobs: Vec<(String, (u64, u64, u64))> = deltas
+        .iter()
+        .flat_map(|&delta| {
+            ths.iter().flat_map(move |&th| {
+                (0..TRIALS)
+                    .map(move |seed| (format!("d={delta}/th={th}/seed={seed}"), (delta, th, seed)))
+            })
+        })
+        .collect();
+    let th_detected = par_map("fig5b_threshold", th_jobs, |&(delta, th, seed)| {
+        let mut cfg = config;
+        cfg.threshold = th;
+        let heads = pick_heads(N, seed, 1);
+        let attackers: Vec<(NodeId, Pollution)> = heads
+            .iter()
+            .map(|&h| (h, Pollution::inflate(delta)))
+            .collect();
+        attacked_run(seed, &attackers, cfg)
+    });
+    for (di, delta) in deltas.iter().enumerate() {
         let mut cells = vec![delta.to_string()];
-        for th in [0u64, 50, 500, 5_000] {
-            let mut cfg = config;
-            cfg.threshold = th;
-            let mut detected = 0u32;
-            for seed in 0..TRIALS {
-                let heads = pick_heads(N, seed, 1);
-                let attackers: Vec<(NodeId, Pollution)> = heads
-                    .iter()
-                    .map(|&h| (h, Pollution::inflate(delta)))
-                    .collect();
-                if attacked_run(seed, &attackers, cfg) {
-                    detected += 1;
-                }
-            }
-            cells.push(f3(f64::from(detected) / TRIALS as f64));
+        for ti in 0..ths.len() {
+            let hits = th_detected
+                .iter()
+                .skip((di * ths.len() + ti) * TRIALS as usize)
+                .take(TRIALS as usize)
+                .filter(|&&d| d)
+                .count();
+            cells.push(f3(hits as f64 / TRIALS as f64));
         }
         th_table.row(cells);
     }
-    th_table.emit("fig5b_threshold");
+    th_table.emit("fig5b_threshold")
 }

@@ -8,6 +8,7 @@
 //! fragile); large `p_c` gives many tiny clusters that must merge.
 
 use super::icpda_round;
+use crate::parallel::{par_sweep, par_trials};
 use crate::{f1, f3, mean, Table};
 use agg::AggFunction;
 use icpda::{HeadElection, IcpdaConfig};
@@ -16,7 +17,11 @@ const N: usize = 400;
 const SEEDS: u64 = 5;
 
 /// Regenerates Figure 6.
-pub fn run() {
+///
+/// # Errors
+///
+/// Propagates CSV write failures.
+pub fn run() -> std::io::Result<()> {
     let mut table = Table::new(
         "Figure 6a — cluster formation vs. p_c (N = 400)",
         &[
@@ -28,22 +33,25 @@ pub fn run() {
             "accuracy",
         ],
     );
-    for p_c in [0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50] {
-        let mut sizes = Vec::new();
-        let mut heads = Vec::new();
-        let mut part = Vec::new();
-        let mut acc = Vec::new();
-        for seed in 0..SEEDS {
-            let mut config = IcpdaConfig::paper_default(AggFunction::Count);
-            config.election = HeadElection::Fixed(p_c);
-            let out = icpda_round(N, seed, config);
-            sizes.push(out.mean_cluster_size());
-            heads.push(out.heads as f64 / (N - 1) as f64);
-            part.push(out.included as f64 / (N - 1) as f64);
-            acc.push(out.accuracy());
-        }
+    let pcs = [0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50];
+    let per_pc = par_sweep("fig6a_clusters", &pcs, SEEDS, |&p_c, seed| {
+        let mut config = IcpdaConfig::paper_default(AggFunction::Count);
+        config.election = HeadElection::Fixed(p_c);
+        let out = icpda_round(N, seed, config);
+        (
+            out.mean_cluster_size(),
+            out.heads as f64 / (N - 1) as f64,
+            out.included as f64 / (N - 1) as f64,
+            out.accuracy(),
+        )
+    });
+    for (p_c, trials) in pcs.iter().zip(per_pc) {
+        let sizes: Vec<f64> = trials.iter().map(|t| t.0).collect();
+        let heads: Vec<f64> = trials.iter().map(|t| t.1).collect();
+        let part: Vec<f64> = trials.iter().map(|t| t.2).collect();
+        let acc: Vec<f64> = trials.iter().map(|t| t.3).collect();
         table.row(vec![
-            f3(p_c),
+            f3(*p_c),
             f1(1.0 / p_c),
             f1(mean(&sizes)),
             f3(mean(&heads)),
@@ -51,21 +59,21 @@ pub fn run() {
             f3(mean(&acc)),
         ]);
     }
-    table.emit("fig6a_clusters");
+    table.emit("fig6a_clusters")?;
 
     let mut hist = Table::new(
         "Figure 6b — cluster-size histogram at p_c = 0.25 (N = 400, 5 seeds)",
         &["cluster size", "count"],
     );
+    let size_lists = par_trials("fig6b_histogram", SEEDS, |seed| {
+        icpda_round(N, seed, IcpdaConfig::paper_default(AggFunction::Count)).cluster_sizes
+    });
     let mut counts = std::collections::BTreeMap::new();
-    for seed in 0..SEEDS {
-        let out = icpda_round(N, seed, IcpdaConfig::paper_default(AggFunction::Count));
-        for s in out.cluster_sizes {
-            *counts.entry(s).or_insert(0u32) += 1;
-        }
+    for s in size_lists.into_iter().flatten() {
+        *counts.entry(s).or_insert(0u32) += 1;
     }
     for (size, count) in counts {
         hist.row(vec![size.to_string(), count.to_string()]);
     }
-    hist.emit("fig6b_histogram");
+    hist.emit("fig6b_histogram")
 }

@@ -8,6 +8,7 @@
 //! configuration, not load, dominated at these densities).
 
 use super::{icpda_round, tag_round};
+use crate::parallel::par_sweep;
 use crate::{f1, mean, Table, N_SWEEP};
 use agg::AggFunction;
 use icpda::IcpdaConfig;
@@ -15,25 +16,29 @@ use icpda::IcpdaConfig;
 const SEEDS: u64 = 5;
 
 /// Regenerates Figure 7.
-pub fn run() {
+///
+/// # Errors
+///
+/// Propagates CSV write failures.
+pub fn run() -> std::io::Result<()> {
     let mut table = Table::new(
         "Figure 7 — time of last report at the base station (virtual seconds)",
         &["nodes", "TAG (s)", "iCPDA (s)", "delta (s)"],
     );
-    for n in N_SWEEP {
-        let mut tag_lat = Vec::new();
-        let mut icpda_lat = Vec::new();
-        for seed in 0..SEEDS {
-            if let Some(t) = tag_round(n, seed, AggFunction::Count).last_report_at {
-                tag_lat.push(t.as_secs_f64());
-            }
-            let out = icpda_round(n, seed, IcpdaConfig::paper_default(AggFunction::Count));
-            if let Some(t) = out.last_update {
-                icpda_lat.push(t.as_secs_f64());
-            }
-        }
+    let per_n = par_sweep("fig7_latency", &N_SWEEP, SEEDS, |&n, seed| {
+        let tag = tag_round(n, seed, AggFunction::Count)
+            .last_report_at
+            .map(|t| t.as_secs_f64());
+        let icpda = icpda_round(n, seed, IcpdaConfig::paper_default(AggFunction::Count))
+            .last_update
+            .map(|t| t.as_secs_f64());
+        (tag, icpda)
+    });
+    for (n, trials) in N_SWEEP.iter().zip(per_n) {
+        let tag_lat: Vec<f64> = trials.iter().filter_map(|t| t.0).collect();
+        let icpda_lat: Vec<f64> = trials.iter().filter_map(|t| t.1).collect();
         let (t, i) = (mean(&tag_lat), mean(&icpda_lat));
         table.row(vec![n.to_string(), f1(t), f1(i), f1(i - t)]);
     }
-    table.emit("fig7_latency");
+    table.emit("fig7_latency")
 }

@@ -8,6 +8,7 @@
 //! counts.
 
 use super::{icpda_round, tag_round};
+use crate::parallel::par_sweep;
 use crate::{f1, f3, mean, Table, N_SWEEP};
 use agg::AggFunction;
 use icpda::IcpdaConfig;
@@ -15,7 +16,11 @@ use icpda::IcpdaConfig;
 const SEEDS: u64 = 5;
 
 /// Regenerates Figure 9.
-pub fn run() {
+///
+/// # Errors
+///
+/// Propagates CSV write failures.
+pub fn run() -> std::io::Result<()> {
     let mut table = Table::new(
         "Figure 9 — radio energy per COUNT query (millijoules)",
         &[
@@ -26,13 +31,15 @@ pub fn run() {
             "iCPDA per node (mJ)",
         ],
     );
-    for n in N_SWEEP {
-        let mut tag_e = Vec::new();
-        let mut icpda_e = Vec::new();
-        for seed in 0..SEEDS {
-            tag_e.push(tag_round(n, seed, AggFunction::Count).energy_mj);
-            icpda_e.push(icpda_round(n, seed, IcpdaConfig::paper_default(AggFunction::Count)).energy_mj);
-        }
+    let per_n = par_sweep("fig9_energy", &N_SWEEP, SEEDS, |&n, seed| {
+        (
+            tag_round(n, seed, AggFunction::Count).energy_mj,
+            icpda_round(n, seed, IcpdaConfig::paper_default(AggFunction::Count)).energy_mj,
+        )
+    });
+    for (n, trials) in N_SWEEP.iter().zip(per_n) {
+        let tag_e: Vec<f64> = trials.iter().map(|t| t.0).collect();
+        let icpda_e: Vec<f64> = trials.iter().map(|t| t.1).collect();
         let (t, i) = (mean(&tag_e), mean(&icpda_e));
         table.row(vec![
             n.to_string(),
@@ -42,5 +49,5 @@ pub fn run() {
             f3(i / (n - 1) as f64),
         ]);
     }
-    table.emit("fig9_energy");
+    table.emit("fig9_energy")
 }

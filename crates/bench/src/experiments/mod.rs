@@ -49,22 +49,26 @@ pub fn tag_round(n: usize, seed: u64, function: AggFunction) -> TagRunOutcome {
 }
 
 /// Runs every experiment in order (the `run_all` binary).
-pub fn run_all() {
-    tab1_degree::run();
-    fig2_overhead::run();
-    fig3_accuracy::run();
-    fig4_privacy::run();
-    fig5_integrity::run();
-    fig6_clusters::run();
-    fig7_latency::run();
-    tab8_messages::run();
-    fig9_energy::run();
-    fig10_ablation::run();
-    fig11_adaptive::run();
-    fig12_lifetime::run();
-    fig13_keyscheme::run();
-    fig14_linkquality::run();
-    fig15_hotspots::run();
-    fig16_rounds::run();
-    fig17_synergy::run();
+///
+/// # Errors
+///
+/// Propagates the first experiment failure (CSV write errors).
+pub fn run_all() -> std::io::Result<()> {
+    tab1_degree::run()?;
+    fig2_overhead::run()?;
+    fig3_accuracy::run()?;
+    fig4_privacy::run()?;
+    fig5_integrity::run()?;
+    fig6_clusters::run()?;
+    fig7_latency::run()?;
+    tab8_messages::run()?;
+    fig9_energy::run()?;
+    fig10_ablation::run()?;
+    fig11_adaptive::run()?;
+    fig12_lifetime::run()?;
+    fig13_keyscheme::run()?;
+    fig14_linkquality::run()?;
+    fig15_hotspots::run()?;
+    fig16_rounds::run()?;
+    fig17_synergy::run()
 }

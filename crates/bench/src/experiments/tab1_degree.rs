@@ -7,13 +7,18 @@
 //! deployments, plus the fraction of nodes connected to the base
 //! station.
 
+use crate::parallel::par_sweep;
 use crate::{f1, f3, mean, paper_deployment, Table, N_SWEEP, RADIO_RANGE, TRIALS};
 use icpda_analysis::coverage::expected_degree;
 use wsn_sim::geometry::Region;
 use wsn_sim::NodeId;
 
 /// Regenerates Table 1.
-pub fn run() {
+///
+/// # Errors
+///
+/// Propagates CSV write failures.
+pub fn run() -> std::io::Result<()> {
     let mut table = Table::new(
         "Table 1 — network size vs. average node degree (400 m × 400 m, r = 50 m)",
         &[
@@ -23,20 +28,19 @@ pub fn run() {
             "connected to BS",
         ],
     );
-    for n in N_SWEEP {
-        let mut degrees = Vec::new();
-        let mut reachable = Vec::new();
-        for seed in 0..TRIALS {
-            let dep = paper_deployment(n, seed);
-            degrees.push(dep.average_degree());
-            reachable.push(dep.reachable_fraction(NodeId::new(0)));
-        }
+    let per_n = par_sweep("tab1_degree", &N_SWEEP, TRIALS, |&n, seed| {
+        let dep = paper_deployment(n, seed);
+        (dep.average_degree(), dep.reachable_fraction(NodeId::new(0)))
+    });
+    for (n, trials) in N_SWEEP.iter().zip(per_n) {
+        let degrees: Vec<f64> = trials.iter().map(|t| t.0).collect();
+        let reachable: Vec<f64> = trials.iter().map(|t| t.1).collect();
         table.row(vec![
             n.to_string(),
-            f1(expected_degree(n, Region::paper_default(), RADIO_RANGE)),
+            f1(expected_degree(*n, Region::paper_default(), RADIO_RANGE)),
             f1(mean(&degrees)),
             f3(mean(&reachable)),
         ]);
     }
-    table.emit("tab1_degree");
+    table.emit("tab1_degree")
 }

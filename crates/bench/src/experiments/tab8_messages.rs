@@ -6,6 +6,7 @@
 //! [`icpda_analysis::overhead::message_model`].
 
 use super::{icpda_round, tag_round};
+use crate::parallel::par_trials;
 use crate::{f3, mean, Table};
 use agg::AggFunction;
 use icpda::IcpdaConfig;
@@ -15,20 +16,28 @@ const N: usize = 400;
 const SEEDS: u64 = 5;
 
 /// Regenerates Table 8.
-pub fn run() {
+///
+/// # Errors
+///
+/// Propagates CSV write failures.
+pub fn run() -> std::io::Result<()> {
+    let trials = par_trials("tab8_messages", SEEDS, |seed| {
+        let out = icpda_round(N, seed, IcpdaConfig::paper_default(AggFunction::Count));
+        let tag = tag_round(N, seed, AggFunction::Count).total_frames as f64;
+        (out, tag)
+    });
     let mut per_counter: std::collections::BTreeMap<&'static str, Vec<f64>> =
         std::collections::BTreeMap::new();
     let mut frames = Vec::new();
     let mut tag_frames = Vec::new();
     let mut mean_m = Vec::new();
-    for seed in 0..SEEDS {
-        let out = icpda_round(N, seed, IcpdaConfig::paper_default(AggFunction::Count));
+    for (out, tag) in &trials {
         frames.push(out.total_frames as f64);
         mean_m.push(out.mean_cluster_size());
         for (k, v) in &out.user_counters {
             per_counter.entry(k).or_default().push(*v as f64);
         }
-        tag_frames.push(tag_round(N, seed, AggFunction::Count).total_frames as f64);
+        tag_frames.push(*tag);
     }
 
     let mut table = Table::new(
@@ -49,7 +58,7 @@ pub fn run() {
         let m = mean(&vals);
         table.row(vec![key.to_string(), f3(m), f3(m / (N - 1) as f64)]);
     }
-    table.emit("tab8a_breakdown");
+    table.emit("tab8a_breakdown")?;
 
     let m_emergent = mean(&mean_m).max(2.0);
     let model = message_model(m_emergent, 1.0 / m_emergent);
@@ -79,5 +88,5 @@ pub fn run() {
         f3(m_emergent),
         f3(m_emergent),
     ]);
-    summary.emit("tab8b_model");
+    summary.emit("tab8b_model")
 }

@@ -7,12 +7,14 @@
 //! in the library crates.
 
 pub mod experiments;
+pub mod parallel;
 pub mod svg;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::fmt::Write as _;
-use std::path::Path;
+use std::io;
+use std::path::{Path, PathBuf};
 use wsn_sim::geometry::Region;
 use wsn_sim::topology::Deployment;
 
@@ -89,7 +91,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -104,31 +110,59 @@ impl Table {
 
     /// Writes the table as CSV under `results/<name>.csv` (relative to
     /// the workspace root when run via `cargo run`), creating the
-    /// directory if needed. IO errors are reported, not fatal — the
-    /// stdout table is the primary artefact.
-    pub fn write_csv(&self, name: &str) {
+    /// directory if needed, and returns the written path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the IO error when the directory or file cannot be
+    /// written — callers (the figure binaries) exit nonzero on it
+    /// rather than silently shipping a stale artefact.
+    pub fn write_csv(&self, name: &str) -> io::Result<PathBuf> {
         let dir = Path::new("results");
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("warning: cannot create results/: {e}");
-            return;
-        }
+        std::fs::create_dir_all(dir)?;
         let mut csv = String::new();
         let _ = writeln!(csv, "{}", self.headers.join(","));
         for row in &self.rows {
             let _ = writeln!(csv, "{}", row.join(","));
         }
         let path = dir.join(format!("{name}.csv"));
-        if let Err(e) = std::fs::write(&path, csv) {
-            eprintln!("warning: cannot write {}: {e}", path.display());
-        } else {
-            eprintln!("(csv written to {})", path.display());
-        }
+        std::fs::write(&path, csv)?;
+        Ok(path)
     }
 
-    /// Emits both the stdout markdown and the CSV file.
-    pub fn emit(&self, name: &str) {
+    /// Emits the stdout markdown and the CSV file, then appends the
+    /// timing report of the `par_*` calls that produced the data (on
+    /// stderr, keeping stdout byte-comparable across thread counts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Table::write_csv`] failures.
+    pub fn emit(&self, name: &str) -> io::Result<()> {
         self.print();
-        self.write_csv(name);
+        for timing in parallel::drain_timings() {
+            eprintln!("{}", timing.report());
+        }
+        let path = self.write_csv(name)?;
+        eprintln!("(csv written to {})", path.display());
+        Ok(())
+    }
+}
+
+/// Shared `main` body for the figure/table binaries: parses the
+/// `--threads` override, runs the experiment, and maps any failure to a
+/// nonzero exit so CI and scripts never mistake a half-written CSV for
+/// a regenerated artefact.
+pub fn run_main(run: impl FnOnce() -> io::Result<()>) -> std::process::ExitCode {
+    if let Err(e) = parallel::init_threads_from_args() {
+        eprintln!("error: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
     }
 }
 

@@ -43,11 +43,7 @@ pub fn render_outcome(dep: &Deployment, outcome: &IcpdaOutcome) -> String {
     render(dep, &cluster_of, &heads)
 }
 
-fn render(
-    dep: &Deployment,
-    cluster_of: &HashMap<NodeId, NodeId>,
-    heads: &[NodeId],
-) -> String {
+fn render(dep: &Deployment, cluster_of: &HashMap<NodeId, NodeId>, heads: &[NodeId]) -> String {
     let region = dep.region();
     let scale = CANVAS / region.width.max(region.height);
     let px = |x: f64| x * scale;
@@ -108,7 +104,11 @@ fn render(
                 let color = cluster_color(head_index[head]);
                 let is_head = heads.contains(&id);
                 let r = if is_head { 7.0 } else { 4.0 };
-                let stroke = if is_head { r##" stroke="#000" stroke-width="1.6""## } else { "" };
+                let stroke = if is_head {
+                    r##" stroke="#000" stroke-width="1.6""##
+                } else {
+                    ""
+                };
                 let _ = writeln!(
                     svg,
                     r#"<circle cx="{x:.1}" cy="{y:.1}" r="{r}" fill="{color}"{stroke}><title>{id} (cluster {head})</title></circle>"#,
@@ -127,18 +127,20 @@ fn render(
     svg
 }
 
-/// Writes an SVG under `results/<name>.svg`, creating the directory.
-pub fn write_svg(name: &str, svg: &str) {
+/// Writes an SVG under `results/<name>.svg`, creating the directory,
+/// and returns the written path.
+///
+/// # Errors
+///
+/// Propagates the IO error when the directory or file cannot be
+/// written; callers exit nonzero instead of shipping a stale artefact.
+pub fn write_svg(name: &str, svg: &str) -> std::io::Result<std::path::PathBuf> {
     let dir = std::path::Path::new("results");
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("warning: cannot create results/: {e}");
-        return;
-    }
+    std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.svg"));
-    match std::fs::write(&path, svg) {
-        Ok(()) => eprintln!("(svg written to {})", path.display()),
-        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
-    }
+    std::fs::write(&path, svg)?;
+    eprintln!("(svg written to {})", path.display());
+    Ok(path)
 }
 
 #[cfg(test)]
@@ -178,11 +180,7 @@ mod tests {
         .run();
         let svg = render_outcome(&dep, &out);
         // Heads get the black ring.
-        let heads = out
-            .rosters
-            .iter()
-            .filter(|(n, r)| r.head() == *n)
-            .count();
+        let heads = out.rosters.iter().filter(|(n, r)| r.head() == *n).count();
         assert!(heads > 0);
         assert_eq!(svg.matches(r##"stroke="#000""##).count(), heads);
         // Members are coloured by hsl cluster colours.
@@ -191,8 +189,7 @@ mod tests {
 
     #[test]
     fn colors_are_distinct_for_small_indices() {
-        let set: std::collections::HashSet<String> =
-            (0..20).map(cluster_color).collect();
+        let set: std::collections::HashSet<String> = (0..20).map(cluster_color).collect();
         assert_eq!(set.len(), 20);
     }
 }

@@ -1,0 +1,29 @@
+//! The parallel trial layer must be invisible in the data: `par_trials`
+//! on several workers returns element-for-element what a hand-rolled
+//! serial loop over the same seeds produces, because every job is a
+//! pure function of its seed and results are collected in job order.
+
+use agg::AggFunction;
+use icpda::IcpdaConfig;
+use icpda_bench::experiments::icpda_round;
+use icpda_bench::parallel::{drain_timings, par_trials, set_threads};
+
+const N: usize = 80;
+const TRIALS: u64 = 6;
+
+fn job(seed: u64) -> (bool, u64, u64) {
+    let out = icpda_round(N, seed, IcpdaConfig::paper_default(AggFunction::Count));
+    (out.accepted, out.value.to_bits(), out.total_bytes)
+}
+
+#[test]
+fn par_trials_matches_serial_loop() {
+    let serial: Vec<(bool, u64, u64)> = (0..TRIALS).map(job).collect();
+    for threads in [1usize, 4] {
+        set_threads(threads);
+        let parallel = par_trials(&format!("identity/{threads}"), TRIALS, job);
+        assert_eq!(serial, parallel, "{threads} worker(s) changed the data");
+    }
+    set_threads(1);
+    let _ = drain_timings();
+}

@@ -3,8 +3,7 @@
 use crate::args::{Args, ParseArgsError};
 use agg::AggFunction;
 use icpda::{
-    evaluate_disclosure, run_session, HeadElection, IcpdaConfig, IcpdaRun, IntegrityMode,
-    Pollution,
+    evaluate_disclosure, run_session, HeadElection, IcpdaConfig, IcpdaRun, IntegrityMode, Pollution,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -63,6 +62,19 @@ fn parse_sim_config(args: &Args) -> Result<SimConfig, ParseArgsError> {
     Ok(sim)
 }
 
+/// Applies the `--threads N` override for the parallel trial layer
+/// (`ICPDA_THREADS` and core count apply otherwise).
+fn apply_threads(args: &Args) -> Result<(), ParseArgsError> {
+    let threads: usize = args.get_or("threads", 0)?;
+    if args.get("threads").is_some() {
+        if threads == 0 {
+            return Err(ParseArgsError("--threads must be at least 1".into()));
+        }
+        icpda_bench::parallel::set_threads(threads);
+    }
+    Ok(())
+}
+
 fn deployment(n: usize, seed: u64) -> Deployment {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     Deployment::uniform_random_with_central_bs(n, Region::paper_default(), 50.0, &mut rng)
@@ -80,7 +92,16 @@ fn readings_for(function: AggFunction, n: usize, seed: u64) -> Vec<u64> {
 pub fn run(args: &Args) -> Result<(), ParseArgsError> {
     check_flags(
         args,
-        &["nodes", "seed", "function", "pc", "integrity", "loss", "edge-loss", "rounds"],
+        &[
+            "nodes",
+            "seed",
+            "function",
+            "pc",
+            "integrity",
+            "loss",
+            "edge-loss",
+            "rounds",
+        ],
     )?;
     let n: usize = args.get_or("nodes", 400)?;
     let seed: u64 = args.get_or("seed", 7)?;
@@ -128,32 +149,37 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
 
 /// `icpda sweep`.
 pub fn sweep(args: &Args) -> Result<(), ParseArgsError> {
-    check_flags(args, &["seeds", "function", "pc", "integrity"])?;
+    check_flags(args, &["seeds", "function", "pc", "integrity", "threads"])?;
+    apply_threads(args)?;
     let seeds: u64 = args.get_or("seeds", 5)?;
     let config = parse_config(args)?;
+    let sizes = [200usize, 300, 400, 500, 600];
+    // Independent (n, seed) trials fan out across workers; results come
+    // back in job order, so the table is identical to the serial loop.
+    let per_size = icpda_bench::parallel::par_sweep("cli sweep", &sizes, seeds, |&n, seed| {
+        let readings = readings_for(config.function, n, seed);
+        let out = IcpdaRun::new(deployment(n, seed), config, readings, seed).run();
+        (
+            out.accuracy(),
+            out.participation(),
+            out.total_bytes as f64,
+            out.energy_mj,
+        )
+    });
     println!("nodes | accuracy | participation | bytes    | mJ");
     println!("------+----------+---------------+----------+--------");
-    for n in [200usize, 300, 400, 500, 600] {
-        let mut acc = 0.0;
-        let mut part = 0.0;
-        let mut bytes = 0.0;
-        let mut energy = 0.0;
-        for seed in 0..seeds {
-            let readings = readings_for(config.function, n, seed);
-            let out = IcpdaRun::new(deployment(n, seed), config, readings, seed).run();
-            acc += out.accuracy();
-            part += out.participation();
-            bytes += out.total_bytes as f64;
-            energy += out.energy_mj;
-        }
+    for (n, trials) in sizes.iter().zip(per_size) {
         let k = seeds as f64;
         println!(
             "{n:>5} | {:>8.3} | {:>13.3} | {:>8.0} | {:>6.1}",
-            acc / k,
-            part / k,
-            bytes / k,
-            energy / k
+            trials.iter().map(|t| t.0).sum::<f64>() / k,
+            trials.iter().map(|t| t.1).sum::<f64>() / k,
+            trials.iter().map(|t| t.2).sum::<f64>() / k,
+            trials.iter().map(|t| t.3).sum::<f64>() / k,
         );
+    }
+    for timing in icpda_bench::parallel::drain_timings() {
+        eprintln!("{}", timing.report());
     }
     Ok(())
 }
@@ -162,10 +188,24 @@ pub fn sweep(args: &Args) -> Result<(), ParseArgsError> {
 pub fn attack(args: &Args) -> Result<(), ParseArgsError> {
     check_flags(
         args,
-        &["nodes", "seed", "mode", "delta", "attackers", "session", "function", "pc", "integrity"],
+        &[
+            "nodes",
+            "seed",
+            "seeds",
+            "mode",
+            "delta",
+            "attackers",
+            "session",
+            "function",
+            "pc",
+            "integrity",
+            "threads",
+        ],
     )?;
+    apply_threads(args)?;
     let n: usize = args.get_or("nodes", 400)?;
     let seed: u64 = args.get_or("seed", 7)?;
+    let seeds: u64 = args.get_or("seeds", 1)?;
     let delta: u64 = args.get_or("delta", 1_000)?;
     let count: usize = args.get_or("attackers", 1)?;
     let with_session: bool = args.get_or("session", false)?;
@@ -180,6 +220,43 @@ pub fn attack(args: &Args) -> Result<(), ParseArgsError> {
             )))
         }
     };
+    if seeds > 1 {
+        if with_session {
+            return Err(ParseArgsError(
+                "--seeds > 1 reports a detection rate; drop --session for it".into(),
+            ));
+        }
+        // Detection rate over independent seeded trials, fanned out in
+        // parallel. `None` marks trials where no head formed.
+        let verdicts = icpda_bench::parallel::par_trials("cli attack", seeds, |seed| {
+            let readings = readings_for(config.function, n, seed);
+            let dep = deployment(n, seed);
+            let honest = IcpdaRun::new(dep.clone(), config, readings.clone(), seed).run();
+            let attackers: Vec<(NodeId, Pollution)> = honest
+                .rosters
+                .iter()
+                .filter_map(|(node, r)| (r.head() == *node).then_some((*node, pollution)))
+                .take(count)
+                .collect();
+            if attackers.is_empty() {
+                return None;
+            }
+            let out = IcpdaRun::new(dep, config, readings, seed)
+                .with_attackers(attackers)
+                .run();
+            Some(!out.accepted)
+        });
+        let attempts = verdicts.iter().flatten().count();
+        let detected = verdicts.iter().flatten().filter(|&&d| d).count();
+        println!(
+            "detection rate: {detected}/{attempts} attacked trials rejected ({} of {seeds} seeds formed heads)",
+            attempts
+        );
+        for timing in icpda_bench::parallel::drain_timings() {
+            eprintln!("{}", timing.report());
+        }
+        return Ok(());
+    }
     let readings = readings_for(config.function, n, seed);
     let dep = deployment(n, seed);
     let honest = IcpdaRun::new(dep.clone(), config, readings.clone(), seed).run();
@@ -192,9 +269,11 @@ pub fn attack(args: &Args) -> Result<(), ParseArgsError> {
     if heads.is_empty() {
         return Err(ParseArgsError("no cluster heads formed to attack".into()));
     }
-    println!("honest value {:.1}; compromising heads {heads:?}", honest.value);
-    let attackers: Vec<(NodeId, Pollution)> =
-        heads.iter().map(|&h| (h, pollution)).collect();
+    println!(
+        "honest value {:.1}; compromising heads {heads:?}",
+        honest.value
+    );
+    let attackers: Vec<(NodeId, Pollution)> = heads.iter().map(|&h| (h, pollution)).collect();
     if with_session {
         let session = run_session(&dep, config, &readings, seed, &attackers, 6);
         for (i, round) in session.rounds.iter().enumerate() {
@@ -207,7 +286,11 @@ pub fn attack(args: &Args) -> Result<(), ParseArgsError> {
         }
         println!("quarantined: {:?}", session.excluded);
         match session.accepted() {
-            Some(out) => println!("recovered: value {:.1} (accuracy {:.3})", out.value, out.accuracy()),
+            Some(out) => println!(
+                "recovered: value {:.1} (accuracy {:.3})",
+                out.value,
+                out.accuracy()
+            ),
             None => println!("session did not converge"),
         }
     } else {

@@ -3,9 +3,9 @@
 //! ```text
 //! icpda run     --nodes 400 --seed 7 --function count [--pc 0.25]
 //!               [--integrity on|off] [--loss 0.05] [--edge-loss 0.3]
-//! icpda sweep   --seeds 5 --function count
+//! icpda sweep   --seeds 5 --function count [--threads 8]
 //! icpda attack  --nodes 400 --seed 7 --mode naive|forge|phantom
-//!               --delta 1000 [--attackers 1] [--session]
+//!               --delta 1000 [--attackers 1] [--session] [--seeds 20]
 //! icpda privacy --nodes 600 --seed 1 --px 0.05 [--adversaries 30]
 //! ```
 
@@ -27,10 +27,11 @@ COMMANDS:
               --pc P (0.25)    --integrity on|off (on)
               --loss P (0)     --edge-loss E (0)   --rounds R (1)
     sweep     accuracy/overhead across the paper's size sweep
-              --seeds K (5)    --function ... (count)
+              --seeds K (5)    --function ... (count)  --threads T (cores)
     attack    compromise cluster heads and watch the integrity layer
               --nodes N (400)  --seed S (7)  --mode naive|forge|phantom (naive)
               --delta D (1000) --attackers K (1)  --session true (off)
+              --seeds K (1: detection rate over K seeds)  --threads T (cores)
     privacy   disclosure analysis over one run's clusters
               --nodes N (600)  --seed S (1)  --px P (0.05)
               --adversaries K (30)

@@ -149,8 +149,7 @@ impl Pollution {
                             }
                             t
                         },
-                        participants: u32::try_from(self.participants_delta.max(0))
-                            .unwrap_or(0),
+                        participants: u32::try_from(self.participants_delta.max(0)).unwrap_or(0),
                     });
                 }
             }

@@ -230,10 +230,7 @@ impl IcpdaConfig {
             "privacy needs at least 2 members"
         );
         assert!(self.min_cluster_size <= self.max_cluster_size);
-        assert!(
-            self.max_cluster_size <= 64,
-            "contributor masks are 64-bit"
-        );
+        assert!(self.max_cluster_size <= 64, "contributor masks are 64-bit");
         if let HeadElection::Fixed(p) = self.election {
             assert!((0.0..=1.0).contains(&p), "p_c must be a probability");
         }

@@ -273,12 +273,17 @@ mod tests {
             participants: 3,
             inputs: vec![
                 InputClaim {
-                    source: MergedRef::Cluster { head: NodeId::new(1) },
+                    source: MergedRef::Cluster {
+                        head: NodeId::new(1),
+                    },
                     totals: vec![1, 1],
                     participants: 2,
                 },
                 InputClaim {
-                    source: MergedRef::Relay { sender: NodeId::new(2), msg_id: 0 },
+                    source: MergedRef::Relay {
+                        sender: NodeId::new(2),
+                        msg_id: 0,
+                    },
                     totals: vec![0, 1],
                     participants: 1,
                 },

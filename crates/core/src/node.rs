@@ -25,7 +25,11 @@ use crate::shares::{
 };
 use agg::field::Fp;
 use rand::Rng;
-use std::collections::{HashMap, HashSet};
+// Node state uses ordered collections throughout: iteration order
+// feeds assemblies, plain-mode sums, and (in future changes) message
+// emission, and DESIGN §6 requires "same seed ⇒ identical trace" —
+// BTree maps make the order a property of the data, not the hasher.
+use std::collections::{BTreeMap, BTreeSet};
 use wsn_crypto::{open, seal, KeyManager, PairwiseKeys};
 use wsn_sim::prelude::*;
 
@@ -45,6 +49,7 @@ const TIMER_REJOIN: TimerToken = 13;
 const TIMER_FLOOD_RELAY: TimerToken = 14;
 const TIMER_REPAIR2: TimerToken = 15;
 const TIMER_UPSTREAM_REPEAT: TimerToken = 16;
+const TIMER_SHARE_DRAIN: TimerToken = 17;
 
 /// A node's role after cluster formation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -93,35 +98,46 @@ pub struct IcpdaNode {
     // Cluster formation.
     role: Role,
     heads_heard: Vec<NodeId>,
-    resigned_heads: HashSet<NodeId>,
+    resigned_heads: BTreeSet<NodeId>,
     has_resigned: bool,
     joiners: Vec<NodeId>,
     roster: Option<Roster>,
 
     // Share exchange.
     shared: bool,
-    outgoing_shares: HashMap<NodeId, ShareVector>,
-    received_shares: HashMap<NodeId, ShareVector>,
+    /// Shares still to be unicast this round, drained one frame at a time
+    /// with random gaps: an m-member cluster would otherwise offer
+    /// m·(m−1) frames to the channel in one burst, and hidden-terminal
+    /// collisions at that load starve large clusters of shares entirely.
+    share_sendq: Vec<(NodeId, ShareVector)>,
+    outgoing_shares: BTreeMap<NodeId, ShareVector>,
+    received_shares: BTreeMap<NodeId, ShareVector>,
+    /// Head-only: sealed shares seen while relaying, keyed `(origin, to)`.
+    /// The ciphertext is opaque to the head, so caching it leaks nothing,
+    /// and it lets the head answer a share NACK in one in-range frame
+    /// instead of a three-frame NACK-forward/relay round trip through the
+    /// origin — the dominant repair failure for out-of-range member pairs.
+    relay_cache: BTreeMap<(NodeId, NodeId), wsn_crypto::Sealed>,
     // Privacy-off baseline: raw contributions collected at the head.
-    raw_readings: HashMap<NodeId, ShareVector>,
+    raw_readings: BTreeMap<NodeId, ShareVector>,
 
     // Assembly & solve.
-    fsums: HashMap<usize, (ShareVector, u64)>,
+    fsums: BTreeMap<usize, (ShareVector, u64)>,
     cluster_aggregate: Option<CachedAggregate>,
 
     // Upstream.
     upstream_acc: Vec<Fp>,
     upstream_participants: u32,
     absorbed_inputs: Vec<InputClaim>,
-    seen_upstream: HashSet<(NodeId, u32)>,
+    seen_upstream: BTreeSet<(NodeId, u32)>,
     pending_upstream: Option<IcpdaMsg>,
     upstream_sent: bool,
     late_upstream: u32,
 
     // Integrity.
     monitor: MonitorCache,
-    alarms_raised: HashSet<NodeId>,
-    alarms_forwarded: HashSet<(NodeId, NodeId)>,
+    alarms_raised: BTreeSet<NodeId>,
+    alarms_forwarded: BTreeSet<(NodeId, NodeId)>,
 
     // Head bookkeeping for the repeated roster broadcast; members store
     // the value from ClusterInfo so later rounds reuse the stagger.
@@ -162,26 +178,28 @@ impl IcpdaNode {
             queries_heard: 0,
             role: Role::Undecided,
             heads_heard: Vec::new(),
-            resigned_heads: HashSet::new(),
+            resigned_heads: BTreeSet::new(),
             has_resigned: false,
             joiners: Vec::new(),
             roster: None,
             shared: false,
-            outgoing_shares: HashMap::new(),
-            received_shares: HashMap::new(),
-            raw_readings: HashMap::new(),
-            fsums: HashMap::new(),
+            share_sendq: Vec::new(),
+            outgoing_shares: BTreeMap::new(),
+            received_shares: BTreeMap::new(),
+            relay_cache: BTreeMap::new(),
+            raw_readings: BTreeMap::new(),
+            fsums: BTreeMap::new(),
             cluster_aggregate: None,
             upstream_acc: vec![Fp::ZERO; components],
             upstream_participants: 0,
             absorbed_inputs: Vec::new(),
-            seen_upstream: HashSet::new(),
+            seen_upstream: BTreeSet::new(),
             pending_upstream: None,
             upstream_sent: false,
             late_upstream: 0,
             monitor: MonitorCache::new(),
-            alarms_raised: HashSet::new(),
-            alarms_forwarded: HashSet::new(),
+            alarms_raised: BTreeSet::new(),
+            alarms_forwarded: BTreeSet::new(),
             my_stagger_ms: 0,
             current_round: 0,
             pending_flood: None,
@@ -398,13 +416,14 @@ impl IcpdaNode {
         // Jittered rebroadcast: neighbours reacting to the same query
         // copy would otherwise all transmit within the tiny MAC jitter
         // and collide (broadcast storm).
-        self.pending_flood = Some(IcpdaMsg::Query { level: level.saturating_add(1) });
+        self.pending_flood = Some(IcpdaMsg::Query {
+            level: level.saturating_add(1),
+        });
         let relay_jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..100_000_000));
         ctx.set_timer(relay_jitter, TIMER_FLOOD_RELAY);
         let s = self.config.schedule;
-        let elect_jitter = SimDuration::from_nanos(
-            ctx.rng().gen_range(0..s.elect_after.as_nanos().max(2) / 2),
-        );
+        let elect_jitter =
+            SimDuration::from_nanos(ctx.rng().gen_range(0..s.elect_after.as_nanos().max(2) / 2));
         ctx.set_timer(s.elect_after + elect_jitter, TIMER_ELECT);
         // Upstream slot: depth-scheduled with intra-slot dispersion (same
         // hidden-terminal reasoning as TAG's slot dispersion).
@@ -434,9 +453,8 @@ impl IcpdaNode {
             ctx.metrics().bump("icpda_heads");
         } else {
             // Small dispersion so join unicasts do not collide at heads.
-            let jitter = SimDuration::from_nanos(
-                ctx.rng().gen_range(0..s.join_after.as_nanos().max(1) / 2),
-            );
+            let jitter =
+                SimDuration::from_nanos(ctx.rng().gen_range(0..s.join_after.as_nanos().max(1) / 2));
             ctx.set_timer(s.join_after + jitter, TIMER_JOIN);
         }
     }
@@ -517,7 +535,8 @@ impl IcpdaNode {
         let stagger_ms = if stagger_bound_ms == 0 {
             0
         } else {
-            ctx.rng().gen_range(0..stagger_bound_ms.min(u64::from(u16::MAX))) as u16
+            ctx.rng()
+                .gen_range(0..stagger_bound_ms.min(u64::from(u16::MAX))) as u16
         };
         self.my_stagger_ms = stagger_ms;
         ctx.broadcast(IcpdaMsg::ClusterInfo {
@@ -552,9 +571,11 @@ impl IcpdaNode {
     fn schedule_share_phases(&mut self, ctx: &mut Context<'_, IcpdaMsg>, stagger_ms: u16) {
         let s = self.config.schedule;
         let stagger = SimDuration::from_millis(u64::from(stagger_ms));
-        // Dispersion over the gap to the repair deadline keeps share
-        // unicasts from synchronising across members.
-        let window = s.repair_after.saturating_sub(s.shares_after) / 2;
+        // Dispersion over the first quarter of the share window keeps the
+        // unicast bursts from synchronising across members while still
+        // finishing (start jitter plus per-frame drain gaps) well before
+        // the repair deadline.
+        let window = s.repair_after.saturating_sub(s.shares_after) / 4;
         let jitter = if window.is_zero() {
             SimDuration::ZERO
         } else {
@@ -562,9 +583,13 @@ impl IcpdaNode {
         };
         ctx.set_timer(stagger + s.shares_after + jitter, TIMER_SHARES);
         if self.config.share_repair {
-            ctx.set_timer(stagger + s.repair_after, TIMER_REPAIR);
+            // Every member discovers its gaps at the same deadline, so
+            // un-jittered NACK broadcasts would collide at the head.
+            let nack_jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..150_000_000u64));
+            ctx.set_timer(stagger + s.repair_after + nack_jitter, TIMER_REPAIR);
+            let nack2_jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..150_000_000u64));
             ctx.set_timer(
-                stagger + s.repair_after + SimDuration::from_millis(300),
+                stagger + s.repair_after + SimDuration::from_millis(300) + nack2_jitter,
                 TIMER_REPAIR2,
             );
         }
@@ -576,7 +601,11 @@ impl IcpdaNode {
         };
         ctx.set_timer(stagger + s.fsum_after + fsum_jitter, TIMER_FSUM);
         if self.config.share_repair {
-            ctx.set_timer(stagger + s.fsum_repair_after, TIMER_FSUM_REPAIR);
+            let fsum_nack_jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..150_000_000u64));
+            ctx.set_timer(
+                stagger + s.fsum_repair_after + fsum_nack_jitter,
+                TIMER_FSUM_REPAIR,
+            );
         }
         ctx.set_timer(stagger + s.solve_after, TIMER_SOLVE);
     }
@@ -616,7 +645,9 @@ impl IcpdaNode {
     fn begin_round(&mut self, ctx: &mut Context<'_, IcpdaMsg>, round: u16) {
         self.current_round = round;
         self.received_shares.clear();
+        self.share_sendq.clear();
         self.outgoing_shares.clear();
+        self.relay_cache.clear();
         self.raw_readings.clear();
         self.fsums.clear();
         self.cluster_aggregate = None;
@@ -704,8 +735,36 @@ impl IcpdaNode {
                 continue;
             }
             self.outgoing_shares.insert(member, shares[j].clone());
-            let share = shares[j].clone();
-            self.send_share(ctx, roster.head(), member, &share);
+            // Queue rather than send: the drain timer spaces the m−1
+            // unicasts across the share window (see `share_sendq`).
+            self.share_sendq.push((member, shares[j].clone()));
+        }
+        // LIFO drain order doesn't matter; what matters is the spacing.
+        self.drain_one_share(ctx);
+    }
+
+    /// Sends the next queued share and, if any remain, re-arms the drain
+    /// timer with a random gap sized so the whole queue lands well before
+    /// the repair deadline.
+    fn drain_one_share(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        let Some((target, share)) = self.share_sendq.pop() else {
+            return;
+        };
+        let Some(roster) = self.participating_roster() else {
+            self.share_sendq.clear();
+            return;
+        };
+        let head = roster.head();
+        let m = roster.len().max(1) as u64;
+        self.send_share(ctx, head, target, &share);
+        if !self.share_sendq.is_empty() {
+            let s = self.config.schedule;
+            // Same basis as the batch-start jitter: half the share→repair
+            // gap, split across the cluster's frames.
+            let window = s.repair_after.saturating_sub(s.shares_after) / 2;
+            let gap_bound = (window.as_nanos() / m).max(2);
+            let gap = SimDuration::from_nanos(ctx.rng().gen_range(0..gap_bound));
+            ctx.set_timer(gap, TIMER_SHARE_DRAIN);
         }
     }
 
@@ -751,7 +810,8 @@ impl IcpdaNode {
             .filter(|m| !self.received_shares.contains_key(m))
             .collect();
         if !missing.is_empty() {
-            ctx.metrics().add("icpda_shares_missing", missing.len() as u64);
+            ctx.metrics()
+                .add("icpda_shares_missing", missing.len() as u64);
             ctx.broadcast(IcpdaMsg::ShareNack {
                 cluster: roster.head(),
                 requester: ctx.id(),
@@ -784,6 +844,20 @@ impl IcpdaNode {
                 .filter(|m| *m != me && *m != requester && roster.contains(*m))
                 .collect();
             for target in forwards {
+                // A share the head once relayed can be replayed straight
+                // from the cache: one in-range frame, no origin round trip.
+                if let Some(sealed) = self.relay_cache.get(&(target, requester)) {
+                    ctx.metrics().bump("icpda_share_cache_replayed");
+                    ctx.send(
+                        requester,
+                        IcpdaMsg::Share {
+                            cluster,
+                            origin: target,
+                            sealed: sealed.clone(),
+                        },
+                    );
+                    continue;
+                }
                 ctx.metrics().bump("icpda_nack_forwarded");
                 ctx.send(
                     target,
@@ -844,6 +918,7 @@ impl IcpdaNode {
         if let Some(roster) = self.roster.as_ref() {
             if roster.contains(origin) && roster.contains(to) {
                 ctx.metrics().bump("icpda_relay_forwarded");
+                self.relay_cache.insert((origin, to), sealed.clone());
                 ctx.send(
                     to,
                     IcpdaMsg::Share {
@@ -900,7 +975,8 @@ impl IcpdaNode {
             }
         }
         if missing != 0 {
-            ctx.metrics().add("icpda_fsums_missing", missing.count_ones().into());
+            ctx.metrics()
+                .add("icpda_fsums_missing", missing.count_ones().into());
             ctx.broadcast(IcpdaMsg::FsumNack {
                 cluster: roster.head(),
                 missing,
@@ -1015,8 +1091,10 @@ impl IcpdaNode {
             return;
         };
         let _ = ctx;
-        self.fsums
-            .insert(pos, (values.iter().map(|&v| Fp::new(v)).collect(), contributors));
+        self.fsums.insert(
+            pos,
+            (values.iter().map(|&v| Fp::new(v)).collect(), contributors),
+        );
     }
 
     fn handle_solve_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
@@ -1068,8 +1146,7 @@ impl IcpdaNode {
             ctx.metrics().bump("icpda_cluster_failed_empty");
             return;
         }
-        let assemblies: Vec<ShareVector> =
-            (0..m).map(|j| self.fsums[&j].0.clone()).collect();
+        let assemblies: Vec<ShareVector> = (0..m).map(|j| self.fsums[&j].0.clone()).collect();
         let Some(sum) = recover_sum(&assemblies) else {
             ctx.metrics().bump("icpda_cluster_failed_solve");
             return;
@@ -1080,7 +1157,8 @@ impl IcpdaNode {
         };
         // Every member records the aggregate: the head to report it, the
         // members to audit the head (transparent aggregation).
-        self.monitor.record_cluster(roster.head(), aggregate.clone());
+        self.monitor
+            .record_cluster(roster.head(), aggregate.clone());
         self.cluster_aggregate = Some(aggregate);
         ctx.metrics().bump(if is_head {
             "icpda_head_solved"
@@ -1146,7 +1224,10 @@ impl IcpdaNode {
         // deduplicate on (sender, msg_id).
         self.pending_upstream = Some(msg);
         let jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..100_000_000));
-        ctx.set_timer(SimDuration::from_millis(150) + jitter, TIMER_UPSTREAM_REPEAT);
+        ctx.set_timer(
+            SimDuration::from_millis(150) + jitter,
+            TIMER_UPSTREAM_REPEAT,
+        );
         ctx.metrics().bump("icpda_upstream_sent");
     }
 
@@ -1269,12 +1350,7 @@ impl IcpdaNode {
         });
     }
 
-    fn handle_alarm(
-        &mut self,
-        ctx: &mut Context<'_, IcpdaMsg>,
-        accuser: NodeId,
-        accused: NodeId,
-    ) {
+    fn handle_alarm(&mut self, ctx: &mut Context<'_, IcpdaMsg>, accuser: NodeId, accused: NodeId) {
         if self.is_base_station {
             if !self.bs_alarms.contains(&(accuser, accused)) {
                 self.bs_alarms.push((accuser, accused));
@@ -1435,6 +1511,7 @@ impl Application for IcpdaNode {
             TIMER_JOIN => self.handle_join_timer(ctx),
             TIMER_ROSTER => self.handle_roster_timer(ctx),
             TIMER_SHARES => self.handle_shares_timer(ctx),
+            TIMER_SHARE_DRAIN => self.drain_one_share(ctx),
             TIMER_REPAIR | TIMER_REPAIR2 => self.handle_repair_timer(ctx),
             TIMER_FLOOD_RELAY => {
                 if let Some(msg) = self.pending_flood.take() {

@@ -163,7 +163,10 @@ mod tests {
         let mut adv = LinkAdversary::new(0.0, 7);
         adv.compromise_node(n(2));
         let rep = evaluate_disclosure(&rosters, &adv);
-        assert!(rep.disclosed.is_empty(), "degree-2 blinding survives one leak");
+        assert!(
+            rep.disclosed.is_empty(),
+            "degree-2 blinding survives one leak"
+        );
     }
 
     #[test]

@@ -55,12 +55,7 @@ impl IcpdaRun {
     ///
     /// Panics if `readings.len() != deployment.len()`.
     #[must_use]
-    pub fn new(
-        deployment: Deployment,
-        config: IcpdaConfig,
-        readings: Vec<u64>,
-        seed: u64,
-    ) -> Self {
+    pub fn new(deployment: Deployment, config: IcpdaConfig, readings: Vec<u64>, seed: u64) -> Self {
         assert_eq!(
             readings.len(),
             deployment.len(),
@@ -145,8 +140,7 @@ impl IcpdaRun {
     pub fn run(self) -> IcpdaOutcome {
         let config = self.config;
         let readings = self.readings.clone();
-        let mut round_truths =
-            vec![config.function.ground_truth(&self.readings[1..])];
+        let mut round_truths = vec![config.function.ground_truth(&self.readings[1..])];
         let mut sim = Simulator::new(self.deployment, self.sim_config, self.seed, |id| {
             IcpdaNode::new(config, id == NodeId::new(0), readings[id.index()])
         });

@@ -82,7 +82,15 @@ pub fn run_session(
     attackers: &[(NodeId, Pollution)],
     max_rounds: usize,
 ) -> SessionOutcome {
-    run_session_with_slander(deployment, config, readings, seed, attackers, &[], max_rounds)
+    run_session_with_slander(
+        deployment,
+        config,
+        readings,
+        seed,
+        attackers,
+        &[],
+        max_rounds,
+    )
 }
 
 /// [`run_session`] with additional slander attackers (see
@@ -117,16 +125,11 @@ pub fn run_session_with_slander(
         // the same seed sees the same cluster formation); later rounds
         // derive fresh seeds.
         let round_seed = seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let outcome = IcpdaRun::new(
-            deployment.clone(),
-            config,
-            readings.to_vec(),
-            round_seed,
-        )
-        .with_attackers(attackers.iter().copied())
-        .with_slanderers(slanderers.iter().copied())
-        .with_excluded(excluded.iter().copied())
-        .run();
+        let outcome = IcpdaRun::new(deployment.clone(), config, readings.to_vec(), round_seed)
+            .with_attackers(attackers.iter().copied())
+            .with_slanderers(slanderers.iter().copied())
+            .with_excluded(excluded.iter().copied())
+            .run();
         let accepted = outcome.accepted;
         let alarms = outcome.alarms.clone();
         rounds.push(outcome);
@@ -212,7 +215,10 @@ mod tests {
         let session = run_session(&dep, config, &readings, 5, &attackers, 5);
         let accepted = session.accepted().expect("session must converge");
         assert!(session.accepted_round.unwrap() >= 1, "first round rejected");
-        assert!(session.excluded.contains(&head), "the polluter is quarantined");
+        assert!(
+            session.excluded.contains(&head),
+            "the polluter is quarantined"
+        );
         // The accepted round is clean and close to truth (minus the
         // quarantined node's own contribution and collateral coverage).
         assert!(accepted.accepted);

@@ -83,10 +83,7 @@ pub fn generate_shares<R: Rng + ?Sized>(
 /// Horner evaluation of a polynomial given in ascending-degree order.
 #[must_use]
 fn eval_poly(coeffs: &[Fp], x: Fp) -> Fp {
-    coeffs
-        .iter()
-        .rev()
-        .fold(Fp::ZERO, |acc, &c| acc * x + c)
+    coeffs.iter().rev().fold(Fp::ZERO, |acc, &c| acc * x + c)
 }
 
 /// Sums share vectors componentwise (the assembly step `F_j = Σ_i v_j^i`).
@@ -190,8 +187,7 @@ mod tests {
         // Member j assembles the shares destined to position j.
         let assemblies: Vec<ShareVector> = (0..m)
             .map(|j| {
-                let received: Vec<ShareVector> =
-                    all_shares.iter().map(|s| s[j].clone()).collect();
+                let received: Vec<ShareVector> = all_shares.iter().map(|s| s[j].clone()).collect();
                 assemble(&received)
             })
             .collect();

@@ -16,10 +16,7 @@ use wsn_sim::prelude::*;
 /// Either a real protocol node or a hostile message injector.
 enum Fuzzed {
     Real(Box<IcpdaNode>),
-    Chaos {
-        script: Vec<IcpdaMsg>,
-        next: usize,
-    },
+    Chaos { script: Vec<IcpdaMsg>, next: usize },
 }
 
 impl Application for Fuzzed {
@@ -121,22 +118,22 @@ fn arb_msg() -> impl Strategy<Value = IcpdaMsg> {
                 values,
                 contributors
             }),
-        (arb_node_id(), any::<u64>()).prop_map(|(cluster, missing)| IcpdaMsg::FsumNack {
-            cluster,
-            missing
-        }),
+        (arb_node_id(), any::<u64>())
+            .prop_map(|(cluster, missing)| IcpdaMsg::FsumNack { cluster, missing }),
         (
             arb_node_id(),
             any::<u8>(),
             prop::collection::vec(any::<u64>(), 0..4),
             any::<u64>()
         )
-            .prop_map(|(cluster, position, values, contributors)| IcpdaMsg::FsumEcho {
-                cluster,
-                position,
-                values,
-                contributors
-            }),
+            .prop_map(
+                |(cluster, position, values, contributors)| IcpdaMsg::FsumEcho {
+                    cluster,
+                    position,
+                    values,
+                    contributors
+                }
+            ),
         (
             any::<u32>(),
             prop::collection::vec(any::<u64>(), 0..4),

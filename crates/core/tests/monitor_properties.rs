@@ -16,7 +16,9 @@ fn arb_inputs() -> impl Strategy<Value = Vec<(MergedRef, Vec<u64>, u32)>> {
                     sender: NodeId::new(s),
                     msg_id: m,
                 }),
-                (0u32..20).prop_map(|h| MergedRef::Cluster { head: NodeId::new(h) }),
+                (0u32..20).prop_map(|h| MergedRef::Cluster {
+                    head: NodeId::new(h)
+                }),
             ],
             prop::collection::vec(0u64..1_000_000, 1..3),
             0u32..50,
@@ -33,9 +35,7 @@ fn arb_inputs() -> impl Strategy<Value = Vec<(MergedRef, Vec<u64>, u32)>> {
     })
 }
 
-fn build_report(
-    inputs: &[(MergedRef, Vec<u64>, u32)],
-) -> (Vec<Fp>, u32, Vec<InputClaim>) {
+fn build_report(inputs: &[(MergedRef, Vec<u64>, u32)]) -> (Vec<Fp>, u32, Vec<InputClaim>) {
     let arity = inputs[0].1.len();
     let mut totals = vec![Fp::ZERO; arity];
     let mut participants = 0u32;

@@ -109,7 +109,7 @@ fn approx_extrema_queries_end_to_end() {
     .run();
     assert!(out.accepted);
     let truth = 57.0; // entry 0 is the BS
-    // Error bracket in complement space: (300 − 57)·(n^(1/8) − 1).
+                      // Error bracket in complement space: (300 − 57)·(n^(1/8) − 1).
     let c_slack = (300.0 - truth) * (f64::from(out.participants).powf(1.0 / 8.0) - 1.0);
     assert!(
         (out.value - truth).abs() <= c_slack + 1e-6,
@@ -145,10 +145,7 @@ fn grouped_queries_aggregate_per_group() {
         // Per-zone populations are tiny (≤10 nodes), so a single lost
         // cluster moves a zone by a lot; bound the loss loosely and the
         // over-count exactly.
-        assert!(
-            got / want.max(1.0) > 0.65,
-            "zone {z}: {got} of {want}"
-        );
+        assert!(got / want.max(1.0) > 0.65, "zone {z}: {got} of {want}");
         assert!(got <= want, "zone {z} over-counts");
     }
 }
@@ -278,7 +275,11 @@ fn multiple_independent_attackers_are_detected() {
         .with_attackers(heads.iter().map(|&h| (h, Pollution::inflate(1_000))))
         .run();
     assert!(!out.accepted);
-    assert!(out.alarms.len() >= 2, "several accusations: {:?}", out.alarms);
+    assert!(
+        out.alarms.len() >= 2,
+        "several accusations: {:?}",
+        out.alarms
+    );
 }
 
 #[test]
@@ -327,7 +328,10 @@ fn disclosure_grows_with_link_compromise_probability() {
     .run();
     let p_low = evaluate_disclosure(&out.rosters, &LinkAdversary::new(0.1, 5)).probability();
     let p_high = evaluate_disclosure(&out.rosters, &LinkAdversary::new(0.9, 5)).probability();
-    assert!(p_low < 0.05, "p_x=0.1 should disclose almost nobody: {p_low}");
+    assert!(
+        p_low < 0.05,
+        "p_x=0.1 should disclose almost nobody: {p_low}"
+    );
     assert!(p_high > p_low, "more broken links, more disclosure");
 }
 

@@ -36,8 +36,7 @@ fn corner_base_station_still_collects() {
     // The BS in a corner doubles the network radius; the depth-scheduled
     // epoch must still deliver.
     let mut rng = ChaCha8Rng::seed_from_u64(41);
-    let mut dep =
-        Deployment::uniform_random(400, Region::paper_default(), 50.0, &mut rng);
+    let mut dep = Deployment::uniform_random(400, Region::paper_default(), 50.0, &mut rng);
     // Rebuild with node 0 pinned at the corner.
     let mut pts: Vec<Point> = dep.node_ids().map(|i| dep.position(i)).collect();
     pts[0] = Point::new(1.0, 1.0);

@@ -10,8 +10,8 @@
 //! the adversary is consistent over a whole simulation run.
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use std::collections::HashSet;
 use wsn_sim::NodeId;
 
@@ -92,7 +92,8 @@ impl LinkAdversary {
         }
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let link = (u64::from(lo.as_u32()) << 32) | u64::from(hi.as_u32());
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ link.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed ^ link.wrapping_mul(0x2545_F491_4F6C_DD1D));
         rng.gen_bool(self.p_x)
     }
 }

@@ -95,10 +95,7 @@ impl RandomPredistribution {
         let pool: Vec<u32> = (0..pool_size).collect();
         let rings = (0..n)
             .map(|_| {
-                let mut ring: Vec<u32> = pool
-                    .choose_multiple(rng, ring_size)
-                    .copied()
-                    .collect();
+                let mut ring: Vec<u32> = pool.choose_multiple(rng, ring_size).copied().collect();
                 ring.sort_unstable();
                 ring
             })
@@ -234,10 +231,7 @@ mod tests {
         if let Some(k) = kp.shared_pool_key(a, b) {
             for o in 2..15u32 {
                 let o = NodeId::new(o);
-                assert_eq!(
-                    kp.third_party_can_read(o, a, b),
-                    kp.ring(o).contains(&k)
-                );
+                assert_eq!(kp.third_party_can_read(o, a, b), kp.ring(o).contains(&k));
             }
         }
     }

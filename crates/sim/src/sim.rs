@@ -21,13 +21,13 @@
 
 use crate::app::{Application, Command, Context, TimerId, TimerToken};
 use crate::frame::{Destination, Frame};
+use crate::ids::NodeId;
 use crate::mac::MacConfig;
 use crate::metrics::{EnergyModel, Metrics};
 use crate::radio::{LossModel, RadioConfig};
-use crate::trace::{Trace, TraceKind};
-use crate::ids::NodeId;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Deployment;
+use crate::trace::{Trace, TraceKind};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::cmp::Reverse;
@@ -402,10 +402,7 @@ impl<A: Application> Simulator<A> {
             return;
         }
         // Channel clear: transmit the head frame.
-        let frame = st
-            .queue
-            .pop_front()
-            .expect("queue checked non-empty above");
+        let frame = st.queue.pop_front().expect("queue checked non-empty above");
         st.attempts = 0;
         let airtime = self.config.radio.airtime(frame.size_bytes);
         let on_air = self.config.radio.on_air_bytes(frame.size_bytes) as u64;
@@ -474,7 +471,8 @@ impl<A: Application> Simulator<A> {
         if st.queue.is_empty() {
             st.active = false;
         } else {
-            let jitter = sample_jitter(&mut self.rngs[node.index()], self.config.mac.initial_jitter);
+            let jitter =
+                sample_jitter(&mut self.rngs[node.index()], self.config.mac.initial_jitter);
             self.schedule(self.now + jitter, EventKind::MacAttempt { node });
         }
     }

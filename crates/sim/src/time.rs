@@ -121,7 +121,10 @@ impl SimDuration {
     /// Panics if `s` is negative, NaN, or too large to represent.
     #[must_use]
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         let ns = s * 1e9;
         assert!(ns <= u64::MAX as f64, "duration too large");
         SimDuration(ns.round() as u64)
@@ -258,7 +261,10 @@ mod tests {
         assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
         assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
         assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
-        assert_eq!(SimDuration::from_secs(2), SimDuration::from_nanos(2_000_000_000));
+        assert_eq!(
+            SimDuration::from_secs(2),
+            SimDuration::from_nanos(2_000_000_000)
+        );
     }
 
     #[test]
@@ -287,7 +293,10 @@ mod tests {
 
     #[test]
     fn from_secs_f64_rounds() {
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
         assert_eq!(SimDuration::from_secs_f64(1e-9), SimDuration::from_nanos(1));
     }
 
@@ -305,7 +314,9 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_secs(1)),
             Some(SimTime::from_secs(1))

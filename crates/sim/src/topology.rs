@@ -77,6 +77,38 @@ impl Deployment {
         dep
     }
 
+    /// Like [`Deployment::uniform_random_with_central_bs`] but rejection
+    /// samples until the unit-disk graph is connected, so every node can
+    /// reach the base station. Experiments about protocol behaviour (as
+    /// opposed to deployment coverage) want this: on a disconnected
+    /// deployment, nodes outside the base station's component are
+    /// unreachable by construction and any aggregate silently excludes
+    /// them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no connected deployment is found within 1000 draws —
+    /// the density is then far below the percolation threshold and a
+    /// connected sample would misrepresent it.
+    #[must_use]
+    pub fn connected_uniform_random_with_central_bs<R: Rng + ?Sized>(
+        n: usize,
+        region: Region,
+        radio_range: f64,
+        rng: &mut R,
+    ) -> Self {
+        for _ in 0..1000 {
+            let dep = Deployment::uniform_random_with_central_bs(n, region, radio_range, rng);
+            if dep.is_connected() {
+                return dep;
+            }
+        }
+        panic!(
+            "no connected deployment of {n} nodes at range {radio_range} \
+             in {region:?} after 1000 draws"
+        );
+    }
+
     /// Places nodes in Gaussian hotspots: `hotspots` cluster centers
     /// uniform in the region, each node attached to a random center with
     /// a normally distributed offset of standard deviation `spread`
@@ -392,8 +424,7 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                let expect =
-                    dep.position(a).distance_to(dep.position(b)) <= dep.radio_range();
+                let expect = dep.position(a).distance_to(dep.position(b)) <= dep.radio_range();
                 assert_eq!(dep.are_neighbors(a, b), expect, "{a} {b}");
             }
         }
@@ -422,8 +453,7 @@ mod tests {
     #[test]
     fn average_degree_tracks_density() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let sparse =
-            Deployment::uniform_random(200, Region::paper_default(), 50.0, &mut rng);
+        let sparse = Deployment::uniform_random(200, Region::paper_default(), 50.0, &mut rng);
         let dense = Deployment::uniform_random(600, Region::paper_default(), 50.0, &mut rng);
         assert!(dense.average_degree() > sparse.average_degree());
         // Paper's table I: degree ~8.8 at N=200, ~28.4 at N=600.
@@ -434,13 +464,12 @@ mod tests {
     #[test]
     fn central_bs_is_centered() {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        let dep = Deployment::uniform_random_with_central_bs(
-            50,
-            Region::paper_default(),
-            50.0,
-            &mut rng,
+        let dep =
+            Deployment::uniform_random_with_central_bs(50, Region::paper_default(), 50.0, &mut rng);
+        assert_eq!(
+            dep.position(NodeId::new(0)),
+            Region::paper_default().center()
         );
-        assert_eq!(dep.position(NodeId::new(0)), Region::paper_default().center());
     }
 
     #[test]
@@ -469,14 +498,8 @@ mod tests {
     fn hotspot_deployment_is_clumpier_than_uniform() {
         let mut rng = ChaCha8Rng::seed_from_u64(13);
         let uniform = Deployment::uniform_random(300, Region::paper_default(), 50.0, &mut rng);
-        let hotspot = Deployment::gaussian_hotspots(
-            300,
-            Region::paper_default(),
-            50.0,
-            5,
-            40.0,
-            &mut rng,
-        );
+        let hotspot =
+            Deployment::gaussian_hotspots(300, Region::paper_default(), 50.0, 5, 40.0, &mut rng);
         // Same node count, but clustering raises the mean degree and the
         // degree variance.
         assert!(hotspot.average_degree() > uniform.average_degree() * 1.3);
@@ -490,7 +513,10 @@ mod tests {
         for id in hotspot.node_ids() {
             assert!(Region::paper_default().contains(hotspot.position(id)));
         }
-        assert_eq!(hotspot.position(NodeId::new(0)), Region::paper_default().center());
+        assert_eq!(
+            hotspot.position(NodeId::new(0)),
+            Region::paper_default().center()
+        );
     }
 
     #[test]
@@ -503,10 +529,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside region")]
     fn positions_validated_against_region() {
-        let _ = Deployment::from_positions(
-            vec![Point::new(500.0, 0.0)],
-            Region::paper_default(),
-            50.0,
-        );
+        let _ =
+            Deployment::from_positions(vec![Point::new(500.0, 0.0)], Region::paper_default(), 50.0);
     }
 }

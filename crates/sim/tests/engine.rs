@@ -79,7 +79,11 @@ fn broadcast_reaches_only_radio_range() {
     sim.run_until(SimTime::from_secs(1));
     assert_eq!(sim.app(NodeId::new(1)).received.len(), 1);
     assert_eq!(sim.app(NodeId::new(2)).received.len(), 0);
-    assert_eq!(sim.app(NodeId::new(0)).received.len(), 0, "no self-delivery");
+    assert_eq!(
+        sim.app(NodeId::new(0)).received.len(),
+        0,
+        "no self-delivery"
+    );
 }
 
 #[test]
@@ -125,7 +129,10 @@ fn simultaneous_transmissions_collide_at_shared_receiver() {
         ],
     );
     sim.run_until(SimTime::from_secs(1));
-    assert!(sim.app(NodeId::new(1)).received.is_empty(), "collision expected");
+    assert!(
+        sim.app(NodeId::new(1)).received.is_empty(),
+        "collision expected"
+    );
     assert_eq!(sim.metrics().total_lost(LossCause::Collision), 2);
 }
 
@@ -252,7 +259,12 @@ fn different_seeds_differ_somewhere() {
         });
         sim.run_until(SimTime::from_secs(5));
         sim.apps()
-            .map(|(_, a)| a.received.iter().map(|(f, _)| f.index()).collect::<Vec<_>>())
+            .map(|(_, a)| {
+                a.received
+                    .iter()
+                    .map(|(f, _)| f.index())
+                    .collect::<Vec<_>>()
+            })
             .collect::<Vec<_>>()
     };
     // MAC jitter differs by seed, so arrival orders and collision patterns

@@ -26,7 +26,12 @@ impl Application for Sender {
     }
 }
 
-fn pair(config: SimConfig, a_script: Vec<u64>, b_script: Vec<u64>, size: usize) -> Simulator<Sender> {
+fn pair(
+    config: SimConfig,
+    a_script: Vec<u64>,
+    b_script: Vec<u64>,
+    size: usize,
+) -> Simulator<Sender> {
     let dep = Deployment::from_positions(
         vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
         Region::new(100.0, 100.0),

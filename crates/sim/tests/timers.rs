@@ -33,11 +33,7 @@ impl Application for TimerProbe {
 }
 
 fn single_node() -> Simulator<TimerProbe> {
-    let dep = Deployment::from_positions(
-        vec![Point::new(0.0, 0.0)],
-        Region::new(10.0, 10.0),
-        5.0,
-    );
+    let dep = Deployment::from_positions(vec![Point::new(0.0, 0.0)], Region::new(10.0, 10.0), 5.0);
     Simulator::new(dep, SimConfig::ideal(), 1, |_| TimerProbe::default())
 }
 

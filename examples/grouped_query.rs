@@ -32,8 +32,8 @@ fn main() {
                 return 0; // base station
             }
             let p = deployment.position(NodeId::new(i as u32));
-            let zone = u32::from(p.x > region.width / 2.0)
-                + 2 * u32::from(p.y > region.height / 2.0);
+            let zone =
+                u32::from(p.x > region.width / 2.0) + 2 * u32::from(p.y > region.height / 2.0);
             pack_grouped(zone, rng.gen_range(0..=5))
         })
         .collect();

@@ -21,12 +21,8 @@ use wsn_sim::topology::Deployment;
 fn main() {
     let meters = 300;
     let mut rng = ChaCha8Rng::seed_from_u64(11);
-    let deployment = Deployment::uniform_random_with_central_bs(
-        meters,
-        Region::paper_default(),
-        50.0,
-        &mut rng,
-    );
+    let deployment =
+        Deployment::uniform_random_with_central_bs(meters, Region::paper_default(), 50.0, &mut rng);
     let mut config = IcpdaConfig::paper_default(AggFunction::Average);
     config.rounds = 24;
 

@@ -19,12 +19,8 @@ fn main() {
     println!("------+--------+----------+----------+-----------+----------");
     for n in [200usize, 400, 600] {
         let mut rng = ChaCha8Rng::seed_from_u64(17);
-        let deployment = Deployment::uniform_random_with_central_bs(
-            n,
-            Region::paper_default(),
-            50.0,
-            &mut rng,
-        );
+        let deployment =
+            Deployment::uniform_random_with_central_bs(n, Region::paper_default(), 50.0, &mut rng);
         let readings = agg::readings::count_readings(n);
 
         let tag = run_tag(

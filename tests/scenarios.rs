@@ -2,9 +2,7 @@
 //! regression tests behind the runnable examples.
 
 use icpda_suite::agg::{self, function::pack_grouped, AggFunction};
-use icpda_suite::icpda::{
-    run_session_with_slander, IcpdaConfig, IcpdaRun, Pollution,
-};
+use icpda_suite::icpda::{run_session_with_slander, IcpdaConfig, IcpdaRun, Pollution};
 use icpda_suite::wsn_sim::geometry::Region;
 use icpda_suite::wsn_sim::topology::Deployment;
 use rand::SeedableRng;
@@ -61,7 +59,13 @@ fn zonal_occupancy_regression() {
         })
         .collect();
     let truth = function.group_ground_truth(&readings[1..]);
-    let out = IcpdaRun::new(network(n, 8), IcpdaConfig::paper_default(function), readings, 4).run();
+    let out = IcpdaRun::new(
+        network(n, 8),
+        IcpdaConfig::paper_default(function),
+        readings,
+        4,
+    )
+    .run();
     assert!(out.accepted);
     let collected = function.group_values(&out.decision.totals);
     for (z, (got, want)) in collected.iter().zip(&truth).enumerate() {
@@ -103,8 +107,16 @@ fn polluter_and_slanderer_both_quarantined() {
         8,
     );
     let accepted = session.accepted().expect("session converges");
-    assert!(session.excluded.contains(&polluter), "{:?}", session.excluded);
-    assert!(session.excluded.contains(&slanderer), "{:?}", session.excluded);
+    assert!(
+        session.excluded.contains(&polluter),
+        "{:?}",
+        session.excluded
+    );
+    assert!(
+        session.excluded.contains(&slanderer),
+        "{:?}",
+        session.excluded
+    );
     assert!(
         !session.excluded.contains(&victim),
         "the slandered head is exonerated: {:?}",

@@ -1,0 +1,92 @@
+//! `any::<T>()` — the canonical full-domain strategy for a type.
+
+use crate::sample::Index;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::{Rng, Standard};
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain strategy for primitives (and [`Index`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T> Default for Any<T> {
+    fn default() -> Self {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+macro_rules! impl_arbitrary_primitive {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> {
+                Any::default()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_primitive!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+// `f64`/`f32` deliberately generate from the unit interval rather than all
+// bit patterns: the workspace never uses `any::<f64>()`, and unit-interval
+// values avoid NaN surprises if it ever does.
+macro_rules! impl_arbitrary_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                Standard.sample(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> {
+                Any::default()
+            }
+        }
+    )*};
+}
+
+use rand::Distribution;
+impl_arbitrary_float!(f32, f64);
+
+impl Strategy for Any<Index> {
+    type Value = Index;
+
+    fn new_value(&self, rng: &mut TestRng) -> Index {
+        Index::new(rng.gen())
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = Any<Index>;
+
+    fn arbitrary() -> Any<Index> {
+        Any::default()
+    }
+}

@@ -1,0 +1,27 @@
+//! Sampling helpers: the [`Index`] type.
+
+/// A size-agnostic index: generated once, projected onto any collection
+/// length with [`Index::index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    /// Wraps a raw value (used by `any::<Index>()`).
+    #[must_use]
+    pub fn new(raw: usize) -> Self {
+        Index { raw }
+    }
+
+    /// Projects onto `0..size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    #[must_use]
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on empty collection");
+        self.raw % size
+    }
+}

@@ -1,0 +1,64 @@
+//! The per-test runner: configuration and deterministic RNG.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// The RNG handed to strategies.
+pub type TestRng = ChaCha8Rng;
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the stub trims that to keep the
+        // no-shrinking suite fast while still exercising many cases.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives one property test: owns the deterministic RNG.
+pub struct TestRunner {
+    rng: TestRng,
+    name_seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner whose RNG is seeded from the test's name, so each
+    /// test sees a stable, reproducible case sequence.
+    #[must_use]
+    pub fn new(_config: &ProptestConfig, name: &str) -> Self {
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        let name_seed = hasher.finish();
+        TestRunner {
+            rng: TestRng::seed_from_u64(name_seed),
+            name_seed,
+        }
+    }
+
+    /// Reseeds for case `case` so a panicking case's inputs can be
+    /// regenerated independently of how much entropy earlier cases drew.
+    pub fn begin_case(&mut self, case: u32) {
+        self.rng = TestRng::seed_from_u64(self.name_seed ^ (u64::from(case) << 32 | 0x9E37));
+    }
+
+    /// The RNG strategies draw from.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}

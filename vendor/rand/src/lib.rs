@@ -1,0 +1,248 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access and no vendored registry, so
+//! the workspace ships this std-only subset of the `rand 0.8` API under the
+//! same crate name (wired up via a `path` dependency in the workspace
+//! manifest). Only the surface the iCPDA workspace actually uses is
+//! implemented:
+//!
+//! * [`RngCore`] / [`SeedableRng`] (with the SplitMix64-based
+//!   `seed_from_u64` used everywhere in the repo),
+//! * the [`Rng`] extension trait: `gen`, `gen_range` (half-open, inclusive
+//!   and from-ranges over the primitive ints and floats), `gen_bool`,
+//! * [`seq::SliceRandom`]: `shuffle`, `choose`, `choose_multiple`.
+//!
+//! Everything is deterministic given the generator state; nothing touches
+//! OS entropy. The value streams are *internally* stable (fixed by this
+//! source), which is all the workspace's "same seed ⇒ identical trace"
+//! invariant requires.
+
+pub mod distributions;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard};
+
+/// Draws an unbiased `f64` in `[0, 1)` from 53 random bits.
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A random number generator core: the raw output interface.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            let n = rem.len();
+            rem.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64
+    /// (the same construction `rand 0.8` uses).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Unsigned integers that support unbiased bounded sampling.
+trait UnsignedWide: Copy + PartialOrd {
+    const MAX_BITS: u32;
+    fn from_wide(bits: u128) -> Self;
+    fn leading_zeros(self) -> u32;
+    fn is_zero(self) -> bool;
+    /// Unbiased uniform value in `[0, span)` via mask + rejection.
+    /// `span == 0` means the full domain.
+    fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: Self) -> Self {
+        if span.is_zero() {
+            return Self::draw(rng);
+        }
+        let shift = span.leading_zeros();
+        loop {
+            let v = Self::mask_down(Self::draw(rng), shift);
+            if v < span {
+                return v;
+            }
+        }
+    }
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        if Self::MAX_BITS <= 64 {
+            Self::from_wide(rng.next_u64() as u128)
+        } else {
+            Self::from_wide((rng.next_u64() as u128) | ((rng.next_u64() as u128) << 64))
+        }
+    }
+    fn mask_down(self, leading_zeros: u32) -> Self;
+}
+
+macro_rules! impl_unsigned_wide {
+    ($($t:ty),*) => {$(
+        impl UnsignedWide for $t {
+            const MAX_BITS: u32 = <$t>::BITS;
+            fn from_wide(bits: u128) -> Self { bits as $t }
+            fn leading_zeros(self) -> u32 { <$t>::leading_zeros(self) }
+            fn is_zero(self) -> bool { self == 0 }
+            fn mask_down(self, leading_zeros: u32) -> Self {
+                self & (<$t>::MAX >> leading_zeros)
+            }
+        }
+    )*};
+}
+
+impl_unsigned_wide!(u8, u16, u32, u64, u128, usize);
+
+/// Types that [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform sample from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// The maximum representable value, used for `low..` ranges.
+    fn upper_bound() -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as $u).wrapping_sub(low as $u);
+                low.wrapping_add(<$u as UnsignedWide>::uniform_below(rng, span) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                // span 0 encodes the full domain for `uniform_below`.
+                let span = (high as $u).wrapping_sub(low as $u).wrapping_add(1);
+                low.wrapping_add(<$u as UnsignedWide>::uniform_below(rng, span) as $t)
+            }
+            fn upper_bound() -> Self {
+                <$t>::MAX
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, u128 => u128, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize,
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let v = low + (high - low) * (unit_f64(rng) as $t);
+                // Floating-point rounding can land exactly on `high`.
+                if v >= high { low } else { v }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                low + (high - low) * (unit_f64(rng) as $t)
+            }
+            fn upper_bound() -> Self {
+                <$t>::MAX
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeFrom<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, self.start, T::upper_bound())
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A value of type `T` drawn from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// A uniform sample from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} not in [0,1]");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

@@ -1,0 +1,82 @@
+//! Slice sampling helpers (`rand::seq` subset).
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements sampled without replacement (fewer if the
+    /// slice is shorter). Order of the returned elements is unspecified but
+    /// deterministic for a deterministic `rng`.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index table: O(len) setup, O(amount)
+        // draws, no duplicate elements.
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        let mut picked = Vec::with_capacity(amount);
+        for i in 0..amount {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+            picked.push(&self[indices[i]]);
+        }
+        SliceChooseIter {
+            items: picked.into_iter(),
+        }
+    }
+}
+
+/// Iterator over elements sampled by [`SliceRandom::choose_multiple`].
+pub struct SliceChooseIter<'a, T> {
+    items: std::vec::IntoIter<&'a T>,
+}
+
+impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        self.items.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.items.size_hint()
+    }
+}
+
+impl<T> ExactSizeIterator for SliceChooseIter<'_, T> {}

@@ -1,0 +1,156 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Implements [`ChaCha8Rng`] — a genuine 8-round ChaCha keystream generator
+//! (D. J. Bernstein's construction) behind the `rand` stub's
+//! [`RngCore`]/[`SeedableRng`] traits. The build container cannot download
+//! the real crate, so the workspace wires this in via a `path` dependency.
+//!
+//! The keystream is a pure function of the 32-byte seed: same seed, same
+//! stream, on every platform — which is the only property the simulator's
+//! determinism invariant (DESIGN §6) relies on.
+
+use rand::{RngCore, SeedableRng};
+
+/// The number of 32-bit words in a ChaCha block.
+const BLOCK_WORDS: usize = 16;
+
+/// A deterministic random number generator using 8 rounds of ChaCha.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key words (state words 4..12).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..14).
+    counter: u64,
+    /// Buffered keystream block.
+    buf: [u32; BLOCK_WORDS],
+    /// Next unread word index in `buf`; `BLOCK_WORDS` means empty.
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Generates the next keystream block into `self.buf`.
+    fn refill(&mut self) {
+        // "expand 32-byte k" constants.
+        let mut state: [u32; BLOCK_WORDS] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let initial = state;
+        // 8 rounds = 4 double rounds (column + diagonal).
+        for _ in 0..4 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial) {
+            *word = word.wrapping_add(init);
+        }
+        self.buf = state;
+        self.idx = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.idx >= BLOCK_WORDS {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buf: [0; BLOCK_WORDS],
+            idx: BLOCK_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_word());
+        let hi = u64::from(self.next_word());
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be uncorrelated, {same}/64 equal");
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..37 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
