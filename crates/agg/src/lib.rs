@@ -25,6 +25,8 @@
 //! assert_eq!(f.decode(&[2, 100]), 50.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod accuracy;
 pub mod field;
 pub mod function;

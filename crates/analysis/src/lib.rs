@@ -22,6 +22,8 @@
 //! assert_eq!(disclosure_probability(0.1, 4), 0.1f64.powi(3));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod coverage;
 pub mod detection;
 pub mod latency;

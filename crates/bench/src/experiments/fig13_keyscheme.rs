@@ -18,7 +18,7 @@ use icpda::{evaluate_disclosure, evaluate_disclosure_with_keys, IcpdaConfig};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use wsn_crypto::key::RandomPredistribution;
 use wsn_crypto::LinkAdversary;
 use wsn_sim::NodeId;
@@ -51,7 +51,7 @@ pub fn run() -> std::io::Result<()> {
         SAMPLES,
         |&captured_count, sample| {
             let mut rng = ChaCha8Rng::seed_from_u64(sample * 71 + 3);
-            let captured: HashSet<NodeId> = node_pool
+            let captured: BTreeSet<NodeId> = node_pool
                 .choose_multiple(&mut rng, captured_count)
                 .copied()
                 .collect();

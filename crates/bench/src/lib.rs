@@ -6,6 +6,8 @@
 //! `results/`). The binaries only orchestrate; all protocol logic lives
 //! in the library crates.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod parallel;
 pub mod svg;

@@ -7,7 +7,7 @@
 //! stranded pockets, oversized clusters).
 
 use icpda::IcpdaOutcome;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use wsn_sim::topology::Deployment;
 use wsn_sim::NodeId;
@@ -25,14 +25,14 @@ fn cluster_color(i: usize) -> String {
 /// Renders the deployment alone (grey nodes + edges).
 #[must_use]
 pub fn render_deployment(dep: &Deployment) -> String {
-    render(dep, &HashMap::new(), &[])
+    render(dep, &BTreeMap::new(), &[])
 }
 
 /// Renders a finished round: nodes coloured by cluster, heads ringed,
 /// orphans hollow.
 #[must_use]
 pub fn render_outcome(dep: &Deployment, outcome: &IcpdaOutcome) -> String {
-    let mut cluster_of: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut cluster_of: BTreeMap<NodeId, NodeId> = BTreeMap::new();
     let mut heads: Vec<NodeId> = Vec::new();
     for (node, roster) in &outcome.rosters {
         cluster_of.insert(*node, roster.head());
@@ -43,7 +43,7 @@ pub fn render_outcome(dep: &Deployment, outcome: &IcpdaOutcome) -> String {
     render(dep, &cluster_of, &heads)
 }
 
-fn render(dep: &Deployment, cluster_of: &HashMap<NodeId, NodeId>, heads: &[NodeId]) -> String {
+fn render(dep: &Deployment, cluster_of: &BTreeMap<NodeId, NodeId>, heads: &[NodeId]) -> String {
     let region = dep.region();
     let scale = CANVAS / region.width.max(region.height);
     let px = |x: f64| x * scale;
@@ -51,7 +51,7 @@ fn render(dep: &Deployment, cluster_of: &HashMap<NodeId, NodeId>, heads: &[NodeI
     let h = px(region.height);
 
     // Stable colour per cluster head.
-    let mut head_index: HashMap<NodeId, usize> = HashMap::new();
+    let mut head_index: BTreeMap<NodeId, usize> = BTreeMap::new();
     for (_, &head) in cluster_of.iter() {
         let next = head_index.len();
         head_index.entry(head).or_insert(next);

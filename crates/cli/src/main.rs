@@ -9,6 +9,8 @@
 //! icpda privacy --nodes 600 --seed 1 --px 0.05 [--adversaries 30]
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

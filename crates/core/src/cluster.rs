@@ -1,6 +1,31 @@
 //! Cluster rosters and contributor masks.
 
+use std::fmt;
 use wsn_sim::NodeId;
+
+/// Why a received `ClusterInfo` roster was rejected as malformed or
+/// forged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RosterError {
+    /// More than 64 members — contributor masks are 64-bit.
+    Oversized,
+    /// Members are not strictly sorted by node id.
+    Unsorted,
+    /// The announced head is not among the members.
+    MissingHead,
+}
+
+impl fmt::Display for RosterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RosterError::Oversized => write!(f, "roster exceeds the 64-member mask width"),
+            RosterError::Unsorted => write!(f, "roster members are not sorted-unique"),
+            RosterError::MissingHead => write!(f, "roster does not contain its head"),
+        }
+    }
+}
+
+impl std::error::Error for RosterError {}
 
 /// The fixed membership of one cluster, as broadcast by its head.
 ///
@@ -32,19 +57,19 @@ impl Roster {
         Roster { head, members }
     }
 
-    /// Reconstructs a roster from a received `ClusterInfo`.
-    ///
-    /// Returns `None` if the members are not sorted-unique, exceed 64, or
-    /// do not contain the head (a malformed or forged roster).
-    #[must_use]
-    pub fn from_wire(head: NodeId, members: &[NodeId]) -> Option<Self> {
-        if members.len() > 64
-            || !members.windows(2).all(|w| w[0] < w[1])
-            || members.binary_search(&head).is_err()
-        {
-            return None;
+    /// Reconstructs a roster from a received `ClusterInfo`, rejecting
+    /// malformed or forged rosters with a [`RosterError`].
+    pub fn from_wire(head: NodeId, members: &[NodeId]) -> Result<Self, RosterError> {
+        if members.len() > 64 {
+            return Err(RosterError::Oversized);
         }
-        Some(Roster {
+        if !members.windows(2).all(|w| matches!(w, [a, b] if a < b)) {
+            return Err(RosterError::Unsorted);
+        }
+        if members.binary_search(&head).is_err() {
+            return Err(RosterError::MissingHead);
+        }
+        Ok(Roster {
             head,
             members: members.to_vec(),
         })
@@ -143,9 +168,21 @@ mod tests {
         let back = Roster::from_wire(r.head(), r.members()).unwrap();
         assert_eq!(back, r);
         // Unsorted rejected.
-        assert!(Roster::from_wire(n(1), &[n(2), n(1)]).is_none());
+        assert_eq!(
+            Roster::from_wire(n(1), &[n(2), n(1)]),
+            Err(RosterError::Unsorted)
+        );
         // Head missing rejected.
-        assert!(Roster::from_wire(n(9), &[n(1), n(2)]).is_none());
+        assert_eq!(
+            Roster::from_wire(n(9), &[n(1), n(2)]),
+            Err(RosterError::MissingHead)
+        );
+        // Oversized rejected.
+        let too_many: Vec<NodeId> = (0..65).map(n).collect();
+        assert_eq!(
+            Roster::from_wire(n(0), &too_many),
+            Err(RosterError::Oversized)
+        );
     }
 
     #[test]

@@ -37,6 +37,8 @@
 //! assert!(outcome.accepted, "honest round is accepted");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod attack;
 pub mod cluster;
 pub mod config;

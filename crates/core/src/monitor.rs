@@ -21,7 +21,7 @@
 
 use crate::msg::{InputClaim, MergedRef};
 use agg::field::Fp;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use wsn_sim::NodeId;
 
 /// One cached aggregate: componentwise totals plus participant count.
@@ -67,8 +67,8 @@ pub enum ViolationKind {
 /// What one node has overheard and computed, for auditing purposes.
 #[derive(Clone, Debug, Default)]
 pub struct MonitorCache {
-    upstream: HashMap<(NodeId, u32), CachedAggregate>,
-    clusters: HashMap<NodeId, CachedAggregate>,
+    upstream: BTreeMap<(NodeId, u32), CachedAggregate>,
+    clusters: BTreeMap<NodeId, CachedAggregate>,
 }
 
 impl MonitorCache {

@@ -371,7 +371,7 @@ impl IcpdaNode {
         let key = self
             .keys
             .link_key(me, target)
-            .expect("pairwise scheme always shares a key");
+            .expect("invariant: the pairwise scheme shares a key for every node pair");
         let nonce = self.next_nonce(me);
         let sealed = seal(key, nonce, &share_to_bytes(share));
         let direct = ctx.neighbors().binary_search(&target).is_ok();
@@ -622,7 +622,7 @@ impl IcpdaNode {
         if from != head || self.role != Role::Member(head) || self.roster.is_some() {
             return;
         }
-        let Some(roster) = Roster::from_wire(head, members) else {
+        let Ok(roster) = Roster::from_wire(head, members) else {
             ctx.metrics().bump("icpda_bad_roster");
             return;
         };
@@ -711,7 +711,7 @@ impl IcpdaNode {
                 let key = self
                     .keys
                     .link_key(me, roster.head())
-                    .expect("pairwise scheme always shares a key");
+                    .expect("invariant: the pairwise scheme shares a key for every node pair");
                 let nonce = self.next_nonce(me);
                 let sealed = seal(key, nonce, &share_to_bytes(&raw));
                 ctx.send(
@@ -725,7 +725,9 @@ impl IcpdaNode {
             }
             return;
         }
-        let my_pos = roster.position(me).expect("roster contains self");
+        let Some(my_pos) = roster.position(me) else {
+            return;
+        };
         let shares = generate_shares(&contribution, roster.len(), ctx.rng());
         self.shared = true;
         // Keep own share locally.
@@ -939,7 +941,9 @@ impl IcpdaNode {
             return;
         };
         let me = ctx.id();
-        let my_pos = roster.position(me).expect("roster contains self");
+        let Some(my_pos) = roster.position(me) else {
+            return;
+        };
         let mut contributors = 0u64;
         let mut shares = Vec::new();
         for (&sender, share) in &self.received_shares {
@@ -1133,8 +1137,14 @@ impl IcpdaNode {
             });
             return;
         }
-        let mask = self.fsums[&0].1;
-        if (1..m).any(|j| self.fsums[&j].1 != mask) {
+        // Positions are keyed 0..m: the length check above plus the
+        // position bound on insert guarantee every key is present, but
+        // `.get()` keeps the path panic-free regardless.
+        let mask = match self.fsums.get(&0) {
+            Some(&(_, mask)) => mask,
+            None => 0,
+        };
+        if (1..m).any(|j| self.fsums.get(&j).is_none_or(|f| f.1 != mask)) {
             ctx.metrics().bump(if is_head {
                 "icpda_head_failed_mask_mismatch"
             } else {
@@ -1146,7 +1156,7 @@ impl IcpdaNode {
             ctx.metrics().bump("icpda_cluster_failed_empty");
             return;
         }
-        let assemblies: Vec<ShareVector> = (0..m).map(|j| self.fsums[&j].0.clone()).collect();
+        let assemblies: Vec<ShareVector> = self.fsums.values().map(|f| f.0.clone()).collect();
         let Some(sum) = recover_sum(&assemblies) else {
             ctx.metrics().bump("icpda_cluster_failed_solve");
             return;

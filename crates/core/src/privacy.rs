@@ -12,7 +12,7 @@
 //! side of the paper's `P_disclose` figure.
 
 use crate::cluster::Roster;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use wsn_crypto::key::RandomPredistribution;
 use wsn_crypto::LinkAdversary;
 use wsn_sim::NodeId;
@@ -82,10 +82,10 @@ pub fn evaluate_disclosure(
 pub fn evaluate_disclosure_with_keys(
     rosters: &[(NodeId, Roster)],
     keys: &RandomPredistribution,
-    captured: &HashSet<NodeId>,
+    captured: &BTreeSet<NodeId>,
 ) -> DisclosureReport {
     // Union of captured rings, for O(1) key lookups.
-    let captured_keys: HashSet<u32> = captured
+    let captured_keys: BTreeSet<u32> = captured
         .iter()
         .flat_map(|n| keys.ring(*n).iter().copied())
         .collect();
@@ -184,7 +184,7 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
         let keys = RandomPredistribution::generate(10, 100, 20, &mut rng);
         let rosters = vec![(n(1), roster3())];
-        let rep = evaluate_disclosure_with_keys(&rosters, &keys, &HashSet::new());
+        let rep = evaluate_disclosure_with_keys(&rosters, &keys, &BTreeSet::new());
         assert!(rep.disclosed.is_empty());
         assert_eq!(rep.sharing_nodes, 1);
     }
@@ -195,7 +195,7 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
         let keys = RandomPredistribution::generate(10, 100, 20, &mut rng);
         let rosters = vec![(n(1), roster3())];
-        let captured: HashSet<NodeId> = [n(2), n(3)].into_iter().collect();
+        let captured: BTreeSet<NodeId> = [n(2), n(3)].into_iter().collect();
         let rep = evaluate_disclosure_with_keys(&rosters, &keys, &captured);
         assert_eq!(rep.disclosed, vec![n(1)]);
     }
@@ -208,7 +208,7 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
         let keys = RandomPredistribution::generate(10, 4, 4, &mut rng);
         let rosters = vec![(n(1), roster3())];
-        let captured: HashSet<NodeId> = [n(9)].into_iter().collect();
+        let captured: BTreeSet<NodeId> = [n(9)].into_iter().collect();
         let rep = evaluate_disclosure_with_keys(&rosters, &keys, &captured);
         assert_eq!(rep.disclosed, vec![n(1)], "full-pool rings leak everything");
     }

@@ -140,7 +140,8 @@ impl IcpdaRun {
     pub fn run(self) -> IcpdaOutcome {
         let config = self.config;
         let readings = self.readings.clone();
-        let mut round_truths = vec![config.function.ground_truth(&self.readings[1..])];
+        let mut last_truth = config.function.ground_truth(&self.readings[1..]);
+        let mut round_truths = vec![last_truth];
         let mut sim = Simulator::new(self.deployment, self.sim_config, self.seed, |id| {
             IcpdaNode::new(config, id == NodeId::new(0), readings[id.index()])
         });
@@ -167,10 +168,9 @@ impl IcpdaRun {
                 for (i, &r) in new_readings.iter().enumerate().skip(1) {
                     sim.app_mut(NodeId::new(i as u32)).set_reading(r);
                 }
-                round_truths.push(config.function.ground_truth(&new_readings[1..]));
-            } else {
-                round_truths.push(*round_truths.last().expect("non-empty"));
+                last_truth = config.function.ground_truth(&new_readings[1..]);
             }
+            round_truths.push(last_truth);
         }
         let deadline = SimTime::ZERO
             + config.schedule.decision_time() * u64::from(config.rounds)
@@ -178,10 +178,9 @@ impl IcpdaRun {
         sim.run_until(deadline);
 
         let decisions = sim.app(NodeId::new(0)).decisions().to_vec();
-        let decision = decisions
-            .last()
-            .cloned()
-            .expect("decision timer fires before the deadline");
+        let decision = decisions.last().cloned().expect(
+            "invariant: the base station's decision timer fires before the session deadline",
+        );
         let mut heads = 0usize;
         let mut members = 0usize;
         let mut orphans = 0usize;
@@ -216,7 +215,7 @@ impl IcpdaRun {
         }
         let metrics = sim.metrics();
         IcpdaOutcome {
-            truth: *round_truths.last().expect("non-empty"),
+            truth: last_truth,
             round_truths,
             value: decision.value,
             participants: decision.participants,

@@ -160,12 +160,15 @@ pub fn share_from_bytes(bytes: &[u8]) -> Option<ShareVector> {
     if !bytes.len().is_multiple_of(8) {
         return None;
     }
-    Some(
-        bytes
-            .chunks_exact(8)
-            .map(|c| Fp::new(u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes"))))
-            .collect(),
-    )
+    bytes
+        .chunks_exact(8)
+        .map(|c| {
+            <[u8; 8]>::try_from(c)
+                .ok()
+                .map(u64::from_le_bytes)
+                .map(Fp::new)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -5,11 +5,14 @@
 //! shows up here as a counter or byte-count drift.
 
 use agg::AggFunction;
-use icpda::{IcpdaConfig, IcpdaRun};
+use icpda::{evaluate_disclosure_with_keys, IcpdaConfig, IcpdaRun};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
+use wsn_crypto::key::RandomPredistribution;
 use wsn_sim::geometry::Region;
 use wsn_sim::topology::Deployment;
+use wsn_sim::NodeId;
 
 fn one_run(seed: u64) -> icpda::IcpdaOutcome {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -43,5 +46,60 @@ fn same_seed_runs_are_identical() {
         assert_eq!(a.collisions, b.collisions, "seed {seed}: collisions");
         assert_eq!(a.finished_at, b.finished_at, "seed {seed}: virtual clock");
         assert_eq!(a.user_counters, b.user_counters, "seed {seed}: counters");
+    }
+}
+
+/// Everything observable about one trial, including the post-run
+/// disclosure analysis that exercises the ordered-collection paths in
+/// `privacy`, `monitor`, `topology` and the crypto adversary.
+fn fingerprint(seed: u64) -> String {
+    let outcome = one_run(seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD15C);
+    let keys = RandomPredistribution::generate(120, 200, 30, &mut rng);
+    let captured: BTreeSet<NodeId> = (1..20).map(|i| NodeId::new(i * 5)).collect();
+    let disclosure = evaluate_disclosure_with_keys(&outcome.rosters, &keys, &captured);
+    format!(
+        "{:?}|{:016x}|{}|{:?}|{:?}|{}|{}|{:?}|{:?}|{:?}",
+        outcome.accepted,
+        outcome.value.to_bits(),
+        outcome.participants,
+        outcome.alarms,
+        outcome.cluster_sizes,
+        outcome.total_bytes,
+        outcome.total_frames,
+        outcome.finished_at,
+        outcome.user_counters,
+        disclosure.disclosed,
+    )
+}
+
+/// DESIGN §6 / ROADMAP north-star: byte-identical at any thread count.
+/// The same batch of seeds is evaluated sequentially and partitioned
+/// across OS threads (as the parallel bench harness does); every
+/// per-seed fingerprint must match bit-for-bit. Hasher-dependent
+/// iteration order anywhere in the trial path would make the threaded
+/// partition drift.
+#[test]
+fn cross_thread_count_traces_are_identical() {
+    let seeds: Vec<u64> = (0..8).map(|i| 100 + 7 * i).collect();
+    let sequential: Vec<String> = seeds.iter().map(|&s| fingerprint(s)).collect();
+    for threads in [2usize, 4] {
+        let chunk = seeds.len().div_ceil(threads);
+        let threaded: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .chunks(chunk)
+                .map(|chunk| {
+                    scope.spawn(move || chunk.iter().map(|&s| fingerprint(s)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("trial thread panicked"))
+                .collect()
+        });
+        assert_eq!(
+            sequential, threaded,
+            "trace fingerprints drift at {threads} threads"
+        );
     }
 }

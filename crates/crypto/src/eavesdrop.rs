@@ -12,7 +12,7 @@
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use wsn_sim::NodeId;
 
 /// A passive adversary that can read a random subset of links.
@@ -32,7 +32,7 @@ use wsn_sim::NodeId;
 pub struct LinkAdversary {
     p_x: f64,
     seed: u64,
-    compromised_nodes: HashSet<NodeId>,
+    compromised_nodes: BTreeSet<NodeId>,
 }
 
 impl LinkAdversary {
@@ -48,7 +48,7 @@ impl LinkAdversary {
         LinkAdversary {
             p_x,
             seed,
-            compromised_nodes: HashSet::new(),
+            compromised_nodes: BTreeSet::new(),
         }
     }
 
@@ -72,7 +72,7 @@ impl LinkAdversary {
 
     /// Set of compromised nodes.
     #[must_use]
-    pub fn compromised_nodes(&self) -> &HashSet<NodeId> {
+    pub fn compromised_nodes(&self) -> &BTreeSet<NodeId> {
         &self.compromised_nodes
     }
 

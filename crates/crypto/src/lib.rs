@@ -25,6 +25,8 @@
 //! assert_eq!(open(key, &sealed).as_deref(), Some(&b"reading=21"[..]));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cipher;
 pub mod eavesdrop;
 pub mod key;

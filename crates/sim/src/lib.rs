@@ -28,6 +28,8 @@
 //! assert!(dep.average_degree() > 2.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod app;
 pub mod frame;
 pub mod geometry;

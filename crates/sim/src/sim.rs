@@ -31,7 +31,7 @@ use crate::trace::{Trace, TraceKind};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 use std::rc::Rc;
 
 /// Engine-level configuration: radio, MAC, loss and energy models.
@@ -189,7 +189,7 @@ pub struct Simulator<A: Application> {
     event_seq: u64,
     frame_seq: u64,
     next_timer_id: u64,
-    cancelled_timers: HashSet<u64>,
+    cancelled_timers: BTreeSet<u64>,
     apps: Vec<A>,
     rngs: Vec<ChaCha8Rng>,
     mac: Vec<MacState<A::Message>>,
@@ -225,7 +225,7 @@ impl<A: Application> Simulator<A> {
             event_seq: 0,
             frame_seq: 0,
             next_timer_id: 0,
-            cancelled_timers: HashSet::new(),
+            cancelled_timers: BTreeSet::new(),
             apps,
             rngs,
             mac,
@@ -402,7 +402,9 @@ impl<A: Application> Simulator<A> {
             return;
         }
         // Channel clear: transmit the head frame.
-        let frame = st.queue.pop_front().expect("queue checked non-empty above");
+        let Some(frame) = st.queue.pop_front() else {
+            return;
+        };
         st.attempts = 0;
         let airtime = self.config.radio.airtime(frame.size_bytes);
         let on_air = self.config.radio.on_air_bytes(frame.size_bytes) as u64;
@@ -483,7 +485,7 @@ impl<A: Application> Simulator<A> {
             .rx_in_flight
             .iter()
             .position(|r| r.seq == frame.seq)
-            .expect("RxEnd without matching in-flight record");
+            .expect("invariant: every RxEnd event has a matching in-flight record");
         let record = st.rx_in_flight.swap_remove(idx);
         if record.corrupted {
             self.metrics.node_mut(node).lost_collision += 1;
@@ -586,13 +588,14 @@ impl<A: Application> Simulator<A> {
         self.ensure_started();
         loop {
             match self.heap.peek() {
-                Some(Reverse(entry)) if entry.time <= deadline => {
-                    let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
-                    self.now = entry.time;
-                    self.execute(entry.kind);
-                }
+                Some(Reverse(entry)) if entry.time <= deadline => {}
                 _ => break,
             }
+            let Some(Reverse(entry)) = self.heap.pop() else {
+                break;
+            };
+            self.now = entry.time;
+            self.execute(entry.kind);
         }
         self.now = self.now.max(deadline.min(SimTime::MAX));
     }
@@ -607,11 +610,14 @@ impl<A: Application> Simulator<A> {
     /// time of quiescence (or `max_time`).
     pub fn run_to_quiescence(&mut self, max_time: SimTime) -> SimTime {
         self.ensure_started();
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if entry.time > max_time {
-                break;
+        loop {
+            match self.heap.peek() {
+                Some(Reverse(entry)) if entry.time <= max_time => {}
+                _ => break,
             }
-            let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
+            let Some(Reverse(entry)) = self.heap.pop() else {
+                break;
+            };
             self.now = entry.time;
             self.execute(entry.kind);
         }

@@ -70,8 +70,8 @@ impl Deployment {
         rng: &mut R,
     ) -> Self {
         let mut dep = Deployment::uniform_random(n, region, radio_range, rng);
-        if n > 0 {
-            dep.positions[0] = region.center();
+        if let Some(bs) = dep.positions.first_mut() {
+            *bs = region.center();
             dep.rebuild_adjacency();
         }
         dep
@@ -222,8 +222,10 @@ impl Deployment {
                 ((p.y / cell).floor() as i64).clamp(0, rows - 1),
             )
         };
-        let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> =
-            std::collections::HashMap::new();
+        // BTreeMap keeps bucket iteration order hasher-independent, so the
+        // adjacency lists (and everything downstream) are reproducible.
+        let mut buckets: std::collections::BTreeMap<(i64, i64), Vec<usize>> =
+            std::collections::BTreeMap::new();
         for (i, p) in self.positions.iter().enumerate() {
             buckets.entry(bucket_of(*p)).or_default().push(i);
         }
@@ -327,13 +329,12 @@ impl Deployment {
         }
         let mut queue = VecDeque::new();
         dist[root.index()] = Some(0);
-        queue.push_back(root);
-        while let Some(u) = queue.pop_front() {
-            let du = dist[u.index()].expect("queued nodes have distances");
+        queue.push_back((root, 0u32));
+        while let Some((u, du)) = queue.pop_front() {
             for &v in &self.neighbors[u.index()] {
                 if dist[v.index()].is_none() {
                     dist[v.index()] = Some(du + 1);
-                    queue.push_back(v);
+                    queue.push_back((v, du + 1));
                 }
             }
         }

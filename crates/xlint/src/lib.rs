@@ -1,0 +1,761 @@
+//! `xlint` — workspace-aware static analysis for the iCPDA reproduction.
+//!
+//! Enforces repo-specific invariants that clippy cannot express:
+//!
+//! | rule  | name                     | what it flags                                        |
+//! |-------|--------------------------|------------------------------------------------------|
+//! | XL000 | stale-allowlist          | allowlist entries that matched nothing               |
+//! | XL001 | determinism              | `HashMap`/`HashSet`/`Instant`/`SystemTime`/`thread_rng`/`OsRng` in protocol, sim and analysis crates |
+//! | XL002 | panic-policy             | `unwrap()` / undocumented `expect()` / `panic!`-family macros / literal-index expressions in library code of `core`, `sim`, `crypto`, `agg` |
+//! | XL003 | protocol-exhaustiveness  | message-enum variants never matched in a handler; `*Error` variants never constructed |
+//! | XL004 | config-hygiene           | config struct fields never read outside their declaration |
+//! | XL005 | forbid-unsafe            | crate roots missing `#![forbid(unsafe_code)]`        |
+//!
+//! Findings carry `file:line` plus a rule ID; legitimate sites are
+//! suppressed through the TOML allowlist (`xlint.toml` at the workspace
+//! root), where every entry must state a reason. `#[cfg(test)]` regions
+//! are exempt from the token rules.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use syn::{Token, TokenKind};
+
+/// Identifiers whose presence breaks "same seed ⇒ identical trace".
+const NONDETERMINISTIC_IDENTS: [&str; 6] = [
+    "HashMap",
+    "HashSet",
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "OsRng",
+];
+
+/// Macro names in the panic family (`name!` flags).
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "unimplemented", "todo"];
+
+/// Crates whose `src/` trees the determinism rule covers (plus the
+/// umbrella `src/`). Protocol, simulation, crypto, aggregation,
+/// analysis and the experiment harness all feed reproducible traces.
+const DETERMINISM_SCOPE: [&str; 8] = [
+    "crates/core/src",
+    "crates/sim/src",
+    "crates/crypto/src",
+    "crates/agg/src",
+    "crates/analysis/src",
+    "crates/bench/src",
+    "crates/cli/src",
+    "src",
+];
+
+/// Crates whose library code must not panic (the simulated base
+/// station and every node run on these).
+const PANIC_SCOPE: [&str; 4] = [
+    "crates/core/src",
+    "crates/sim/src",
+    "crates/crypto/src",
+    "crates/agg/src",
+];
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`. Each entry is
+/// a candidate list: the first path that exists is the root.
+const UNSAFE_ROOTS: [&str; 10] = [
+    "crates/core/src/lib.rs",
+    "crates/sim/src/lib.rs",
+    "crates/crypto/src/lib.rs",
+    "crates/agg/src/lib.rs",
+    "crates/analysis/src/lib.rs",
+    "crates/bench/src/lib.rs",
+    "crates/cli/src/main.rs",
+    "crates/xlint/src/lib.rs",
+    "crates/xlint/src/main.rs",
+    "src/lib.rs",
+];
+
+/// Where message enums are defined (exhaustiveness rule input).
+const MSG_DEF: &str = "crates/core/src/msg.rs";
+
+/// Where config structs are defined (config-hygiene rule input).
+const CONFIG_DEF: &str = "crates/core/src/config.rs";
+
+/// Stable rule identifiers, printed with every finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Stale allowlist entry (matched nothing in this run).
+    Xl000,
+    /// Nondeterministic collection / clock / RNG.
+    Xl001,
+    /// Panic-prone construct in library code.
+    Xl002,
+    /// Protocol / error enum variant not exhaustively handled.
+    Xl003,
+    /// Config field never read.
+    Xl004,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    Xl005,
+}
+
+impl RuleId {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::Xl000 => "XL000",
+            RuleId::Xl001 => "XL001",
+            RuleId::Xl002 => "XL002",
+            RuleId::Xl003 => "XL003",
+            RuleId::Xl004 => "XL004",
+            RuleId::Xl005 => "XL005",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: `path:line` + rule + the offending identifier (the key
+/// the allowlist matches on) + a human message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: RuleId,
+    pub path: String,
+    pub line: u32,
+    pub ident: String,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One `[[allow]]` entry from `xlint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub ident: String,
+    pub reason: String,
+}
+
+impl AllowEntry {
+    fn matches(&self, diag: &Diagnostic) -> bool {
+        self.rule == diag.rule.as_str() && self.path == diag.path && self.ident == diag.ident
+    }
+}
+
+/// Parse `xlint.toml`. Every entry must carry a non-empty `reason`.
+pub fn parse_allowlist(src: &str) -> Result<Vec<AllowEntry>, String> {
+    let table = toml::from_str(src).map_err(|e| e.to_string())?;
+    let mut entries = Vec::new();
+    let Some(allows) = table.get("allow") else {
+        return Ok(entries);
+    };
+    let allows = allows
+        .as_array()
+        .ok_or_else(|| "`allow` must be an array of tables".to_string())?;
+    for (i, entry) in allows.iter().enumerate() {
+        let get = |key: &str| -> Result<String, String> {
+            entry
+                .get(key)
+                .and_then(toml::Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("allow entry #{} is missing `{key}`", i + 1))
+        };
+        let reason = get("reason")?;
+        if reason.trim().is_empty() {
+            return Err(format!("allow entry #{} has an empty `reason`", i + 1));
+        }
+        entries.push(AllowEntry {
+            rule: get("rule")?,
+            path: get("path")?,
+            ident: get("ident")?,
+            reason,
+        });
+    }
+    Ok(entries)
+}
+
+/// A lexed + lightly-parsed source file ready for rule checks.
+pub struct ScannedFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    pub tokens: Vec<Token>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` items.
+    pub test_ranges: Vec<(u32, u32)>,
+    pub items: syn::File,
+}
+
+impl ScannedFile {
+    pub fn parse(rel: &str, src: &str) -> Result<Self, String> {
+        let tokens = syn::tokenize(src).map_err(|e| format!("{rel}: {e}"))?;
+        let test_ranges = test_line_ranges(&tokens);
+        let items = syn::parse_file(src).map_err(|e| format!("{rel}: {e}"))?;
+        Ok(Self {
+            rel: rel.to_string(),
+            tokens,
+            test_ranges,
+            items,
+        })
+    }
+
+    /// True when `line` sits inside a `#[cfg(test)]` item.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+}
+
+/// Compute the inclusive line ranges of `#[cfg(test)]` items by
+/// scanning for the attribute and brace-matching the item that follows.
+fn test_line_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            let start_line = tokens[i].line;
+            let mut j = i + 7; // past `# [ cfg ( test ) ]`
+                               // Skip any further attributes between `#[cfg(test)]` and the item.
+            while tokens.get(j).is_some_and(|t| t.is_punct("#")) {
+                j += 1;
+                if tokens.get(j).is_some_and(|t| t.is_punct("!")) {
+                    j += 1;
+                }
+                if tokens.get(j).is_some_and(|t| t.is_punct("[")) {
+                    let mut depth = 1u32;
+                    j += 1;
+                    while j < tokens.len() && depth > 0 {
+                        if tokens[j].is_punct("[") {
+                            depth += 1;
+                        } else if tokens[j].is_punct("]") {
+                            depth -= 1;
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            // Consume the annotated item: up to `;` or a balanced `{...}`.
+            let mut end_line = start_line;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct(";") {
+                    end_line = t.line;
+                    j += 1;
+                    break;
+                }
+                if t.is_punct("{") {
+                    let mut depth = 1u32;
+                    j += 1;
+                    while j < tokens.len() && depth > 0 {
+                        if tokens[j].is_punct("{") {
+                            depth += 1;
+                        } else if tokens[j].is_punct("}") {
+                            depth -= 1;
+                        }
+                        end_line = tokens[j].line;
+                        j += 1;
+                    }
+                    break;
+                }
+                end_line = t.line;
+                j += 1;
+            }
+            ranges.push((start_line, end_line));
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    ranges
+}
+
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct("#"))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))
+        && tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+        && tokens.get(i + 3).is_some_and(|t| t.is_punct("("))
+        && tokens.get(i + 4).is_some_and(|t| t.is_ident("test"))
+        && tokens.get(i + 5).is_some_and(|t| t.is_punct(")"))
+        && tokens.get(i + 6).is_some_and(|t| t.is_punct("]"))
+}
+
+/// XL001: nondeterministic collections, clocks and RNGs.
+pub fn check_determinism(file: &ScannedFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for tok in &file.tokens {
+        if tok.kind == TokenKind::Ident
+            && NONDETERMINISTIC_IDENTS.contains(&tok.text.as_str())
+            && !file.is_test_line(tok.line)
+        {
+            out.push(Diagnostic {
+                rule: RuleId::Xl001,
+                path: file.rel.clone(),
+                line: tok.line,
+                ident: tok.text.clone(),
+                message: format!(
+                    "`{}` is hasher/clock/OS-entropy dependent and breaks \
+                     `same seed => identical trace`; use an ordered collection \
+                     or the seeded simulation clock/RNG",
+                    tok.text
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// XL002: panic-prone constructs in library code. `.expect("invariant: ...")`
+/// is accepted as a documented invariant message.
+pub fn check_panic_policy(file: &ScannedFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let tok = &toks[i];
+        if file.is_test_line(tok.line) {
+            continue;
+        }
+        // `panic!` / `unreachable!` / `unimplemented!` / `todo!`
+        if tok.kind == TokenKind::Ident
+            && PANIC_MACROS.contains(&tok.text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
+        {
+            out.push(Diagnostic {
+                rule: RuleId::Xl002,
+                path: file.rel.clone(),
+                line: tok.line,
+                ident: "panic".to_string(),
+                message: format!(
+                    "`{}!` in library code aborts the whole simulation; \
+                     return a typed error or restructure",
+                    tok.text
+                ),
+            });
+            continue;
+        }
+        if !tok.is_punct(".") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1) else {
+            continue;
+        };
+        if !toks.get(i + 2).is_some_and(|t| t.is_punct("(")) {
+            continue;
+        }
+        if name.is_ident("unwrap") {
+            out.push(Diagnostic {
+                rule: RuleId::Xl002,
+                path: file.rel.clone(),
+                line: name.line,
+                ident: "unwrap".to_string(),
+                message: "`.unwrap()` in library code; return a typed error \
+                          or use a documented `.expect(\"invariant: ...\")`"
+                    .to_string(),
+            });
+        } else if name.is_ident("expect") {
+            let documented = toks
+                .get(i + 3)
+                .is_some_and(|t| t.kind == TokenKind::StrLit && t.text.starts_with("\"invariant:"));
+            if !documented {
+                out.push(Diagnostic {
+                    rule: RuleId::Xl002,
+                    path: file.rel.clone(),
+                    line: name.line,
+                    ident: "expect".to_string(),
+                    message: "`.expect()` without an `\"invariant: ...\"` message; \
+                              document why this cannot fail or return a typed error"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    // Literal-index expressions: `x[0]`, `x[&0]` in postfix position.
+    for i in 0..toks.len() {
+        if !toks[i].is_punct("[") || file.is_test_line(toks[i].line) {
+            continue;
+        }
+        let postfix = i > 0
+            && match &toks[i - 1] {
+                t if t.is_punct(")") || t.is_punct("]") => true,
+                t if t.kind == TokenKind::Ident => !matches!(
+                    t.text.as_str(),
+                    "return" | "break" | "in" | "if" | "else" | "match" | "mut"
+                ),
+                _ => false,
+            };
+        if !postfix {
+            continue;
+        }
+        let lit_at = if toks.get(i + 1).is_some_and(|t| t.is_punct("&")) {
+            i + 2
+        } else {
+            i + 1
+        };
+        if toks
+            .get(lit_at)
+            .is_some_and(|t| t.kind == TokenKind::NumLit)
+            && toks.get(lit_at + 1).is_some_and(|t| t.is_punct("]"))
+        {
+            out.push(Diagnostic {
+                rule: RuleId::Xl002,
+                path: file.rel.clone(),
+                line: toks[i].line,
+                ident: "index".to_string(),
+                message: "literal index can panic out of bounds; use `.get()`, \
+                          `.first()` or a slice pattern"
+                    .to_string(),
+            });
+        }
+    }
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+/// XL005: crate roots must lock in `#![forbid(unsafe_code)]`.
+pub fn check_forbid_unsafe(file: &ScannedFile) -> Vec<Diagnostic> {
+    let toks = &file.tokens;
+    let found = (0..toks.len()).any(|i| {
+        toks.get(i).is_some_and(|t| t.is_punct("#"))
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct("["))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("forbid"))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct("("))
+            && toks.get(i + 5).is_some_and(|t| t.is_ident("unsafe_code"))
+            && toks.get(i + 6).is_some_and(|t| t.is_punct(")"))
+            && toks.get(i + 7).is_some_and(|t| t.is_punct("]"))
+    });
+    if found {
+        Vec::new()
+    } else {
+        vec![Diagnostic {
+            rule: RuleId::Xl005,
+            path: file.rel.clone(),
+            line: 1,
+            ident: "forbid_unsafe".to_string(),
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        }]
+    }
+}
+
+/// True when `corpus` contains the qualified path `enum_name::variant`
+/// outside `#[cfg(test)]` regions, optionally excluding one file.
+fn qualified_use_exists(
+    corpus: &[&ScannedFile],
+    enum_name: &str,
+    variant: &str,
+    exclude_rel: Option<&str>,
+) -> bool {
+    corpus.iter().any(|file| {
+        if exclude_rel == Some(file.rel.as_str()) {
+            return false;
+        }
+        let toks = &file.tokens;
+        (0..toks.len()).any(|i| {
+            toks[i].is_ident(enum_name)
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(":"))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(":"))
+                && toks.get(i + 3).is_some_and(|t| t.is_ident(variant))
+                && !file.is_test_line(toks[i].line)
+        })
+    })
+}
+
+fn collect_enums(items: &[syn::Item], in_test: bool, out: &mut Vec<(bool, syn::ItemEnum)>) {
+    for item in items {
+        match item {
+            syn::Item::Enum(e) => out.push((in_test, e.clone())),
+            syn::Item::Mod(m) => collect_enums(&m.items, in_test || m.cfg_test, out),
+            syn::Item::Struct(_) => {}
+        }
+    }
+}
+
+fn collect_structs(items: &[syn::Item], in_test: bool, out: &mut Vec<(bool, syn::ItemStruct)>) {
+    for item in items {
+        match item {
+            syn::Item::Struct(s) => out.push((in_test, s.clone())),
+            syn::Item::Mod(m) => collect_structs(&m.items, in_test || m.cfg_test, out),
+            syn::Item::Enum(_) => {}
+        }
+    }
+}
+
+/// XL003 (messages): every enum variant defined in the message module
+/// must appear as a qualified `Enum::Variant` path somewhere else in
+/// the workspace — i.e. some handler matches or constructs it.
+pub fn check_msg_exhaustiveness(def: &ScannedFile, corpus: &[&ScannedFile]) -> Vec<Diagnostic> {
+    let mut enums = Vec::new();
+    collect_enums(&def.items.items, false, &mut enums);
+    let mut out = Vec::new();
+    for (in_test, e) in &enums {
+        if *in_test {
+            continue;
+        }
+        for v in &e.variants {
+            if !qualified_use_exists(corpus, &e.ident, &v.ident, Some(&def.rel)) {
+                out.push(Diagnostic {
+                    rule: RuleId::Xl003,
+                    path: def.rel.clone(),
+                    line: v.line,
+                    ident: format!("{}::{}", e.ident, v.ident),
+                    message: format!(
+                        "message variant `{}::{}` is never matched outside its \
+                         definition — a silently-dropped message kind",
+                        e.ident, v.ident
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// XL003 (errors): every variant of an enum whose name ends in `Error`
+/// must be constructed (appear as `Name::Variant`) somewhere.
+pub fn check_error_variants(corpus: &[&ScannedFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in corpus {
+        let mut enums = Vec::new();
+        collect_enums(&file.items.items, false, &mut enums);
+        for (in_test, e) in &enums {
+            if *in_test || !e.ident.ends_with("Error") {
+                continue;
+            }
+            for v in &e.variants {
+                if !qualified_use_exists(corpus, &e.ident, &v.ident, None) {
+                    out.push(Diagnostic {
+                        rule: RuleId::Xl003,
+                        path: file.rel.clone(),
+                        line: v.line,
+                        ident: format!("{}::{}", e.ident, v.ident),
+                        message: format!(
+                            "error variant `{}::{}` is never constructed — \
+                             dead error surface",
+                            e.ident, v.ident
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// XL004: every field of the config structs must be read (appear as
+/// `.field`) at least once outside its declaration.
+pub fn check_config_hygiene(def: &ScannedFile, corpus: &[&ScannedFile]) -> Vec<Diagnostic> {
+    let mut structs = Vec::new();
+    collect_structs(&def.items.items, false, &mut structs);
+    let mut out = Vec::new();
+    for (in_test, s) in &structs {
+        if *in_test {
+            continue;
+        }
+        for field in &s.fields {
+            let read = corpus.iter().any(|file| {
+                let toks = &file.tokens;
+                (0..toks.len()).any(|i| {
+                    toks[i].is_punct(".")
+                        && toks.get(i + 1).is_some_and(|t| t.is_ident(&field.ident))
+                        && !toks.get(i + 2).is_some_and(|t| t.is_punct(":"))
+                        && !file.is_test_line(toks[i].line)
+                })
+            });
+            if !read {
+                out.push(Diagnostic {
+                    rule: RuleId::Xl004,
+                    path: def.rel.clone(),
+                    line: field.line,
+                    ident: format!("{}.{}", s.ident, field.ident),
+                    message: format!(
+                        "config field `{}.{}` is never read by any experiment \
+                         or protocol path — dead configuration",
+                        s.ident, field.ident
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Everything a full run produces.
+pub struct LintReport {
+    pub diagnostics: Vec<Diagnostic>,
+    pub files_scanned: usize,
+    pub suppressed: usize,
+}
+
+/// Recursively collect `.rs` files under `dir`, workspace-relative,
+/// sorted for deterministic output.
+fn collect_rs_files(root: &Path, rel_dir: &str, out: &mut BTreeSet<String>) {
+    let dir = root.join(rel_dir);
+    let Ok(entries) = fs::read_dir(&dir) else {
+        return;
+    };
+    let mut names: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    names.sort();
+    for path in names {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let rel = format!("{rel_dir}/{name}");
+        if path.is_dir() {
+            collect_rs_files(root, &rel, out);
+        } else if name.ends_with(".rs") {
+            out.insert(rel);
+        }
+    }
+}
+
+/// Run every rule over the workspace rooted at `root`, applying the
+/// allowlist. `allowlist` is the parsed content of `xlint.toml`.
+pub fn lint_workspace(root: &Path, allowlist: &[AllowEntry]) -> Result<LintReport, String> {
+    // Discover and parse every in-scope file once.
+    let mut rels = BTreeSet::new();
+    for dir in DETERMINISM_SCOPE {
+        collect_rs_files(root, dir, &mut rels);
+    }
+    for rel in UNSAFE_ROOTS {
+        if root.join(rel).is_file() {
+            rels.insert(rel.to_string());
+        }
+    }
+    let mut files = Vec::new();
+    for rel in &rels {
+        let src = fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"))?;
+        files.push(ScannedFile::parse(rel, &src)?);
+    }
+    let by_rel = |rel: &str| files.iter().find(|f| f.rel == rel);
+    let in_scope = |scopes: &[&str], rel: &str| {
+        scopes
+            .iter()
+            .any(|s| rel.starts_with(&format!("{s}/")) || rel == *s)
+    };
+
+    let mut raw = Vec::new();
+    for file in &files {
+        if in_scope(&DETERMINISM_SCOPE, &file.rel) {
+            raw.extend(check_determinism(file));
+        }
+        if in_scope(&PANIC_SCOPE, &file.rel) {
+            raw.extend(check_panic_policy(file));
+        }
+        if UNSAFE_ROOTS.contains(&file.rel.as_str()) {
+            raw.extend(check_forbid_unsafe(file));
+        }
+    }
+    let corpus: Vec<&ScannedFile> = files.iter().collect();
+    if let Some(def) = by_rel(MSG_DEF) {
+        raw.extend(check_msg_exhaustiveness(def, &corpus));
+    } else {
+        return Err(format!("message definitions not found at {MSG_DEF}"));
+    }
+    if let Some(def) = by_rel(CONFIG_DEF) {
+        raw.extend(check_config_hygiene(def, &corpus));
+    } else {
+        return Err(format!("config definitions not found at {CONFIG_DEF}"));
+    }
+    raw.extend(check_error_variants(&corpus));
+
+    // Apply the allowlist; unused entries become XL000 findings so the
+    // allowlist cannot silently rot.
+    let mut used = vec![false; allowlist.len()];
+    let mut diagnostics = Vec::new();
+    let mut suppressed = 0usize;
+    for diag in raw {
+        match allowlist.iter().position(|a| a.matches(&diag)) {
+            Some(i) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => diagnostics.push(diag),
+        }
+    }
+    for (i, entry) in allowlist.iter().enumerate() {
+        if !used[i] {
+            diagnostics.push(Diagnostic {
+                rule: RuleId::Xl000,
+                path: "xlint.toml".to_string(),
+                line: 0,
+                ident: format!("{}:{}:{}", entry.rule, entry.path, entry.ident),
+                message: format!(
+                    "stale allowlist entry ({} / {} / {}) matched nothing — remove it",
+                    entry.rule, entry.path, entry.ident
+                ),
+            });
+        }
+    }
+    diagnostics.sort_by(|a, b| {
+        (a.rule, &a.path, a.line, &a.ident).cmp(&(b.rule, &b.path, b.line, &b.ident))
+    });
+    Ok(LintReport {
+        diagnostics,
+        files_scanned: files.len(),
+        suppressed,
+    })
+}
+
+/// Minimal JSON string escaping for diagnostic output.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render diagnostics as a JSON array (one object per finding).
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"ident\":\"{}\",\"message\":\"{}\"}}",
+            d.rule,
+            json_escape(&d.path),
+            d.line,
+            json_escape(&d.ident),
+            json_escape(&d.message)
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Walk upward from `start` to the directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

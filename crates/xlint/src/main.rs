@@ -1,0 +1,124 @@
+//! CLI entry point: `cargo run -p xlint -- [--format=json] [--root DIR]
+//! [--allowlist FILE]`. Exits 0 when the tree is clean, 1 on findings,
+//! 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xlint::{find_workspace_root, lint_workspace, parse_allowlist, to_json};
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let mut format = Format::Text;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut allowlist_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format=json" => format = Format::Json,
+            "--format=text" => format = Format::Text,
+            "--format" => match args.next().as_deref() {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                other => {
+                    eprintln!("xlint: unknown format {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xlint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--allowlist" => match args.next() {
+                Some(p) => allowlist_arg = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xlint: --allowlist requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: xlint [--format=text|json] [--root DIR] [--allowlist FILE]\n\
+                     \n\
+                     Lints the iCPDA workspace for determinism (XL001), panic-policy\n\
+                     (XL002), protocol-exhaustiveness (XL003), config-hygiene (XL004)\n\
+                     and forbid(unsafe_code) (XL005) violations. Allowlist: xlint.toml\n\
+                     at the workspace root. Exit codes: 0 clean, 1 findings, 2 error."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("xlint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root_arg.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("xlint: could not locate the workspace root (try --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let allowlist_path = allowlist_arg.unwrap_or_else(|| root.join("xlint.toml"));
+    let allowlist = if allowlist_path.is_file() {
+        match std::fs::read_to_string(&allowlist_path) {
+            Ok(text) => match parse_allowlist(&text) {
+                Ok(entries) => entries,
+                Err(e) => {
+                    eprintln!("xlint: {}: {e}", allowlist_path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("xlint: {}: {e}", allowlist_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
+    let report = match lint_workspace(&root, &allowlist) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match format {
+        Format::Json => println!("{}", to_json(&report.diagnostics)),
+        Format::Text => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            eprintln!(
+                "xlint: {} file(s) scanned, {} finding(s), {} allowlisted",
+                report.files_scanned,
+                report.diagnostics.len(),
+                report.suppressed
+            );
+        }
+    }
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: a config struct with one field nothing reads (XL004).
+//! `handler.rs` reads `used_field`; `dead_field` has no `.dead_field`
+//! access anywhere.
+
+pub struct FixtureConfig {
+    pub used_field: u32,
+    pub dead_field: u32,
+}
+
+fn apply(config: &FixtureConfig) -> u32 {
+    config.used_field
+}

@@ -1,0 +1,30 @@
+//! Fixture: every nondeterministic identifier XL001 must flag.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Instant, SystemTime};
+
+fn clocks() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}
+
+fn collections() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+    m.len() + s.len()
+}
+
+fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    let mut os = OsRng;
+    rng.gen::<u64>() ^ os.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: this HashMap must NOT be flagged.
+    use std::collections::HashMap;
+
+    fn helper() -> HashMap<u32, u32> {
+        HashMap::new()
+    }
+}

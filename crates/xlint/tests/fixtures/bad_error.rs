@@ -1,0 +1,7 @@
+//! Fixture: an error enum with a variant nothing ever constructs
+//! (XL003). `Timeout` is built by `handler.rs`; `Corrupt` is dead.
+
+pub enum FixtureError {
+    Timeout,
+    Corrupt,
+}

@@ -1,0 +1,9 @@
+//! Fixture: a message enum with a variant no handler ever matches
+//! (XL003). `Ping` and `Pong` are used by `handler.rs`; `Dropped` is
+//! not mentioned anywhere.
+
+pub enum FixtureMsg {
+    Ping,
+    Pong,
+    Dropped,
+}

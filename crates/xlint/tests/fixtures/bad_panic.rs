@@ -1,0 +1,36 @@
+//! Fixture: every panic-prone construct XL002 must flag, plus the
+//! shapes it must accept.
+
+fn flagged(values: &[u64], maybe: Option<u64>) -> u64 {
+    let a = maybe.unwrap();
+    let b = maybe.expect("present");
+    let c = values[0];
+    if a + b + c == 0 {
+        panic!("boom");
+    }
+    unreachable!("also a panic");
+}
+
+fn accepted(values: &[u64], maybe: Option<u64>) -> u64 {
+    // Documented invariant message: allowed.
+    let a = maybe.expect("invariant: caller checked is_some above");
+    // Identifier-indexed access is left to clippy, not flagged here.
+    let idx = values.len() - 1;
+    let b = values[idx];
+    // `unwrap_or` is not `unwrap`.
+    let c = maybe.unwrap_or(0);
+    // A string mentioning unwrap() or panic! must not match.
+    let s = "never .unwrap() or panic! in library code";
+    a + b + c + s.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: none of these may be flagged.
+    #[test]
+    fn test_helper() {
+        let v = [1u64];
+        assert_eq!(v[0], Some(1u64).unwrap());
+        let _ = Some(2u64).expect("fine in tests");
+    }
+}

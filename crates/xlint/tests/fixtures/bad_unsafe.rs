@@ -1,0 +1,8 @@
+//! Fixture: a crate root without `#![forbid(unsafe_code)]` (XL005).
+//! A mention in a comment or string must not count:
+//! #![forbid(unsafe_code)]
+
+fn main() {
+    let attr = "#![forbid(unsafe_code)]";
+    let _ = attr.len();
+}

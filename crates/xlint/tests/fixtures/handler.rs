@@ -1,0 +1,10 @@
+//! Fixture companion to `bad_msg.rs`: handles two of the three
+//! variants, and constructs only one of the two error variants.
+
+fn on_message(msg: FixtureMsg) -> Result<(), FixtureError> {
+    match msg {
+        FixtureMsg::Ping => Ok(()),
+        FixtureMsg::Pong => Err(FixtureError::Timeout),
+        _ => Ok(()), // swallows Dropped — exactly what XL003 exists to catch
+    }
+}

@@ -1,0 +1,53 @@
+//! The real workspace must lint clean: every determinism, panic-policy,
+//! exhaustiveness, config-hygiene and forbid-unsafe invariant holds, and
+//! the `xlint.toml` allowlist carries no stale entries.
+
+use std::path::Path;
+use xlint::{lint_workspace, parse_allowlist};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crate lives two levels under the workspace root")
+}
+
+#[test]
+fn workspace_lints_clean_under_the_checked_in_allowlist() {
+    let root = workspace_root();
+    let allowlist_src =
+        std::fs::read_to_string(root.join("xlint.toml")).expect("xlint.toml at workspace root");
+    let allowlist = parse_allowlist(&allowlist_src).expect("allowlist parses");
+    assert!(
+        !allowlist.is_empty(),
+        "allowlist should document the known legitimate sites"
+    );
+    let report = lint_workspace(root, &allowlist).expect("lint run succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "workspace discovery looks broken: only {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has lint findings:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn a_seeded_violation_is_caught_without_the_allowlist() {
+    // Belt-and-braces for the CI negative smoke: with an EMPTY allowlist
+    // the same tree must produce findings (the documented Instant/panic
+    // sites), proving the gate actually bites.
+    let report = lint_workspace(workspace_root(), &[]).expect("lint run succeeds");
+    assert!(
+        report.diagnostics.iter().any(|d| d.ident == "Instant"),
+        "expected the bench wall-clock site to surface without its allowlist entry"
+    );
+}

@@ -10,6 +10,8 @@
 //! * [`icpda`] — the cluster-based integrity + privacy protocol,
 //! * [`icpda_analysis`] — the closed-form models.
 
+#![forbid(unsafe_code)]
+
 pub use agg;
 pub use icpda;
 pub use icpda_analysis;

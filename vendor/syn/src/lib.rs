@@ -1,0 +1,717 @@
+//! Offline std-only stand-in for the `syn` crate.
+//!
+//! The real `syn` is a full Rust parser; this workspace vendors a small
+//! API-compatible-in-spirit subset that covers exactly what `xlint` needs:
+//! a lossless-enough token stream with line numbers (comments and doc
+//! comments dropped, string/char literals kept opaque) and a light item
+//! parser that extracts `enum`/`struct` definitions plus `#[cfg(test)]`
+//! module extents. No procedural-macro support, no expression trees.
+//!
+//! Only the surface the iCPDA workspace actually uses is implemented.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    line: u32,
+}
+
+impl Error {
+    pub fn new(message: impl Into<String>, line: u32) -> Self {
+        Self {
+            message: message.into(),
+            line,
+        }
+    }
+
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Token classification, deliberately coarse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// Lifetime or loop label (`'a`), stored without the quote.
+    Lifetime,
+    /// String / char / byte literal, stored with its quotes.
+    StrLit,
+    /// Numeric literal (`0`, `0xFF`, `1_000u64`, `2.5`).
+    NumLit,
+    /// Single punctuation character (`.`, `(`, `[`, `!`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Lex Rust source into a token stream. Comments (line, block, doc) are
+/// dropped; block comments may nest. Literal contents are kept opaque so
+/// rule patterns never match inside strings.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if depth > 0 {
+                    return Err(Error::new("unterminated block comment", start_line));
+                }
+            }
+            b'"' => {
+                let (lit, nl, end) = lex_string(bytes, i, line, b'"')?;
+                tokens.push(Token {
+                    kind: TokenKind::StrLit,
+                    text: lit,
+                    line,
+                });
+                line += nl;
+                i = end;
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(bytes, i) => {
+                let (lit, nl, end) = lex_prefixed_literal(bytes, i, line)?;
+                tokens.push(Token {
+                    kind: TokenKind::StrLit,
+                    text: lit,
+                    line,
+                });
+                line += nl;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime vs char literal: `'ident` not followed by a
+                // closing quote is a lifetime/label.
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                if j > i + 1 && bytes.get(j) != Some(&b'\'') {
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: String::from_utf8_lossy(&bytes[i + 1..j]).into_owned(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let (lit, nl, end) = lex_string(bytes, i, line, b'\'')?;
+                    tokens.push(Token {
+                        kind: TokenKind::StrLit,
+                        text: lit,
+                        line,
+                    });
+                    line += nl;
+                    i = end;
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' || c >= 0x80 => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] >= 0x80)
+                {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: String::from_utf8_lossy(&bytes[i..j]).into_owned(),
+                    line,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let d = bytes[j];
+                    let fractional_dot = d == b'.'
+                        && bytes.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                        && !bytes[i..j].contains(&b'.');
+                    if d.is_ascii_alphanumeric() || d == b'_' || fractional_dot {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::NumLit,
+                    text: String::from_utf8_lossy(&bytes[i..j]).into_owned(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn starts_raw_or_byte_literal(bytes: &[u8], i: usize) -> bool {
+    // r"..", r#".."#, b"..", b'..', br"..", br#".."#
+    let rest = &bytes[i..];
+    matches!(
+        rest,
+        [b'r', b'"', ..]
+            | [b'r', b'#', ..]
+            | [b'b', b'"', ..]
+            | [b'b', b'\'', ..]
+            | [b'b', b'r', b'"', ..]
+            | [b'b', b'r', b'#', ..]
+    )
+}
+
+/// Lex a plain string or char literal starting at the opening quote.
+/// Returns (text-with-quotes, newlines-consumed, index-past-close).
+fn lex_string(bytes: &[u8], start: usize, line: u32, quote: u8) -> Result<(String, u32, usize)> {
+    let mut i = start + 1;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            c if c == quote => {
+                let text = String::from_utf8_lossy(&bytes[start..=i]).into_owned();
+                return Ok((text, newlines, i + 1));
+            }
+            _ => i += 1,
+        }
+    }
+    Err(Error::new("unterminated string literal", line))
+}
+
+/// Lex `r`/`b`/`br`-prefixed literals. Raw strings respect `#` fences.
+fn lex_prefixed_literal(bytes: &[u8], start: usize, line: u32) -> Result<(String, u32, usize)> {
+    let mut i = start;
+    if bytes.get(i) == Some(&b'b') {
+        i += 1;
+    }
+    let raw = bytes.get(i) == Some(&b'r');
+    if raw {
+        i += 1;
+        let mut hashes = 0usize;
+        while bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        if bytes.get(i) != Some(&b'"') {
+            return Err(Error::new("malformed raw string literal", line));
+        }
+        i += 1;
+        let mut newlines = 0u32;
+        while i < bytes.len() {
+            if bytes[i] == b'\n' {
+                newlines += 1;
+                i += 1;
+            } else if bytes[i] == b'"' && bytes[i + 1..].iter().take(hashes).all(|&b| b == b'#') {
+                let end = i + 1 + hashes;
+                let text = String::from_utf8_lossy(&bytes[start..end]).into_owned();
+                return Ok((text, newlines, end));
+            } else {
+                i += 1;
+            }
+        }
+        Err(Error::new("unterminated raw string literal", line))
+    } else {
+        let quote = bytes[i];
+        let (text, nl, end) = lex_string(bytes, i, line, quote)?;
+        let mut full = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+        full.push_str(&text);
+        Ok((full, nl, end))
+    }
+}
+
+/// A parsed source file: top-level items, recursively through modules.
+#[derive(Debug, Clone, Default)]
+pub struct File {
+    pub items: Vec<Item>,
+}
+
+/// Light item tree: only the shapes xlint inspects are distinguished.
+#[derive(Debug, Clone)]
+pub enum Item {
+    Enum(ItemEnum),
+    Struct(ItemStruct),
+    Mod(ItemMod),
+}
+
+#[derive(Debug, Clone)]
+pub struct ItemEnum {
+    pub ident: String,
+    pub line: u32,
+    pub variants: Vec<Variant>,
+}
+
+#[derive(Debug, Clone)]
+pub struct Variant {
+    pub ident: String,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone)]
+pub struct ItemStruct {
+    pub ident: String,
+    pub line: u32,
+    pub fields: Vec<Field>,
+}
+
+#[derive(Debug, Clone)]
+pub struct Field {
+    pub ident: String,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone)]
+pub struct ItemMod {
+    pub ident: String,
+    pub line: u32,
+    /// True when the module carries a `#[cfg(test)]` attribute.
+    pub cfg_test: bool,
+    pub items: Vec<Item>,
+}
+
+/// Parse a source file into the light item tree.
+pub fn parse_file(src: &str) -> Result<File> {
+    let tokens = tokenize(src)?;
+    let mut cursor = 0usize;
+    let items = parse_items(&tokens, &mut cursor, None)?;
+    Ok(File { items })
+}
+
+/// Parse items until `closing` (or end of stream for the file scope).
+fn parse_items(tokens: &[Token], cursor: &mut usize, closing: Option<&str>) -> Result<Vec<Item>> {
+    let mut items = Vec::new();
+    let mut pending_cfg_test = false;
+    while *cursor < tokens.len() {
+        let tok = &tokens[*cursor];
+        if let Some(close) = closing {
+            if tok.is_punct(close) {
+                *cursor += 1;
+                return Ok(items);
+            }
+        }
+        if tok.is_punct("#") {
+            pending_cfg_test |= attr_is_cfg_test(tokens, cursor)?;
+            continue;
+        }
+        if tok.is_ident("enum") {
+            items.push(Item::Enum(parse_enum(tokens, cursor)?));
+            pending_cfg_test = false;
+            continue;
+        }
+        if tok.is_ident("struct") {
+            items.push(Item::Struct(parse_struct(tokens, cursor)?));
+            pending_cfg_test = false;
+            continue;
+        }
+        if tok.is_ident("mod")
+            && tokens
+                .get(*cursor + 1)
+                .is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            let line = tok.line;
+            let ident = tokens[*cursor + 1].text.clone();
+            *cursor += 2;
+            match tokens.get(*cursor) {
+                Some(t) if t.is_punct("{") => {
+                    *cursor += 1;
+                    let inner = parse_items(tokens, cursor, Some("}"))?;
+                    items.push(Item::Mod(ItemMod {
+                        ident,
+                        line,
+                        cfg_test: pending_cfg_test,
+                        items: inner,
+                    }));
+                }
+                // `mod foo;` — out-of-line module, nothing to recurse into.
+                _ => skip_past_semi_or_balanced(tokens, cursor),
+            }
+            pending_cfg_test = false;
+            continue;
+        }
+        if tok.kind == TokenKind::Ident
+            && matches!(
+                tok.text.as_str(),
+                "fn" | "impl" | "trait" | "use" | "static" | "const" | "type" | "extern" | "union"
+            )
+        {
+            if pending_cfg_test {
+                // Skip the whole `#[cfg(test)]` item so its body is not
+                // misattributed to the enclosing (non-test) scope.
+                *cursor += 1;
+                skip_past_semi_or_balanced(tokens, cursor);
+                pending_cfg_test = false;
+                continue;
+            }
+            pending_cfg_test = false;
+        }
+        if tok.is_punct("{") {
+            *cursor += 1;
+            let inner = parse_items(tokens, cursor, Some("}"))?;
+            items.extend(inner);
+            pending_cfg_test = false;
+            continue;
+        }
+        *cursor += 1;
+    }
+    if closing.is_some() {
+        let line = tokens.last().map_or(0, |t| t.line);
+        return Err(Error::new("unbalanced braces", line));
+    }
+    Ok(items)
+}
+
+/// Consume an attribute starting at `#`; report whether it is `#[cfg(test)]`.
+fn attr_is_cfg_test(tokens: &[Token], cursor: &mut usize) -> Result<bool> {
+    let start_line = tokens[*cursor].line;
+    *cursor += 1; // `#`
+    if tokens.get(*cursor).is_some_and(|t| t.is_punct("!")) {
+        *cursor += 1;
+    }
+    if !tokens.get(*cursor).is_some_and(|t| t.is_punct("[")) {
+        return Ok(false);
+    }
+    let open = *cursor;
+    *cursor += 1;
+    let mut depth = 1u32;
+    let mut body = Vec::new();
+    while *cursor < tokens.len() && depth > 0 {
+        let t = &tokens[*cursor];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+        }
+        if depth > 0 {
+            body.push(t);
+        }
+        *cursor += 1;
+    }
+    if depth > 0 {
+        return Err(Error::new("unterminated attribute", start_line));
+    }
+    let _ = open;
+    let is_cfg_test = body.len() == 4
+        && body[0].is_ident("cfg")
+        && body[1].is_punct("(")
+        && body[2].is_ident("test")
+        && body[3].is_punct(")");
+    Ok(is_cfg_test)
+}
+
+fn parse_enum(tokens: &[Token], cursor: &mut usize) -> Result<ItemEnum> {
+    let line = tokens[*cursor].line;
+    *cursor += 1; // `enum`
+    let ident = match tokens.get(*cursor) {
+        Some(t) if t.kind == TokenKind::Ident => t.text.clone(),
+        _ => return Err(Error::new("expected enum name", line)),
+    };
+    *cursor += 1;
+    skip_to_body_open(tokens, cursor);
+    let mut variants = Vec::new();
+    // Variants sit at brace depth 1; commas at depth 1 separate them.
+    let mut depth = 1u32;
+    let mut expect_variant = true;
+    while *cursor < tokens.len() && depth > 0 {
+        let t = &tokens[*cursor];
+        if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth == 1 {
+            if t.is_punct(",") {
+                expect_variant = true;
+            } else if t.is_punct("#") {
+                attr_is_cfg_test(tokens, cursor)?;
+                continue;
+            } else if expect_variant && t.kind == TokenKind::Ident {
+                variants.push(Variant {
+                    ident: t.text.clone(),
+                    line: t.line,
+                });
+                expect_variant = false;
+            }
+        }
+        *cursor += 1;
+    }
+    Ok(ItemEnum {
+        ident,
+        line,
+        variants,
+    })
+}
+
+fn parse_struct(tokens: &[Token], cursor: &mut usize) -> Result<ItemStruct> {
+    let line = tokens[*cursor].line;
+    *cursor += 1; // `struct`
+    let ident = match tokens.get(*cursor) {
+        Some(t) if t.kind == TokenKind::Ident => t.text.clone(),
+        _ => return Err(Error::new("expected struct name", line)),
+    };
+    *cursor += 1;
+    // Skip generics / where clause; stop at `{`, `(` (tuple struct) or `;`.
+    let mut angle = 0u32;
+    while let Some(t) = tokens.get(*cursor) {
+        if angle == 0 && (t.is_punct("{") || t.is_punct("(") || t.is_punct(";")) {
+            break;
+        }
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle = angle.saturating_sub(1);
+        }
+        *cursor += 1;
+    }
+    let mut fields = Vec::new();
+    match tokens.get(*cursor) {
+        Some(t) if t.is_punct("{") => {
+            *cursor += 1;
+            let mut depth = 1u32;
+            let mut expect_field = true;
+            while *cursor < tokens.len() && depth > 0 {
+                let t = &tokens[*cursor];
+                if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+                    depth += 1;
+                } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+                    depth -= 1;
+                } else if depth == 1 {
+                    if t.is_punct(",") {
+                        expect_field = true;
+                    } else if t.is_punct("#") {
+                        attr_is_cfg_test(tokens, cursor)?;
+                        continue;
+                    } else if expect_field
+                        && t.kind == TokenKind::Ident
+                        && t.text != "pub"
+                        && !(t.text == "crate" || t.text == "super" || t.text == "in")
+                        && tokens.get(*cursor + 1).is_some_and(|n| n.is_punct(":"))
+                    {
+                        fields.push(Field {
+                            ident: t.text.clone(),
+                            line: t.line,
+                        });
+                        expect_field = false;
+                    }
+                }
+                *cursor += 1;
+            }
+        }
+        Some(t) if t.is_punct("(") => {
+            // Tuple struct: skip the parenthesised body; no named fields.
+            *cursor += 1;
+            let mut depth = 1u32;
+            while *cursor < tokens.len() && depth > 0 {
+                let t = &tokens[*cursor];
+                if t.is_punct("(") {
+                    depth += 1;
+                } else if t.is_punct(")") {
+                    depth -= 1;
+                }
+                *cursor += 1;
+            }
+        }
+        _ => {
+            // Unit struct `struct Foo;`
+            *cursor += 1;
+        }
+    }
+    Ok(ItemStruct {
+        ident,
+        line,
+        fields,
+    })
+}
+
+/// Advance to just past the `{` that opens an item body, skipping
+/// generics and where clauses.
+fn skip_to_body_open(tokens: &[Token], cursor: &mut usize) {
+    while let Some(t) = tokens.get(*cursor) {
+        if t.is_punct("{") {
+            *cursor += 1;
+            return;
+        }
+        *cursor += 1;
+    }
+}
+
+/// Skip to just past the next `;`, or past a balanced `{...}` if one
+/// opens first (covers `mod foo;` vs unexpected shapes).
+fn skip_past_semi_or_balanced(tokens: &[Token], cursor: &mut usize) {
+    while let Some(t) = tokens.get(*cursor) {
+        if t.is_punct(";") {
+            *cursor += 1;
+            return;
+        }
+        if t.is_punct("{") {
+            *cursor += 1;
+            let mut depth = 1u32;
+            while *cursor < tokens.len() && depth > 0 {
+                let t = &tokens[*cursor];
+                if t.is_punct("{") {
+                    depth += 1;
+                } else if t.is_punct("}") {
+                    depth -= 1;
+                }
+                *cursor += 1;
+            }
+            return;
+        }
+        *cursor += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_drops_comments_and_strings_stay_opaque() {
+        let src = r#"
+            // HashMap in a comment
+            /* HashMap in a block /* nested */ comment */
+            let s = "HashMap in a string";
+            let m: BTreeMap<u32, u32> = BTreeMap::new();
+        "#;
+        let toks = tokenize(src).unwrap();
+        assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
+        assert!(toks.iter().any(|t| t.is_ident("BTreeMap")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::StrLit && t.text.contains("HashMap")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = tokenize("fn f<'a>(x: &'a str) -> &'a str { x }").unwrap();
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn parse_enum_and_struct_items() {
+        let src = r#"
+            pub enum Msg { Ping, Pong { n: u32 }, Data(Vec<u8>) }
+            pub struct Conf { pub a: u32, b: Option<String> }
+            #[cfg(test)]
+            mod tests {
+                struct Hidden { z: u8 }
+            }
+        "#;
+        let file = parse_file(src).unwrap();
+        let mut enums = Vec::new();
+        let mut structs = Vec::new();
+        let mut test_mods = 0;
+        fn walk(
+            items: &[Item],
+            enums: &mut Vec<(String, Vec<String>)>,
+            structs: &mut Vec<(String, Vec<String>)>,
+            test_mods: &mut u32,
+        ) {
+            for it in items {
+                match it {
+                    Item::Enum(e) => enums.push((
+                        e.ident.clone(),
+                        e.variants.iter().map(|v| v.ident.clone()).collect(),
+                    )),
+                    Item::Struct(s) => structs.push((
+                        s.ident.clone(),
+                        s.fields.iter().map(|f| f.ident.clone()).collect(),
+                    )),
+                    Item::Mod(m) => {
+                        if m.cfg_test {
+                            *test_mods += 1;
+                        }
+                        walk(&m.items, enums, structs, test_mods);
+                    }
+                }
+            }
+        }
+        walk(&file.items, &mut enums, &mut structs, &mut test_mods);
+        assert_eq!(
+            enums,
+            vec![(
+                "Msg".into(),
+                vec!["Ping".into(), "Pong".into(), "Data".into()]
+            )]
+        );
+        assert_eq!(
+            structs,
+            vec![
+                ("Conf".into(), vec!["a".into(), "b".into()]),
+                ("Hidden".into(), vec!["z".into()]),
+            ]
+        );
+        assert_eq!(test_mods, 1);
+    }
+}

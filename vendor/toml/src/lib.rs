@@ -1,0 +1,343 @@
+//! Offline std-only stand-in for the `toml` crate.
+//!
+//! Implements the small deserialization subset the workspace actually
+//! uses: `str.parse::<toml::Table>()` over documents made of comments,
+//! `key = value` pairs, `[table]` headers and `[[array-of-table]]`
+//! headers, with string / integer / boolean / inline-array scalars.
+//! No serde integration, no datetimes, no dotted keys.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A TOML value (subset).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    String(String),
+    Integer(i64),
+    Boolean(bool),
+    Array(Vec<Value>),
+    Table(Table),
+}
+
+/// Key → value map with deterministic (sorted) iteration order.
+pub type Table = BTreeMap<String, Value>;
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_integer(&self) -> Option<i64> {
+        match self {
+            Value::Integer(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_table().and_then(|t| t.get(key))
+    }
+}
+
+/// Parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    line: u32,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>, line: u32) -> Self {
+        Self {
+            message: message.into(),
+            line,
+        }
+    }
+
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TOML parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a TOML document into a [`Table`]. Entry point mirroring the
+/// real crate's `str.parse::<toml::Table>()`.
+pub fn from_str(src: &str) -> Result<Table, ParseError> {
+    let mut root = Table::new();
+    // Path of the table currently being filled; empty = root.
+    let mut current: Vec<String> = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            let name = header.trim().to_string();
+            if name.is_empty() {
+                return Err(ParseError::new("empty array-of-table header", lineno));
+            }
+            let entry = root
+                .entry(name.clone())
+                .or_insert_with(|| Value::Array(Vec::new()));
+            match entry {
+                Value::Array(items) => items.push(Value::Table(Table::new())),
+                _ => {
+                    return Err(ParseError::new(
+                        format!("`{name}` is not an array of tables"),
+                        lineno,
+                    ))
+                }
+            }
+            current = vec![name];
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let name = header.trim().to_string();
+            if name.is_empty() {
+                return Err(ParseError::new("empty table header", lineno));
+            }
+            root.entry(name.clone())
+                .or_insert_with(|| Value::Table(Table::new()));
+            current = vec![name];
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(ParseError::new("expected `key = value`", lineno));
+        };
+        let key = line[..eq].trim();
+        if key.is_empty() {
+            return Err(ParseError::new("empty key", lineno));
+        }
+        let value = parse_value(line[eq + 1..].trim(), lineno)?;
+        let table = resolve_target(&mut root, &current, lineno)?;
+        table.insert(key.to_string(), value);
+    }
+    Ok(root)
+}
+
+impl FromStr for Value {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        from_str(s).map(Value::Table)
+    }
+}
+
+/// Find the table `key = value` lines should land in: root, a named
+/// table, or the last element of an array-of-tables.
+fn resolve_target<'a>(
+    root: &'a mut Table,
+    current: &[String],
+    lineno: u32,
+) -> Result<&'a mut Table, ParseError> {
+    let Some(name) = current.first() else {
+        return Ok(root);
+    };
+    match root.get_mut(name) {
+        Some(Value::Table(t)) => Ok(t),
+        Some(Value::Array(items)) => match items.last_mut() {
+            Some(Value::Table(t)) => Ok(t),
+            _ => Err(ParseError::new(
+                format!("array `{name}` has no open table"),
+                lineno,
+            )),
+        },
+        _ => Err(ParseError::new(format!("unknown table `{name}`"), lineno)),
+    }
+}
+
+/// Drop a `#` comment, respecting basic-string quoting.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+fn parse_value(raw: &str, lineno: u32) -> Result<Value, ParseError> {
+    if raw.starts_with('"') {
+        return parse_basic_string(raw, lineno).map(Value::String);
+    }
+    if let Some(body) = raw.strip_prefix('[') {
+        let Some(body) = body.strip_suffix(']') else {
+            return Err(ParseError::new("unterminated inline array", lineno));
+        };
+        let mut items = Vec::new();
+        for part in split_top_level(body) {
+            let part = part.trim();
+            if !part.is_empty() {
+                items.push(parse_value(part, lineno)?);
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    match raw {
+        "true" => return Ok(Value::Boolean(true)),
+        "false" => return Ok(Value::Boolean(false)),
+        _ => {}
+    }
+    if let Ok(i) = raw.replace('_', "").parse::<i64>() {
+        return Ok(Value::Integer(i));
+    }
+    Err(ParseError::new(
+        format!("unsupported value `{raw}`"),
+        lineno,
+    ))
+}
+
+/// Split an inline-array body on top-level commas (strings respected).
+fn split_top_level(body: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut buf = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in body.chars() {
+        match c {
+            '\\' if in_str => {
+                escaped = !escaped;
+                buf.push(c);
+            }
+            '"' if !escaped => {
+                in_str = !in_str;
+                buf.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut buf));
+            }
+            _ => {
+                escaped = false;
+                buf.push(c);
+            }
+        }
+    }
+    if !buf.trim().is_empty() {
+        parts.push(buf);
+    }
+    parts
+}
+
+fn parse_basic_string(raw: &str, lineno: u32) -> Result<String, ParseError> {
+    let mut out = String::new();
+    let mut chars = raw.chars();
+    if chars.next() != Some('"') {
+        return Err(ParseError::new("expected string", lineno));
+    }
+    loop {
+        match chars.next() {
+            Some('"') => break,
+            Some('\\') => match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                other => {
+                    return Err(ParseError::new(
+                        format!("unsupported escape `\\{}`", other.unwrap_or(' ')),
+                        lineno,
+                    ))
+                }
+            },
+            Some(c) => out.push(c),
+            None => return Err(ParseError::new("unterminated string", lineno)),
+        }
+    }
+    if !chars.as_str().trim().is_empty() {
+        return Err(ParseError::new("trailing characters after string", lineno));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_array_of_tables() {
+        let doc = r#"
+# allowlist
+version = 1
+
+[[allow]]
+rule = "XL001"
+path = "crates/bench/src/parallel.rs"
+ident = "Instant"
+reason = "wall-clock timing"
+
+[[allow]]
+rule = "XL002"
+path = "crates/agg/src/function.rs"
+ident = "panic"
+reason = "documented contract"
+"#;
+        let table = from_str(doc).unwrap();
+        assert_eq!(table.get("version"), Some(&Value::Integer(1)));
+        let allows = table.get("allow").unwrap().as_array().unwrap();
+        assert_eq!(allows.len(), 2);
+        assert_eq!(allows[0].get("rule").and_then(Value::as_str), Some("XL001"));
+        assert_eq!(
+            allows[1].get("reason").and_then(Value::as_str),
+            Some("documented contract")
+        );
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let table = from_str(r##"key = "a # b" # trailing"##).unwrap();
+        assert_eq!(table.get("key").and_then(Value::as_str), Some("a # b"));
+    }
+
+    #[test]
+    fn named_table_headers() {
+        let table = from_str("[meta]\nname = \"x\"\nflag = true").unwrap();
+        let meta = table.get("meta").unwrap().as_table().unwrap();
+        assert_eq!(meta.get("name").and_then(Value::as_str), Some("x"));
+        assert_eq!(meta.get("flag").and_then(Value::as_bool), Some(true));
+    }
+}
