@@ -287,8 +287,12 @@ impl Application for TagNode {
 pub struct TagRunOutcome {
     /// The decoded statistic at the base station.
     pub value: f64,
-    /// Ground truth over all deployed sensors (excluding the BS).
+    /// Ground truth over the eligible sensors: all deployed sensors
+    /// (excluding the BS) that are alive when the reporting epoch starts.
     pub truth: f64,
+    /// Sensors eligible to contribute (alive at epoch start, BS
+    /// excluded).
+    pub eligible: usize,
     /// Sensors included in the result.
     pub participants: u32,
     /// Sensors that joined the tree.
@@ -319,16 +323,56 @@ pub fn run_tag(
     readings: &[u64],
     seed: u64,
 ) -> TagRunOutcome {
+    run_tag_with_faults(
+        deployment,
+        sim_config,
+        tag_config,
+        readings,
+        seed,
+        &FaultPlan::none(),
+    )
+}
+
+/// [`run_tag`] under node churn: `plan`'s crashes and outages are
+/// enforced by the simulator, and ground truth narrows to the sensors
+/// alive when the reporting epoch starts (the moment readings are
+/// captured). TAG has no recovery of its own — a dead relay silently
+/// costs its whole subtree — which is exactly the contrast the churn
+/// experiment measures.
+///
+/// # Panics
+///
+/// Panics if `readings.len() != deployment.len()` (entry 0 is ignored).
+#[must_use]
+pub fn run_tag_with_faults(
+    deployment: Deployment,
+    sim_config: SimConfig,
+    tag_config: TagConfig,
+    readings: &[u64],
+    seed: u64,
+    plan: &FaultPlan,
+) -> TagRunOutcome {
     assert_eq!(
         readings.len(),
         deployment.len(),
         "one reading per node (entry 0 unused)"
     );
-    let truth = tag_config.function.ground_truth(&readings[1..]);
+    let sensing = SimTime::ZERO + tag_config.formation;
+    let eligible: Vec<u64> = readings
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter_map(|(i, &r)| plan.alive_at(NodeId::new(i as u32), sensing).then_some(r))
+        .collect();
+    let truth = tag_config.function.ground_truth(&eligible);
+    let eligible = eligible.len();
     let readings = readings.to_vec();
     let mut sim = Simulator::new(deployment, sim_config, seed, |id| {
         TagNode::new(tag_config, id == NodeId::new(0), readings[id.index()])
     });
+    if !plan.is_empty() {
+        sim.set_fault_plan(plan.clone());
+    }
     let deadline = SimTime::ZERO + tag_config.finish_time() + SimDuration::from_secs(1);
     sim.run_until(deadline);
     let bs = sim.app(NodeId::new(0));
@@ -340,6 +384,7 @@ pub fn run_tag(
     TagRunOutcome {
         value: result.value,
         truth,
+        eligible,
         participants: result.participants,
         joined: sim.apps().filter(|(_, a)| a.joined()).count() - 1,
         total_bytes: sim.metrics().total_bytes_sent(),

@@ -1,0 +1,6 @@
+//! Regenerates the "fig18_churn" evaluation artefact. See
+//! `icpda_bench::experiments::fig18_churn`.
+
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::fig18_churn::run)
+}

@@ -9,6 +9,7 @@ pub mod fig14_linkquality;
 pub mod fig15_hotspots;
 pub mod fig16_rounds;
 pub mod fig17_synergy;
+pub mod fig18_churn;
 pub mod fig2_overhead;
 pub mod fig3_accuracy;
 pub mod fig4_privacy;
@@ -70,5 +71,6 @@ pub fn run_all() -> std::io::Result<()> {
     fig14_linkquality::run()?;
     fig15_hotspots::run()?;
     fig16_rounds::run()?;
-    fig17_synergy::run()
+    fig17_synergy::run()?;
+    fig18_churn::run()
 }

@@ -101,6 +101,7 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
             "loss",
             "edge-loss",
             "rounds",
+            "churn",
         ],
     )?;
     let n: usize = args.get_or("nodes", 400)?;
@@ -108,6 +109,17 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
     let mut config = parse_config(args)?;
     config.rounds = args.get_or("rounds", 1)?;
     let sim = parse_sim_config(args)?;
+    let churn: f64 = args.get_or("churn", 0.0)?;
+    let plan = if churn > 0.0 {
+        // Crash times are drawn over the whole multi-round horizon so
+        // later rounds exercise recovery against an already-thinned net.
+        config.crash_recovery = true;
+        let horizon = config.schedule.decision_time() * u64::from(config.rounds.max(1));
+        FaultPlan::random_churn(n, churn, horizon, seed)
+            .map_err(|e| ParseArgsError(format!("--churn: {e}")))?
+    } else {
+        FaultPlan::none()
+    };
     let readings = readings_for(config.function, n, seed);
     let dep = deployment(n, seed);
     println!(
@@ -115,8 +127,16 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
         dep.average_degree(),
         config.function
     );
+    if !plan.is_empty() {
+        println!(
+            "churn         : {} of {} nodes crash mid-run (rate {churn})",
+            plan.crash_count(),
+            n - 1
+        );
+    }
     let out = IcpdaRun::new(dep, config, readings, seed)
         .with_sim_config(sim)
+        .with_fault_plan(plan.clone())
         .run();
     println!("accepted      : {}", out.accepted);
     println!("value         : {:.3}", out.value);
@@ -135,6 +155,34 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
         out.total_frames, out.total_bytes, out.energy_mj
     );
     println!("collisions    : {}", out.collisions);
+    if !plan.is_empty() {
+        println!(
+            "coverage      : {:.3} ({} of {} eligible sensors reported)",
+            out.coverage(),
+            out.participants,
+            out.eligible
+        );
+        let recoveries: Vec<String> = out
+            .user_counters
+            .iter()
+            .filter(|(name, count)| {
+                *count > 0
+                    && matches!(
+                        *name,
+                        "icpda_head_dead_detected"
+                            | "icpda_takeover_report"
+                            | "icpda_direct_report"
+                            | "icpda_parent_rerouted"
+                            | "icpda_late_forwarded"
+                            | "icpda_solved_degraded"
+                    )
+            })
+            .map(|(name, count)| format!("{} {count}", name.trim_start_matches("icpda_")))
+            .collect();
+        if !recoveries.is_empty() {
+            println!("recoveries    : {}", recoveries.join(", "));
+        }
+    }
     if !out.alarms.is_empty() {
         println!("alarms        : {:?}", out.alarms);
     }

@@ -3,6 +3,7 @@
 //! ```text
 //! icpda run     --nodes 400 --seed 7 --function count [--pc 0.25]
 //!               [--integrity on|off] [--loss 0.05] [--edge-loss 0.3]
+//!               [--churn 0.1]
 //! icpda sweep   --seeds 5 --function count [--threads 8]
 //! icpda attack  --nodes 400 --seed 7 --mode naive|forge|phantom
 //!               --delta 1000 [--attackers 1] [--session] [--seeds 20]
@@ -28,6 +29,8 @@ COMMANDS:
               --nodes N (400)  --seed S (7)  --function count|sum|avg|var (count)
               --pc P (0.25)    --integrity on|off (on)
               --loss P (0)     --edge-loss E (0)   --rounds R (1)
+              --churn P (0: each node crashes mid-run with prob. P;
+              enables crash recovery)
     sweep     accuracy/overhead across the paper's size sweep
               --seeds K (5)    --function ... (count)  --threads T (cores)
     attack    compromise cluster heads and watch the integrity layer

@@ -99,6 +99,10 @@ pub struct PhaseSchedule {
     /// From roster receipt to the `FSum` repair round (missing-assembly
     /// NACKs and rebroadcasts).
     pub fsum_repair_after: SimDuration,
+    /// Upper bound of the random jitter applied to repair NACKs and
+    /// rebroadcasts, de-synchronising simultaneous repair traffic inside
+    /// a cluster (PR 1's fix for synchronized NACK collisions).
+    pub nack_jitter: SimDuration,
     /// From roster receipt to the cluster solve (head and members).
     pub solve_after: SimDuration,
     /// Upper bound of the per-cluster random stagger the head applies to
@@ -131,6 +135,7 @@ impl PhaseSchedule {
             repair_after: SimDuration::from_millis(1600),
             fsum_after: SimDuration::from_millis(2200),
             fsum_repair_after: SimDuration::from_millis(3000),
+            nack_jitter: SimDuration::from_millis(150),
             solve_after: SimDuration::from_millis(3800),
             cluster_stagger: SimDuration::from_millis(3000),
             upstream_start: SimDuration::from_millis(12000),
@@ -193,6 +198,13 @@ pub struct IcpdaConfig {
     pub schedule: PhaseSchedule,
     /// Master secret for pairwise link keys.
     pub key_master: u64,
+    /// Crash-recovery switch: when on, members watch their head's
+    /// liveness (beacon + roster/FSum deadlines) and fall back to
+    /// re-joining or orphan direct-report, heads solve with survivors'
+    /// shares via threshold interpolation, and upstream senders reroute
+    /// around silent parents. Off by default so fault-free runs are
+    /// byte-identical to the pre-recovery protocol.
+    pub crash_recovery: bool,
 }
 
 impl IcpdaConfig {
@@ -214,6 +226,7 @@ impl IcpdaConfig {
             rounds: 1,
             schedule: PhaseSchedule::paper_default(),
             key_master: 0x1C9D_A5EC_u64,
+            crash_recovery: false,
         }
     }
 

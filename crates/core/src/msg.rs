@@ -10,7 +10,7 @@ use wsn_sim::{NodeId, WireSize};
 /// Reference to an input merged into an upstream report — the integrity
 /// layer's audit trail. A monitor that overheard (or locally computed)
 /// every referenced input can recompute the report and verify it.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MergedRef {
     /// An upstream message previously transmitted by `sender` with the
     /// given per-sender sequence number.
@@ -184,6 +184,13 @@ pub enum IcpdaMsg {
         /// Round number (the first query is round 0).
         round: u16,
     },
+    /// A head's periodic liveness beacon (crash-recovery mode only):
+    /// members that stop hearing it past a deadline declare the head
+    /// dead and fall back to re-joining or orphan direct-report.
+    HeadBeacon {
+        /// The beaconing head.
+        head: NodeId,
+    },
     /// A monitor's pollution accusation, routed up the flood tree.
     Alarm {
         /// The monitoring node raising the alarm.
@@ -216,6 +223,7 @@ impl WireSize for IcpdaMsg {
                     + inputs.iter().map(InputClaim::wire_size).sum::<usize>()
             }
             IcpdaMsg::NewRound { .. } => 1 + 2,
+            IcpdaMsg::HeadBeacon { .. } => 1 + 4,
             IcpdaMsg::Alarm { .. } => 1 + 4 + 4,
         }
     }

@@ -21,7 +21,8 @@ use crate::config::{IcpdaConfig, IntegrityMode, PrivacyMode};
 use crate::monitor::{CachedAggregate, CheckOutcome, MonitorCache, ViolationKind};
 use crate::msg::{IcpdaMsg, InputClaim, MergedRef};
 use crate::shares::{
-    assemble, generate_shares, recover_sum, share_from_bytes, share_to_bytes, ShareVector,
+    assemble, generate_shares, generate_shares_t, recover_sum, recover_sum_at, share_from_bytes,
+    share_to_bytes, ShareVector,
 };
 use agg::field::Fp;
 use rand::Rng;
@@ -50,6 +51,9 @@ const TIMER_FLOOD_RELAY: TimerToken = 14;
 const TIMER_REPAIR2: TimerToken = 15;
 const TIMER_UPSTREAM_REPEAT: TimerToken = 16;
 const TIMER_SHARE_DRAIN: TimerToken = 17;
+const TIMER_HEAD_CHECK: TimerToken = 18;
+const TIMER_PARENT_CHECK: TimerToken = 19;
+const TIMER_BEACON: TimerToken = 20;
 
 /// A node's role after cluster formation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -154,6 +158,26 @@ pub struct IcpdaNode {
     pollution: Option<Pollution>,
     slander: Option<NodeId>,
 
+    // Crash recovery (all unused unless `config.crash_recovery`).
+    /// Flood levels of neighbours, learnt from their query rebroadcasts;
+    /// the candidate pool for rerouting around a silent parent.
+    neighbor_levels: BTreeMap<NodeId, u16>,
+    /// Any frame heard from our head since we joined it (liveness).
+    head_alive_seen: bool,
+    /// Any frame heard from our flood parent after our upstream send —
+    /// evidence the parent is alive to forward our report.
+    parent_forwarded: bool,
+    /// Where our upstream report last went (parent, or the reroute
+    /// alternate); late forwards follow the same path.
+    upstream_target: Option<NodeId>,
+    /// Sequence numbers for late-forward message ids (high 16 bits, so
+    /// they never collide with the round-numbered originals).
+    late_forward_seq: u32,
+    /// Base station only: claim sources already absorbed this round;
+    /// a repeated source means two copies of the same input arrived via
+    /// different paths, and its totals are subtracted once.
+    bs_merged_refs: BTreeSet<MergedRef>,
+
     // Base station.
     bs_alarms: Vec<(NodeId, NodeId)>,
     bs_last_update: Option<SimTime>,
@@ -206,6 +230,12 @@ impl IcpdaNode {
             excluded: false,
             pollution: None,
             slander: None,
+            neighbor_levels: BTreeMap::new(),
+            head_alive_seen: false,
+            parent_forwarded: false,
+            upstream_target: None,
+            late_forward_seq: 0,
+            bs_merged_refs: BTreeSet::new(),
             bs_alarms: Vec::new(),
             bs_last_update: None,
             decisions: Vec::new(),
@@ -407,6 +437,10 @@ impl IcpdaNode {
             return;
         }
         self.queries_heard += 1;
+        // Every rebroadcast names the sender's depth: remember it, so a
+        // node whose parent dies can reroute to another lower-level
+        // neighbour (crash recovery).
+        self.neighbor_levels.insert(from, level);
         if self.is_base_station || self.level.is_some() {
             return;
         }
@@ -451,6 +485,17 @@ impl IcpdaNode {
             );
             ctx.set_timer(s.roster_after + jitter, TIMER_ROSTER);
             ctx.metrics().bump("icpda_heads");
+            if self.config.crash_recovery {
+                // Two liveness beacons before the roster deadline: members
+                // that hear neither (nor anything else from us) declare us
+                // dead and fall back.
+                for frac in [4u64, 2u64] {
+                    let beacon_jitter = SimDuration::from_nanos(
+                        ctx.rng().gen_range(0..s.nack_jitter.as_nanos().max(1)),
+                    );
+                    ctx.set_timer(s.roster_after / frac + beacon_jitter, TIMER_BEACON);
+                }
+            }
         } else {
             // Small dispersion so join unicasts do not collide at heads.
             let jitter =
@@ -469,6 +514,37 @@ impl IcpdaNode {
         let head = self.heads_heard[pick];
         self.role = Role::Member(head);
         ctx.send(head, IcpdaMsg::Join { head });
+        if self.config.crash_recovery {
+            self.schedule_head_check(ctx);
+        }
+    }
+
+    /// Arms the head-liveness deadline: if nothing is heard from the
+    /// joined head (beacon, roster, anything) by then, the head is
+    /// presumed dead and this node falls back to another cluster.
+    fn schedule_head_check(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        self.head_alive_seen = false;
+        let s = self.config.schedule;
+        let jitter =
+            SimDuration::from_nanos(ctx.rng().gen_range(0..s.nack_jitter.as_nanos().max(1)));
+        ctx.set_timer(s.roster_after + jitter, TIMER_HEAD_CHECK);
+    }
+
+    fn handle_head_check(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        if !self.config.crash_recovery {
+            return;
+        }
+        let Role::Member(head) = self.role else {
+            return;
+        };
+        if self.head_alive_seen || self.roster.is_some() {
+            return;
+        }
+        // Silent head: treat it like a resignation — re-join another
+        // in-range head, or degrade to orphan (and later direct-report).
+        ctx.metrics().bump("icpda_head_dead_detected");
+        self.resigned_heads.insert(head);
+        self.schedule_rejoin(ctx);
     }
 
     /// Under-sized heads give up their cluster so their joiners (and
@@ -518,6 +594,9 @@ impl IcpdaNode {
         self.role = Role::Member(head);
         ctx.send(head, IcpdaMsg::Join { head });
         ctx.metrics().bump("icpda_rejoined");
+        if self.config.crash_recovery {
+            self.schedule_head_check(ctx);
+        }
     }
 
     fn handle_roster_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
@@ -585,9 +664,11 @@ impl IcpdaNode {
         if self.config.share_repair {
             // Every member discovers its gaps at the same deadline, so
             // un-jittered NACK broadcasts would collide at the head.
-            let nack_jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..150_000_000u64));
+            let nack_jitter =
+                SimDuration::from_nanos(ctx.rng().gen_range(0..s.nack_jitter.as_nanos().max(1)));
             ctx.set_timer(stagger + s.repair_after + nack_jitter, TIMER_REPAIR);
-            let nack2_jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..150_000_000u64));
+            let nack2_jitter =
+                SimDuration::from_nanos(ctx.rng().gen_range(0..s.nack_jitter.as_nanos().max(1)));
             ctx.set_timer(
                 stagger + s.repair_after + SimDuration::from_millis(300) + nack2_jitter,
                 TIMER_REPAIR2,
@@ -601,7 +682,8 @@ impl IcpdaNode {
         };
         ctx.set_timer(stagger + s.fsum_after + fsum_jitter, TIMER_FSUM);
         if self.config.share_repair {
-            let fsum_nack_jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..150_000_000u64));
+            let fsum_nack_jitter =
+                SimDuration::from_nanos(ctx.rng().gen_range(0..s.nack_jitter.as_nanos().max(1)));
             ctx.set_timer(
                 stagger + s.fsum_repair_after + fsum_nack_jitter,
                 TIMER_FSUM_REPAIR,
@@ -659,6 +741,9 @@ impl IcpdaNode {
         self.pending_upstream = None;
         self.alarms_raised.clear();
         self.alarms_forwarded.clear();
+        self.parent_forwarded = false;
+        self.upstream_target = None;
+        self.bs_merged_refs.clear();
         // Audit material is per-round: a stale cluster aggregate from the
         // previous round would convict an honest head as soon as the
         // readings change.
@@ -728,7 +813,17 @@ impl IcpdaNode {
         let Some(my_pos) = roster.position(me) else {
             return;
         };
-        let shares = generate_shares(&contribution, roster.len(), ctx.rng());
+        let shares = if self.config.crash_recovery {
+            // Threshold sharing: any `min_cluster_size` surviving
+            // assemblies reconstruct the cluster sum, so a member dying
+            // between its share exchange and the FSum broadcast no longer
+            // kills the whole cluster. The price is a lower collusion
+            // bound (threshold − 1 instead of m − 1 colluders).
+            let threshold = self.config.min_cluster_size.min(roster.len());
+            generate_shares_t(&contribution, roster.len(), threshold, ctx.rng())
+        } else {
+            generate_shares(&contribution, roster.len(), ctx.rng())
+        };
         self.shared = true;
         // Keep own share locally.
         self.received_shares.insert(me, shares[my_pos].clone());
@@ -1129,6 +1224,10 @@ impl IcpdaNode {
             return;
         }
         let m = roster.len();
+        if self.config.crash_recovery {
+            self.solve_with_survivors(ctx, &roster);
+            return;
+        }
         if self.fsums.len() != m {
             ctx.metrics().bump(if is_head {
                 "icpda_head_failed_missing_fsum"
@@ -1177,6 +1276,75 @@ impl IcpdaNode {
         });
     }
 
+    /// Crash-recovery solve: instead of demanding all `m` assemblies
+    /// under one consistent contributor mask, group whatever assemblies
+    /// arrived by their mask and interpolate the largest consistent
+    /// group — threshold sharing makes any `min_cluster_size` positions
+    /// sufficient, so clusters solve with the survivors' shares after a
+    /// member (or the head) dies mid-exchange.
+    fn solve_with_survivors(&mut self, ctx: &mut Context<'_, IcpdaMsg>, roster: &Roster) {
+        let is_head = self.role == Role::Head;
+        let m = roster.len();
+        let mut groups: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (&pos, &(_, mask)) in &self.fsums {
+            groups.entry(mask).or_default().push(pos);
+        }
+        let best = groups
+            .iter()
+            .max_by_key(|(mask, positions)| {
+                (
+                    positions.len(),
+                    mask.count_ones(),
+                    std::cmp::Reverse(**mask),
+                )
+            })
+            .map(|(&mask, positions)| (mask, positions.clone()));
+        let Some((mask, positions)) = best else {
+            ctx.metrics().bump(if is_head {
+                "icpda_head_failed_missing_fsum"
+            } else {
+                "icpda_cluster_failed_missing_fsum"
+            });
+            return;
+        };
+        if mask == 0 {
+            ctx.metrics().bump("icpda_cluster_failed_empty");
+            return;
+        }
+        let threshold = self.config.min_cluster_size.min(m);
+        if positions.len() < threshold {
+            ctx.metrics().bump(if is_head {
+                "icpda_head_failed_missing_fsum"
+            } else {
+                "icpda_cluster_failed_missing_fsum"
+            });
+            return;
+        }
+        let points: Vec<(usize, ShareVector)> = positions
+            .iter()
+            .filter_map(|&p| self.fsums.get(&p).map(|(a, _)| (p, a.clone())))
+            .collect();
+        let Some(sum) = recover_sum_at(&points) else {
+            ctx.metrics().bump("icpda_cluster_failed_solve");
+            return;
+        };
+        if positions.len() < m {
+            ctx.metrics().bump("icpda_solved_degraded");
+        }
+        let aggregate = CachedAggregate {
+            totals: sum,
+            participants: mask.count_ones(),
+        };
+        self.monitor
+            .record_cluster(roster.head(), aggregate.clone());
+        self.cluster_aggregate = Some(aggregate);
+        ctx.metrics().bump(if is_head {
+            "icpda_head_solved"
+        } else {
+            "icpda_cluster_solved"
+        });
+    }
+
     fn handle_upstream_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
         if self.is_base_station {
             return;
@@ -1197,6 +1365,9 @@ impl IcpdaNode {
                     participants: agg.participants,
                 });
             }
+        }
+        if self.config.crash_recovery {
+            self.merge_recovery_inputs(ctx, &mut totals, &mut participants, &mut inputs);
         }
         self.upstream_sent = true;
         if let (Some(target), Some(parent)) = (self.slander, self.flood_parent) {
@@ -1233,12 +1404,160 @@ impl IcpdaNode {
         // subtree, so every report is transmitted twice; receivers
         // deduplicate on (sender, msg_id).
         self.pending_upstream = Some(msg);
+        self.upstream_target = Some(parent);
         let jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..100_000_000));
         ctx.set_timer(
             SimDuration::from_millis(150) + jitter,
             TIMER_UPSTREAM_REPEAT,
         );
+        if self.config.crash_recovery {
+            // Parent-liveness deadline: two upstream slots past our own
+            // send, the parent's slot has certainly passed — a parent
+            // that transmitted nothing in that window is presumed dead
+            // and the report is rerouted. Level-1 nodes report straight
+            // to the base station (node 0 never faults), so they skip it.
+            if self.level.is_some_and(|l| l > 1) {
+                let slot = self.config.schedule.upstream_slot();
+                ctx.set_timer(slot * 2 + SimDuration::from_millis(300), TIMER_PARENT_CHECK);
+            }
+        }
         ctx.metrics().bump("icpda_upstream_sent");
+    }
+
+    /// Crash-recovery additions to this node's own upstream report: a
+    /// member takes over reporting its cluster's aggregate when the head
+    /// went silent, and a node whose cluster never materialised reports
+    /// its own reading directly (privacy degrades to the link-encrypted
+    /// hop for that reading, but it is not lost).
+    fn merge_recovery_inputs(
+        &mut self,
+        ctx: &mut Context<'_, IcpdaMsg>,
+        totals: &mut [Fp],
+        participants: &mut u32,
+        inputs: &mut Vec<InputClaim>,
+    ) {
+        let me = ctx.id();
+        // Takeover: the head's own assembly never arrived, so the head is
+        // presumed dead (or deaf); the surviving member holding the
+        // smallest assembled roster position reports the cluster
+        // aggregate in its place. Should the head in fact be alive, the
+        // duplicate claim is subtracted at the base station.
+        if let (Role::Member(head), Some(agg), Some(roster)) = (
+            self.role,
+            self.cluster_aggregate.clone(),
+            self.roster.as_ref(),
+        ) {
+            let head_pos = roster.position(head);
+            let head_silent = head_pos.is_none_or(|hp| !self.fsums.contains_key(&hp));
+            let min_present = self.fsums.keys().copied().find(|p| Some(*p) != head_pos);
+            let my_pos = roster.position(me);
+            if head_silent && my_pos.is_some() && min_present == my_pos {
+                ctx.metrics().bump("icpda_takeover_report");
+                for (t, &c) in totals.iter_mut().zip(&agg.totals) {
+                    *t += c;
+                }
+                *participants += agg.participants;
+                inputs.push(InputClaim {
+                    source: MergedRef::Cluster { head },
+                    totals: agg.totals_u64(),
+                    participants: agg.participants,
+                });
+            }
+        }
+        // Orphan / failed-cluster direct report: the reading would
+        // otherwise be lost with the cluster.
+        if !self.shared
+            && self.cluster_aggregate.is_none()
+            && self.level.is_some()
+            && !self.excluded
+        {
+            ctx.metrics().bump("icpda_direct_report");
+            let contribution = self.config.function.encode(self.reading);
+            for (t, &c) in totals.iter_mut().zip(&contribution) {
+                *t += Fp::new(c);
+            }
+            *participants += 1;
+            inputs.push(InputClaim {
+                source: MergedRef::Cluster { head: me },
+                totals: contribution,
+                participants: 1,
+            });
+        }
+    }
+
+    /// Fires two upstream slots after our own report went out: if the
+    /// parent has not transmitted anything since, it is presumed dead and
+    /// the report is re-sent to another lower-level neighbour (which
+    /// forwards it immediately via the late-forward path).
+    fn handle_parent_check(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        if !self.config.crash_recovery || self.parent_forwarded || !self.upstream_sent {
+            return;
+        }
+        let Some(msg) = self.pending_upstream.clone() else {
+            return;
+        };
+        let Some(my_level) = self.level.filter(|&l| l > 1) else {
+            return;
+        };
+        let Some(parent) = self.flood_parent else {
+            return;
+        };
+        let alternate = self
+            .neighbor_levels
+            .iter()
+            .filter(|&(&n, &l)| n != parent && l < my_level)
+            .min_by_key(|&(&n, &l)| (l, n))
+            .map(|(&n, _)| n);
+        match alternate {
+            Some(alt) => {
+                ctx.metrics().bump("icpda_parent_rerouted");
+                self.upstream_target = Some(alt);
+                ctx.send(alt, msg);
+            }
+            None => ctx.metrics().bump("icpda_reroute_no_alternate"),
+        }
+    }
+
+    /// A report that arrives after this node already transmitted its own
+    /// cannot be merged any more — under crash recovery it is wrapped
+    /// and forwarded as a fresh report instead of being dropped, which is
+    /// what makes rerouting around a dead parent deliver (the alternate
+    /// parent has always sent by the time the rerouted copy arrives:
+    /// lower levels transmit in later slots).
+    fn late_forward(
+        &mut self,
+        ctx: &mut Context<'_, IcpdaMsg>,
+        from: NodeId,
+        msg_id: u32,
+        totals_raw: &[u64],
+        participants: u32,
+    ) {
+        let Some(target) = self.upstream_target.or(self.flood_parent) else {
+            return;
+        };
+        self.late_forward_seq += 1;
+        let forward_id = u32::from(self.current_round) | (self.late_forward_seq << 16);
+        let mut inputs = vec![InputClaim {
+            source: MergedRef::Relay {
+                sender: from,
+                msg_id,
+            },
+            totals: totals_raw.to_vec(),
+            participants,
+        }];
+        if self.config.integrity == IntegrityMode::Off {
+            inputs.clear();
+        }
+        ctx.metrics().bump("icpda_late_forwarded");
+        ctx.send(
+            target,
+            IcpdaMsg::Upstream {
+                msg_id: forward_id,
+                totals: totals_raw.to_vec(),
+                participants,
+                inputs,
+            },
+        );
     }
 
     /// Shared audit path for received and overheard upstream reports.
@@ -1334,6 +1653,23 @@ impl IcpdaNode {
         }
         self.audit_upstream(ctx, from, msg_id, &totals, participants, inputs);
         if self.is_base_station {
+            let mut totals = totals;
+            let mut participants = participants;
+            if self.config.crash_recovery {
+                // Recovery can duplicate inputs (a takeover racing a slow
+                // head, a reroute whose parent was alive after all). Claim
+                // sources are unique per round, so a source seen twice is
+                // subtracted once before absorbing.
+                for claim in inputs {
+                    if !self.bs_merged_refs.insert(claim.source) {
+                        ctx.metrics().bump("icpda_bs_dedup");
+                        for (t, &c) in totals.iter_mut().zip(&claim.totals) {
+                            *t -= Fp::new(c);
+                        }
+                        participants = participants.saturating_sub(claim.participants);
+                    }
+                }
+            }
             for (acc, &t) in self.upstream_acc.iter_mut().zip(&totals) {
                 *acc += t;
             }
@@ -1344,6 +1680,9 @@ impl IcpdaNode {
         if self.upstream_sent {
             self.late_upstream += 1;
             ctx.metrics().bump("icpda_upstream_late");
+            if self.config.crash_recovery {
+                self.late_forward(ctx, from, msg_id, totals_raw, participants);
+            }
             return;
         }
         for (acc, &t) in self.upstream_acc.iter_mut().zip(&totals) {
@@ -1372,6 +1711,28 @@ impl IcpdaNode {
                 ctx.send(parent, IcpdaMsg::Alarm { accuser, accused });
             }
         }
+    }
+
+    /// Liveness bookkeeping (crash recovery): any frame from our head
+    /// proves it alive; any frame from our flood parent after our own
+    /// upstream send proves the parent is still there to forward.
+    fn note_frame_from(&mut self, from: NodeId) {
+        if let Role::Member(head) = self.role {
+            if from == head {
+                self.head_alive_seen = true;
+            }
+        }
+        if self.upstream_sent && self.flood_parent == Some(from) {
+            self.parent_forwarded = true;
+        }
+    }
+
+    fn handle_beacon_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        if !self.config.crash_recovery || self.role != Role::Head || self.has_resigned {
+            return;
+        }
+        ctx.metrics().bump("icpda_beacon_sent");
+        ctx.broadcast(IcpdaMsg::HeadBeacon { head: ctx.id() });
     }
 
     fn handle_decision_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
@@ -1412,6 +1773,9 @@ impl Application for IcpdaNode {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, IcpdaMsg>, from: NodeId, msg: &IcpdaMsg) {
+        if self.config.crash_recovery {
+            self.note_frame_from(from);
+        }
         match msg {
             IcpdaMsg::Query { level } => self.handle_query(ctx, from, *level),
             IcpdaMsg::HeadAnnounce => {
@@ -1494,11 +1858,22 @@ impl Application for IcpdaNode {
                 inputs,
             } => self.handle_upstream(ctx, from, *msg_id, totals, *participants, inputs),
             IcpdaMsg::NewRound { round } => self.handle_new_round(ctx, *round),
+            IcpdaMsg::HeadBeacon { head } => {
+                // Pure liveness signal — `note_frame_from` above already
+                // recorded it; re-check here so a beacon overheard from a
+                // head we joined but whose roster we missed still counts.
+                if from == *head && self.role == Role::Member(*head) {
+                    self.head_alive_seen = true;
+                }
+            }
             IcpdaMsg::Alarm { accuser, accused } => self.handle_alarm(ctx, *accuser, *accused),
         }
     }
 
     fn on_overhear(&mut self, ctx: &mut Context<'_, IcpdaMsg>, frame: &Frame<IcpdaMsg>) {
+        if self.config.crash_recovery {
+            self.note_frame_from(frame.src);
+        }
         // Promiscuous monitoring: audit unicast upstream reports addressed
         // to other nodes.
         if let IcpdaMsg::Upstream {
@@ -1543,6 +1918,9 @@ impl Application for IcpdaNode {
                 }
             }
             TIMER_DECISION => self.handle_decision_timer(ctx),
+            TIMER_HEAD_CHECK => self.handle_head_check(ctx),
+            TIMER_PARENT_CHECK => self.handle_parent_check(ctx),
+            TIMER_BEACON => self.handle_beacon_timer(ctx),
             _ => {}
         }
     }

@@ -45,6 +45,7 @@ pub struct IcpdaRun {
     excluded: Vec<NodeId>,
     slanderers: Vec<(NodeId, NodeId)>,
     reading_schedule: Vec<Vec<u64>>,
+    fault_plan: FaultPlan,
 }
 
 impl IcpdaRun {
@@ -71,7 +72,18 @@ impl IcpdaRun {
             excluded: Vec::new(),
             slanderers: Vec::new(),
             reading_schedule: Vec::new(),
+            fault_plan: FaultPlan::none(),
         }
+    }
+
+    /// Installs a node-churn fault plan (crashes and outage windows,
+    /// enforced by the simulator). Ground truth automatically narrows to
+    /// the nodes alive at each round's sensing time, so accuracy measures
+    /// the protocol's recovery — not the dead sensors' missing data.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
     }
 
     /// Overrides the simulator (radio/MAC/loss/energy) configuration.
@@ -140,11 +152,39 @@ impl IcpdaRun {
     pub fn run(self) -> IcpdaOutcome {
         let config = self.config;
         let readings = self.readings.clone();
-        let mut last_truth = config.function.ground_truth(&self.readings[1..]);
+        // Ground truth is taken over the *contributing* population: a
+        // quarantined node and a node dead before it could sense are not
+        // part of the quantity the protocol is asked to compute, so they
+        // must not count as protocol error.
+        let fault_plan = self.fault_plan.clone();
+        let excluded_nodes = self.excluded.clone();
+        let eligible_of = |round: u16| -> Vec<bool> {
+            let sensing = SimTime::ZERO
+                + config.schedule.decision_time() * u64::from(round)
+                + config.schedule.shares_after;
+            (0..readings.len())
+                .map(|i| {
+                    let id = NodeId::new(i as u32);
+                    i != 0 && !excluded_nodes.contains(&id) && fault_plan.alive_at(id, sensing)
+                })
+                .collect()
+        };
+        let truth_over = |rs: &[u64], eligible: &[bool]| -> f64 {
+            let vals: Vec<u64> = rs
+                .iter()
+                .zip(eligible)
+                .filter_map(|(&r, &e)| e.then_some(r))
+                .collect();
+            config.function.ground_truth(&vals)
+        };
+        let mut last_truth = truth_over(&self.readings, &eligible_of(0));
         let mut round_truths = vec![last_truth];
         let mut sim = Simulator::new(self.deployment, self.sim_config, self.seed, |id| {
             IcpdaNode::new(config, id == NodeId::new(0), readings[id.index()])
         });
+        if !self.fault_plan.is_empty() {
+            sim.set_fault_plan(self.fault_plan.clone());
+        }
         for (node, pollution) in &self.attackers {
             sim.app_mut(*node).set_pollution(*pollution);
         }
@@ -159,6 +199,7 @@ impl IcpdaRun {
         // Periodic sensing: install round r's readings right after round
         // r−1's decision (the share exchange starts no earlier than
         // shares_after later).
+        let mut current_readings = self.readings.clone();
         for round in 1..config.rounds {
             let boundary = SimTime::ZERO
                 + config.schedule.decision_time() * u64::from(round)
@@ -168,8 +209,9 @@ impl IcpdaRun {
                 for (i, &r) in new_readings.iter().enumerate().skip(1) {
                     sim.app_mut(NodeId::new(i as u32)).set_reading(r);
                 }
-                last_truth = config.function.ground_truth(&new_readings[1..]);
+                current_readings = new_readings.clone();
             }
+            last_truth = truth_over(&current_readings, &eligible_of(round));
             round_truths.push(last_truth);
         }
         let deadline = SimTime::ZERO
@@ -214,9 +256,15 @@ impl IcpdaRun {
             }
         }
         let metrics = sim.metrics();
+        let eligible = eligible_of(config.rounds - 1)
+            .iter()
+            .filter(|&&e| e)
+            .count();
         IcpdaOutcome {
             truth: last_truth,
             round_truths,
+            eligible,
+            min_alive: metrics.min_alive(),
             value: decision.value,
             participants: decision.participants,
             accepted: decision.accepted,
@@ -253,9 +301,16 @@ pub struct IcpdaOutcome {
     pub round_truths: Vec<f64>,
     /// Decoded statistic at the base station (final round).
     pub value: f64,
-    /// Ground truth over all deployed sensors for the final round's
-    /// readings (see `round_truths` for earlier rounds).
+    /// Ground truth over the final round's *eligible* sensors — deployed,
+    /// not quarantined, and alive at that round's sensing time (see
+    /// `round_truths` for earlier rounds).
     pub truth: f64,
+    /// Sensors eligible to contribute to the final round (alive at its
+    /// sensing time and not quarantined; the base station not counted).
+    pub eligible: usize,
+    /// Minimum number of simultaneously-alive nodes over the whole run
+    /// (base station included).
+    pub min_alive: usize,
     /// Sensors the base station's totals claim to include.
     pub participants: u32,
     /// Whether the round was accepted (no alarms).
@@ -298,6 +353,18 @@ impl IcpdaOutcome {
     #[must_use]
     pub fn accuracy(&self) -> f64 {
         accuracy_ratio(self.value, self.truth)
+    }
+
+    /// Fraction of eligible sensors whose readings reached the base
+    /// station's final-round totals — the per-round coverage the churn
+    /// experiment reports.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.eligible == 0 {
+            0.0
+        } else {
+            (f64::from(self.participants) / self.eligible as f64).min(1.0)
+        }
     }
 
     /// Fraction of sensors that participated in the aggregate.

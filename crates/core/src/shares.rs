@@ -56,15 +56,41 @@ pub fn generate_shares<R: Rng + ?Sized>(
     m: usize,
     rng: &mut R,
 ) -> Vec<ShareVector> {
+    generate_shares_t(contribution, m, m, rng)
+}
+
+/// Generates the `m` share vectors of one member with an explicit
+/// recovery threshold: the blinding polynomials have degree
+/// `threshold − 1`, so any `threshold` assemblies reconstruct the sum
+/// (crash tolerance) while any `threshold − 1` shares stay jointly
+/// uniform (the collusion bound drops from `m − 1` accordingly).
+///
+/// With `threshold == m` this is exactly [`generate_shares`] — same
+/// polynomials, same RNG draws.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `threshold` is not in `1..=m`.
+#[must_use]
+pub fn generate_shares_t<R: Rng + ?Sized>(
+    contribution: &[u64],
+    m: usize,
+    threshold: usize,
+    rng: &mut R,
+) -> Vec<ShareVector> {
     assert!(m > 0, "cluster must have at least one member");
+    assert!(
+        (1..=m).contains(&threshold),
+        "recovery threshold must be in 1..=m"
+    );
     let components = contribution.len();
-    // coeffs[comp] = [d, r_1, ..., r_{m-1}]
+    // coeffs[comp] = [d, r_1, ..., r_{threshold-1}]
     let coeffs: Vec<Vec<Fp>> = contribution
         .iter()
         .map(|&d| {
-            let mut poly = Vec::with_capacity(m);
+            let mut poly = Vec::with_capacity(threshold);
             poly.push(Fp::new(d));
-            for _ in 1..m {
+            for _ in 1..threshold {
                 poly.push(random_fp(rng));
             }
             poly
@@ -139,6 +165,49 @@ pub fn recover_sum(assemblies: &[ShareVector]) -> Option<ShareVector> {
     for (j, assembly) in assemblies.iter().enumerate() {
         for (acc, &f) in sum.iter_mut().zip(assembly) {
             *acc += f * weights[j];
+        }
+    }
+    Some(sum)
+}
+
+/// Recovers the cluster-sum vector from a *subset* of the broadcast
+/// assemblies: `points` pairs each surviving roster position `j` with its
+/// assembly `F_j = P(x_j)`. Lagrange interpolation at zero over exactly
+/// the present seeds — correct whenever the number of points is at least
+/// the sharing threshold (with more points, interpolation of a
+/// lower-degree polynomial is still exact).
+///
+/// Returns `None` if no point is present, positions repeat, or the
+/// component counts disagree.
+#[must_use]
+pub fn recover_sum_at(points: &[(usize, ShareVector)]) -> Option<ShareVector> {
+    let components = points.first().map(|(_, a)| a.len())?;
+    if points.iter().any(|(_, a)| a.len() != components) {
+        return None;
+    }
+    let xs: Vec<Fp> = points.iter().map(|&(j, _)| seed_for(j)).collect();
+    // Repeated positions make the Lagrange denominators vanish.
+    for (i, &xi) in xs.iter().enumerate() {
+        if xs.iter().skip(i + 1).any(|&xk| xk == xi) {
+            return None;
+        }
+    }
+    let mut weights = Vec::with_capacity(xs.len());
+    for (j, &xj) in xs.iter().enumerate() {
+        let mut num = Fp::ONE;
+        let mut den = Fp::ONE;
+        for (k, &xk) in xs.iter().enumerate() {
+            if k != j {
+                num *= xk;
+                den *= xk - xj;
+            }
+        }
+        weights.push(num * den.inverse()?);
+    }
+    let mut sum = vec![Fp::ZERO; components];
+    for ((_, assembly), &w) in points.iter().zip(&weights) {
+        for (acc, &f) in sum.iter_mut().zip(assembly) {
+            *acc += f * w;
         }
     }
     Some(sum)
@@ -263,6 +332,82 @@ mod tests {
             assert_eq!(d + r1 * x1 + r2 * x1 * x1, v1);
             assert_eq!(d + r1 * x2 + r2 * x2 * x2, v2);
         }
+    }
+
+    /// Threshold roundtrip with survivors: every member shares with
+    /// threshold `t`, then only `alive` positions assemble and solve.
+    fn threshold_roundtrip(contributions: &[Vec<u64>], t: usize, alive: &[usize]) -> Vec<u64> {
+        let m = contributions.len();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let all_shares: Vec<Vec<ShareVector>> = contributions
+            .iter()
+            .map(|c| generate_shares_t(c, m, t, &mut rng))
+            .collect();
+        let points: Vec<(usize, ShareVector)> = alive
+            .iter()
+            .map(|&j| {
+                let received: Vec<ShareVector> = all_shares.iter().map(|s| s[j].clone()).collect();
+                (j, assemble(&received))
+            })
+            .collect();
+        recover_sum_at(&points)
+            .expect("solvable")
+            .iter()
+            .map(|f| f.to_u64())
+            .collect()
+    }
+
+    #[test]
+    fn threshold_recovery_survives_missing_positions() {
+        let contributions = vec![vec![10], vec![20], vec![30], vec![40], vec![50]];
+        // Threshold 3 of 5: any 3 surviving positions recover the sum.
+        assert_eq!(
+            threshold_roundtrip(&contributions, 3, &[0, 2, 4]),
+            vec![150]
+        );
+        assert_eq!(
+            threshold_roundtrip(&contributions, 3, &[1, 2, 3]),
+            vec![150]
+        );
+        // Extra surviving points beyond the threshold stay exact.
+        assert_eq!(
+            threshold_roundtrip(&contributions, 3, &[0, 1, 2, 3]),
+            vec![150]
+        );
+        assert_eq!(
+            threshold_roundtrip(&contributions, 3, &[0, 1, 2, 3, 4]),
+            vec![150]
+        );
+    }
+
+    #[test]
+    fn threshold_equal_to_m_matches_generate_shares() {
+        let mut rng_a = ChaCha8Rng::seed_from_u64(3);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(3);
+        let a = generate_shares(&[77, 5], 4, &mut rng_a);
+        let b = generate_shares_t(&[77, 5], 4, 4, &mut rng_b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recover_sum_at_full_set_matches_recover_sum() {
+        let contributions = vec![vec![7], vec![8], vec![9]];
+        assert_eq!(roundtrip(&contributions), vec![24]);
+        assert_eq!(threshold_roundtrip(&contributions, 3, &[0, 1, 2]), vec![24]);
+    }
+
+    #[test]
+    fn recover_sum_at_rejects_malformed_inputs() {
+        assert_eq!(recover_sum_at(&[]), None);
+        // Repeated positions.
+        let p = vec![(1usize, vec![Fp::new(5)]), (1usize, vec![Fp::new(6)])];
+        assert_eq!(recover_sum_at(&p), None);
+        // Mismatched components.
+        let q = vec![
+            (0usize, vec![Fp::new(5)]),
+            (1usize, vec![Fp::new(6), Fp::new(7)]),
+        ];
+        assert_eq!(recover_sum_at(&q), None);
     }
 
     #[test]

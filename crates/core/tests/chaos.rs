@@ -204,6 +204,52 @@ proptest! {
     }
 }
 
+/// One seeded run with crash recovery on and an arbitrary crash
+/// schedule; returns the outcome for the property assertions.
+fn run_with_crashes(crashes: &[(u32, u64)], seed: u64) -> icpda::IcpdaOutcome {
+    let n = 30;
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let dep =
+        Deployment::uniform_random_with_central_bs(n, Region::new(150.0, 150.0), 50.0, &mut rng);
+    let mut config = IcpdaConfig::paper_default(AggFunction::Count);
+    config.crash_recovery = true;
+    config.rounds = 2;
+    let horizon = config.schedule.decision_time() * 2;
+    let mut plan = FaultPlan::none();
+    for &(node, t) in crashes {
+        let node = NodeId::new(1 + node % (n as u32 - 1));
+        let at = SimTime::from_nanos(t % horizon.as_nanos().max(1));
+        plan.crash(node, at).expect("node index is never zero");
+    }
+    let readings = agg::readings::count_readings(n);
+    icpda::IcpdaRun::new(dep, config, readings, seed)
+        .with_fault_plan(plan)
+        .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary crash schedules never panic the recovery machinery,
+    /// the base station reaches a decision every round, and no round's
+    /// participant count exceeds the sensors alive at its sensing time.
+    #[test]
+    fn arbitrary_crash_schedules_degrade_gracefully(
+        crashes in prop::collection::vec((any::<u32>(), any::<u64>()), 0..12),
+        seed in 0u64..30,
+    ) {
+        let out = run_with_crashes(&crashes, seed);
+        prop_assert_eq!(out.decisions.len(), 2, "a decision per round");
+        prop_assert!(
+            out.participants as usize <= out.eligible,
+            "participants {} exceed the {} sensors alive at sensing",
+            out.participants,
+            out.eligible
+        );
+        prop_assert!(out.value <= out.truth + 0.5, "accepted overcount");
+    }
+}
+
 #[test]
 fn chaos_free_baseline_still_works() {
     // The same harness with an empty-effect script (queries only) —

@@ -1,0 +1,363 @@
+//! Deterministic node-churn fault injection.
+//!
+//! A [`FaultPlan`] describes, ahead of time, when each node dies
+//! (crash-stop) or suffers a transient outage (down/up window). The
+//! [`Simulator`] enforces the plan: a down node neither transmits,
+//! receives, overhears, nor fires timers — exactly as if its battery
+//! were pulled. Fault transitions are recorded in the trace
+//! ([`TraceKind::NodeDown`] / [`TraceKind::NodeUp`]) and in the
+//! metrics' alive count, so degradation is observable, never silent.
+//!
+//! Node 0 is conventionally the base station and is never faultable:
+//! every constructor rejects plans that would take it down.
+//!
+//! An **empty** plan is a strict no-op — the engine schedules nothing
+//! extra, so runs with [`FaultPlan::none`] are byte-identical to runs
+//! on a simulator that has never heard of faults.
+//!
+//! [`Simulator`]: crate::sim::Simulator
+//! [`TraceKind::NodeDown`]: crate::trace::TraceKind::NodeDown
+//! [`TraceKind::NodeUp`]: crate::trace::TraceKind::NodeUp
+//!
+//! # Examples
+//!
+//! ```
+//! use wsn_sim::fault::FaultPlan;
+//! use wsn_sim::{NodeId, SimDuration, SimTime};
+//!
+//! let mut plan = FaultPlan::none();
+//! plan.crash(NodeId::new(3), SimTime::from_secs(2)).unwrap();
+//! plan.outage(
+//!     NodeId::new(5),
+//!     SimTime::from_secs(1),
+//!     SimTime::from_secs(4),
+//! )
+//! .unwrap();
+//! assert!(plan.is_down(NodeId::new(3), SimTime::from_secs(3)));
+//! assert!(!plan.is_down(NodeId::new(5), SimTime::from_secs(4)));
+//! ```
+
+use crate::ids::NodeId;
+use crate::time::{SimDuration, SimTime};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A rejected fault-plan edit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultPlanError {
+    /// Node 0 (the base station) can never be taken down.
+    NodeZeroImmortal,
+    /// An outage window whose end does not lie strictly after its start.
+    EmptyOutage {
+        /// Window start.
+        from: SimTime,
+        /// Window end (must be strictly later than `from`).
+        until: SimTime,
+    },
+    /// A churn rate outside `[0, 1]`.
+    InvalidRate(f64),
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::NodeZeroImmortal => {
+                write!(f, "node 0 (the base station) is never faultable")
+            }
+            FaultPlanError::EmptyOutage { from, until } => {
+                write!(f, "outage window [{from}, {until}) is empty")
+            }
+            FaultPlanError::InvalidRate(rate) => {
+                write!(f, "churn rate {rate} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// A deterministic schedule of node failures for one simulation.
+///
+/// Crash-stops are permanent; outages are half-open `[from, until)`
+/// windows after which the node comes back with whatever application
+/// state it had (the radio/MAC queue is lost). A node may have both: a
+/// crash always wins over any later "up" edge.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Permanent crash-stop time per node.
+    crashes: BTreeMap<NodeId, SimTime>,
+    /// Transient down windows per node, `[from, until)`.
+    outages: BTreeMap<NodeId, Vec<(SimTime, SimTime)>>,
+}
+
+impl FaultPlan {
+    /// The empty plan: every node immortal, the engine untouched.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// `true` when the plan schedules no fault at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.outages.is_empty()
+    }
+
+    /// Schedules a permanent crash-stop of `node` at time `at`.
+    ///
+    /// A node crashed at `at` is down from `at` (inclusive) onward;
+    /// frames already in the air still land elsewhere, but the node
+    /// itself stops at the event boundary. Re-crashing a node keeps the
+    /// earliest crash time.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError::NodeZeroImmortal`] if `node` is the base
+    /// station.
+    pub fn crash(&mut self, node: NodeId, at: SimTime) -> Result<(), FaultPlanError> {
+        if node.index() == 0 {
+            return Err(FaultPlanError::NodeZeroImmortal);
+        }
+        let entry = self.crashes.entry(node).or_insert(at);
+        *entry = (*entry).min(at);
+        Ok(())
+    }
+
+    /// Schedules a transient outage of `node` over `[from, until)`.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError::NodeZeroImmortal`] if `node` is the base
+    /// station; [`FaultPlanError::EmptyOutage`] if `until <= from`.
+    pub fn outage(
+        &mut self,
+        node: NodeId,
+        from: SimTime,
+        until: SimTime,
+    ) -> Result<(), FaultPlanError> {
+        if node.index() == 0 {
+            return Err(FaultPlanError::NodeZeroImmortal);
+        }
+        if until <= from {
+            return Err(FaultPlanError::EmptyOutage { from, until });
+        }
+        self.outages.entry(node).or_default().push((from, until));
+        Ok(())
+    }
+
+    /// Generates a seeded random churn plan over `n` nodes: each node
+    /// except the base station crashes with probability `rate`, at a
+    /// time uniform in `[0, horizon)`. The generator is its own
+    /// deterministic stream — it never touches the simulator's RNGs.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError::InvalidRate`] unless `0 <= rate <= 1`.
+    pub fn random_churn(
+        n: usize,
+        rate: f64,
+        horizon: SimDuration,
+        seed: u64,
+    ) -> Result<FaultPlan, FaultPlanError> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(FaultPlanError::InvalidRate(rate));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC0DE_FA17_5EED_0001);
+        let mut plan = FaultPlan::none();
+        for i in 1..n {
+            if rng.gen_bool(rate) {
+                let at = SimTime::from_nanos(rng.gen_range(0..horizon.as_nanos().max(1)));
+                plan.crash(NodeId::new(i as u32), at)
+                    .map_err(|_| FaultPlanError::InvalidRate(rate))?;
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Is `node` down at time `t` under this plan?
+    #[must_use]
+    pub fn is_down(&self, node: NodeId, t: SimTime) -> bool {
+        if self.crashes.get(&node).is_some_and(|&at| at <= t) {
+            return true;
+        }
+        self.outages
+            .get(&node)
+            .is_some_and(|ws| ws.iter().any(|&(from, until)| from <= t && t < until))
+    }
+
+    /// Is `node` alive (not down) at time `t`?
+    #[must_use]
+    pub fn alive_at(&self, node: NodeId, t: SimTime) -> bool {
+        !self.is_down(node, t)
+    }
+
+    /// Number of nodes the plan ever crashes permanently.
+    #[must_use]
+    pub fn crash_count(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// Every fault transition edge, sorted by `(time, node)`: `true`
+    /// marks a down edge, `false` an up edge. Edges are raw — the engine
+    /// re-evaluates [`FaultPlan::is_down`] at each edge, so an "up" edge
+    /// inside or after a crash never revives the node.
+    #[must_use]
+    pub fn events(&self) -> Vec<(SimTime, NodeId, bool)> {
+        let mut out = Vec::new();
+        for (&node, &at) in &self.crashes {
+            out.push((at, node, true));
+        }
+        for (&node, windows) in &self.outages {
+            for &(from, until) in windows {
+                out.push((from, node, true));
+                out.push((until, node, false));
+            }
+        }
+        out.sort_by_key(|&(t, node, down)| (t, node, !down));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert!(plan.events().is_empty());
+        assert!(plan.alive_at(NodeId::new(9), SimTime::MAX));
+    }
+
+    #[test]
+    fn node_zero_is_immortal() {
+        let mut plan = FaultPlan::none();
+        assert_eq!(
+            plan.crash(NodeId::new(0), SimTime::ZERO),
+            Err(FaultPlanError::NodeZeroImmortal)
+        );
+        assert_eq!(
+            plan.outage(NodeId::new(0), SimTime::ZERO, SimTime::from_secs(1)),
+            Err(FaultPlanError::NodeZeroImmortal)
+        );
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn crash_is_permanent_and_inclusive() {
+        let mut plan = FaultPlan::none();
+        plan.crash(NodeId::new(2), SimTime::from_secs(5)).unwrap();
+        assert!(plan.alive_at(NodeId::new(2), SimTime::from_nanos(4_999_999_999)));
+        assert!(plan.is_down(NodeId::new(2), SimTime::from_secs(5)));
+        assert!(plan.is_down(NodeId::new(2), SimTime::MAX));
+    }
+
+    #[test]
+    fn recrash_keeps_earliest_time() {
+        let mut plan = FaultPlan::none();
+        plan.crash(NodeId::new(2), SimTime::from_secs(5)).unwrap();
+        plan.crash(NodeId::new(2), SimTime::from_secs(3)).unwrap();
+        plan.crash(NodeId::new(2), SimTime::from_secs(7)).unwrap();
+        assert!(plan.is_down(NodeId::new(2), SimTime::from_secs(3)));
+        assert_eq!(plan.crash_count(), 1);
+    }
+
+    #[test]
+    fn outage_window_is_half_open() {
+        let mut plan = FaultPlan::none();
+        plan.outage(NodeId::new(4), SimTime::from_secs(1), SimTime::from_secs(2))
+            .unwrap();
+        assert!(!plan.is_down(NodeId::new(4), SimTime::from_nanos(999_999_999)));
+        assert!(plan.is_down(NodeId::new(4), SimTime::from_secs(1)));
+        assert!(!plan.is_down(NodeId::new(4), SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn empty_outage_is_rejected() {
+        let mut plan = FaultPlan::none();
+        let t = SimTime::from_secs(1);
+        assert_eq!(
+            plan.outage(NodeId::new(4), t, t),
+            Err(FaultPlanError::EmptyOutage { from: t, until: t })
+        );
+    }
+
+    #[test]
+    fn crash_wins_over_later_up_edge() {
+        let mut plan = FaultPlan::none();
+        plan.outage(NodeId::new(6), SimTime::from_secs(1), SimTime::from_secs(3))
+            .unwrap();
+        plan.crash(NodeId::new(6), SimTime::from_secs(2)).unwrap();
+        // The up edge at t=3 must not revive a node crashed at t=2.
+        assert!(plan.is_down(NodeId::new(6), SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn events_are_sorted_and_complete() {
+        let mut plan = FaultPlan::none();
+        plan.crash(NodeId::new(3), SimTime::from_secs(2)).unwrap();
+        plan.outage(NodeId::new(1), SimTime::from_secs(1), SimTime::from_secs(4))
+            .unwrap();
+        let events = plan.events();
+        assert_eq!(
+            events,
+            vec![
+                (SimTime::from_secs(1), NodeId::new(1), true),
+                (SimTime::from_secs(2), NodeId::new(3), true),
+                (SimTime::from_secs(4), NodeId::new(1), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_spares_node_zero() {
+        let horizon = SimDuration::from_secs(10);
+        let a = FaultPlan::random_churn(100, 0.3, horizon, 42).unwrap();
+        let b = FaultPlan::random_churn(100, 0.3, horizon, 42).unwrap();
+        assert_eq!(a, b);
+        assert!(a.crash_count() > 0);
+        assert!(a.alive_at(NodeId::new(0), SimTime::MAX));
+        for (t, node, _) in a.events() {
+            assert!(node.index() != 0);
+            assert!(t < SimTime::ZERO + horizon);
+        }
+    }
+
+    #[test]
+    fn churn_rate_zero_is_empty_and_rate_is_validated() {
+        let horizon = SimDuration::from_secs(10);
+        assert!(FaultPlan::random_churn(50, 0.0, horizon, 1)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            FaultPlan::random_churn(50, 1.5, horizon, 1),
+            Err(FaultPlanError::InvalidRate(1.5))
+        );
+        assert_eq!(
+            FaultPlan::random_churn(50, -0.1, horizon, 1),
+            Err(FaultPlanError::InvalidRate(-0.1))
+        );
+    }
+
+    #[test]
+    fn churn_rate_one_crashes_everyone_but_the_bs() {
+        let plan = FaultPlan::random_churn(20, 1.0, SimDuration::from_secs(5), 7).unwrap();
+        assert_eq!(plan.crash_count(), 19);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(FaultPlanError::NodeZeroImmortal
+            .to_string()
+            .contains("base station"));
+        assert!(FaultPlanError::InvalidRate(2.0).to_string().contains("2"));
+        let e = FaultPlanError::EmptyOutage {
+            from: SimTime::from_secs(1),
+            until: SimTime::from_secs(1),
+        };
+        assert!(e.to_string().contains("empty"));
+    }
+}

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 pub mod app;
+pub mod fault;
 pub mod frame;
 pub mod geometry;
 pub mod ids;
@@ -43,10 +44,11 @@ pub mod topology;
 pub mod trace;
 
 pub use app::{Application, Context, TimerId, TimerToken};
+pub use fault::{FaultPlan, FaultPlanError};
 pub use frame::{Destination, Frame, WireSize};
 pub use ids::NodeId;
 pub use metrics::{EnergyModel, LossCause, Metrics, NodeMetrics};
-pub use radio::{LossModel, RadioConfig};
+pub use radio::{LossModel, LossModelError, RadioConfig};
 pub use sim::{SimConfig, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use topology::Deployment;
@@ -55,12 +57,13 @@ pub use trace::{Trace, TraceEntry, TraceKind};
 /// Convenient glob-import of the common simulator types.
 pub mod prelude {
     pub use crate::app::{Application, Context, TimerId, TimerToken};
+    pub use crate::fault::{FaultPlan, FaultPlanError};
     pub use crate::frame::{Destination, Frame, WireSize};
     pub use crate::geometry::{Point, Region};
     pub use crate::ids::NodeId;
     pub use crate::mac::MacConfig;
     pub use crate::metrics::{EnergyModel, LossCause, Metrics};
-    pub use crate::radio::{LossModel, RadioConfig};
+    pub use crate::radio::{LossModel, LossModelError, RadioConfig};
     pub use crate::sim::{SimConfig, Simulator};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::Deployment;

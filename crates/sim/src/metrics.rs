@@ -51,6 +51,9 @@ pub enum LossCause {
     HalfDuplex,
     /// The MAC gave up after its maximum number of carrier-sense attempts.
     MacDrop,
+    /// The receiver was down (crashed or in an outage window) when the
+    /// frame would have arrived.
+    ReceiverDown,
 }
 
 /// Per-node counters.
@@ -72,6 +75,8 @@ pub struct NodeMetrics {
     pub lost_stochastic: u64,
     /// Receptions missed because the node was transmitting.
     pub lost_half_duplex: u64,
+    /// Receptions missed because the node was down (fault injection).
+    pub lost_receiver_down: u64,
     /// Frames dropped by this node's MAC after too many busy channels.
     pub mac_drops: u64,
     /// Energy spent transmitting, nanojoules.
@@ -94,6 +99,9 @@ impl NodeMetrics {
 pub struct Metrics {
     per_node: Vec<NodeMetrics>,
     user: BTreeMap<&'static str, u64>,
+    total_nodes: usize,
+    down_now: usize,
+    max_down: usize,
 }
 
 impl Metrics {
@@ -103,6 +111,9 @@ impl Metrics {
         Metrics {
             per_node: vec![NodeMetrics::default(); n],
             user: BTreeMap::new(),
+            total_nodes: n,
+            down_now: 0,
+            max_down: 0,
         }
     }
 
@@ -151,6 +162,7 @@ impl Metrics {
                 LossCause::Stochastic => m.lost_stochastic,
                 LossCause::HalfDuplex => m.lost_half_duplex,
                 LossCause::MacDrop => m.mac_drops,
+                LossCause::ReceiverDown => m.lost_receiver_down,
             })
             .sum()
     }
@@ -163,6 +175,27 @@ impl Metrics {
             .map(NodeMetrics::energy_total_nj)
             .sum::<f64>()
             / 1e6
+    }
+
+    /// Nodes currently alive (not down under the fault plan).
+    #[must_use]
+    pub fn alive(&self) -> usize {
+        self.total_nodes - self.down_now
+    }
+
+    /// The low-water mark of the alive count over the whole run.
+    #[must_use]
+    pub fn min_alive(&self) -> usize {
+        self.total_nodes - self.max_down
+    }
+
+    pub(crate) fn note_down(&mut self) {
+        self.down_now += 1;
+        self.max_down = self.max_down.max(self.down_now);
+    }
+
+    pub(crate) fn note_up(&mut self) {
+        self.down_now = self.down_now.saturating_sub(1);
     }
 
     /// Increments a named protocol-level counter (e.g. `"share_sent"`).
@@ -208,10 +241,26 @@ mod tests {
         m.node_mut(NodeId::new(1)).lost_stochastic = 4;
         m.node_mut(NodeId::new(1)).lost_half_duplex = 5;
         m.node_mut(NodeId::new(0)).mac_drops = 6;
+        m.node_mut(NodeId::new(1)).lost_receiver_down = 7;
         assert_eq!(m.total_lost(LossCause::Collision), 3);
         assert_eq!(m.total_lost(LossCause::Stochastic), 4);
         assert_eq!(m.total_lost(LossCause::HalfDuplex), 5);
         assert_eq!(m.total_lost(LossCause::MacDrop), 6);
+        assert_eq!(m.total_lost(LossCause::ReceiverDown), 7);
+    }
+
+    #[test]
+    fn alive_tracking_follows_down_up_edges() {
+        let mut m = Metrics::new(5);
+        assert_eq!(m.alive(), 5);
+        assert_eq!(m.min_alive(), 5);
+        m.note_down();
+        m.note_down();
+        assert_eq!(m.alive(), 3);
+        m.note_up();
+        assert_eq!(m.alive(), 4);
+        // The low-water mark remembers the worst moment.
+        assert_eq!(m.min_alive(), 3);
     }
 
     #[test]

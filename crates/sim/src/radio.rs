@@ -2,6 +2,7 @@
 
 use crate::time::SimDuration;
 use rand::Rng;
+use std::fmt;
 
 /// Physical-layer parameters of the simulated radio.
 ///
@@ -65,6 +66,30 @@ impl Default for RadioConfig {
     }
 }
 
+/// A rejected loss-model parameter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LossModelError {
+    /// A loss probability outside `[0, 1]`.
+    ProbabilityOutOfRange(f64),
+    /// A negative gray-zone exponent.
+    NegativeAlpha(f64),
+}
+
+impl fmt::Display for LossModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LossModelError::ProbabilityOutOfRange(p) => {
+                write!(f, "loss probability {p} is outside [0, 1]")
+            }
+            LossModelError::NegativeAlpha(a) => {
+                write!(f, "gray-zone exponent {a} is negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LossModelError {}
+
 /// Stochastic per-reception loss, applied *in addition to* collision and
 /// half-duplex losses modelled by the MAC.
 ///
@@ -73,6 +98,12 @@ impl Default for RadioConfig {
 /// approximates log-distance shadowing: loss grows with the
 /// distance-to-range ratio, reaching `edge_loss` at the very edge of the
 /// radio range. `None` leaves loss entirely to collisions.
+///
+/// Build models through the validating constructors [`LossModel::iid`]
+/// and [`LossModel::distance_dependent`]: they reject out-of-range
+/// parameters with a typed [`LossModelError`] at configuration time, so a
+/// release build can never silently run a nonsense loss model (sampling
+/// still clamps defensively for variants built literally).
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum LossModel {
     /// No stochastic loss; only collisions/half-duplex lose frames.
@@ -92,24 +123,46 @@ pub enum LossModel {
 }
 
 impl LossModel {
+    /// Builds an i.i.d. loss model, validating the probability.
+    ///
+    /// # Errors
+    ///
+    /// [`LossModelError::ProbabilityOutOfRange`] unless `0 <= p <= 1`.
+    pub fn iid(p: f64) -> Result<Self, LossModelError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(LossModelError::ProbabilityOutOfRange(p));
+        }
+        Ok(LossModel::Iid(p))
+    }
+
+    /// Builds a distance-dependent (gray-zone) loss model, validating
+    /// both parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`LossModelError::NegativeAlpha`] if `alpha < 0`;
+    /// [`LossModelError::ProbabilityOutOfRange`] unless
+    /// `0 <= edge_loss <= 1`.
+    pub fn distance_dependent(alpha: f64, edge_loss: f64) -> Result<Self, LossModelError> {
+        if alpha.is_nan() || alpha < 0.0 {
+            return Err(LossModelError::NegativeAlpha(alpha));
+        }
+        if !(0.0..=1.0).contains(&edge_loss) {
+            return Err(LossModelError::ProbabilityOutOfRange(edge_loss));
+        }
+        Ok(LossModel::DistanceDependent { alpha, edge_loss })
+    }
+
     /// Samples whether a reception over `distance_ratio = d/r ∈ [0, 1]`
-    /// is lost.
-    ///
-    /// # Panics
-    ///
-    /// Panics (in debug builds) if a configured probability is outside
-    /// `[0, 1]`.
+    /// is lost. Parameters are clamped into range defensively; use the
+    /// validating constructors to reject bad values up front.
     pub fn drops<R: Rng + ?Sized>(&self, rng: &mut R, distance_ratio: f64) -> bool {
         match *self {
             LossModel::None => false,
-            LossModel::Iid(p) => {
-                debug_assert!((0.0..=1.0).contains(&p), "loss probability out of range");
-                rng.gen_bool(p.clamp(0.0, 1.0))
-            }
+            LossModel::Iid(p) => rng.gen_bool(p.clamp(0.0, 1.0)),
             LossModel::DistanceDependent { alpha, edge_loss } => {
-                debug_assert!((0.0..=1.0).contains(&edge_loss), "edge loss out of range");
-                debug_assert!(alpha >= 0.0, "alpha must be non-negative");
-                let p = edge_loss * distance_ratio.clamp(0.0, 1.0).powf(alpha.max(0.0));
+                let p =
+                    edge_loss.clamp(0.0, 1.0) * distance_ratio.clamp(0.0, 1.0).powf(alpha.max(0.0));
                 rng.gen_bool(p.clamp(0.0, 1.0))
             }
         }
@@ -179,6 +232,52 @@ mod tests {
         let edge = rate(1.0, &mut rng);
         assert!(near < 0.01, "near links are near-perfect: {near}");
         assert!((edge - 0.5).abs() < 0.02, "edge loss honoured: {edge}");
+    }
+
+    #[test]
+    fn validated_constructors_accept_good_parameters() {
+        assert_eq!(LossModel::iid(0.25), Ok(LossModel::Iid(0.25)));
+        assert_eq!(LossModel::iid(0.0), Ok(LossModel::Iid(0.0)));
+        assert_eq!(LossModel::iid(1.0), Ok(LossModel::Iid(1.0)));
+        assert_eq!(
+            LossModel::distance_dependent(4.0, 0.5),
+            Ok(LossModel::DistanceDependent {
+                alpha: 4.0,
+                edge_loss: 0.5
+            })
+        );
+    }
+
+    #[test]
+    fn validated_constructors_reject_bad_parameters() {
+        assert_eq!(
+            LossModel::iid(1.5),
+            Err(LossModelError::ProbabilityOutOfRange(1.5))
+        );
+        assert_eq!(
+            LossModel::iid(-0.1),
+            Err(LossModelError::ProbabilityOutOfRange(-0.1))
+        );
+        assert!(LossModel::iid(f64::NAN).is_err());
+        assert_eq!(
+            LossModel::distance_dependent(-1.0, 0.5),
+            Err(LossModelError::NegativeAlpha(-1.0))
+        );
+        assert_eq!(
+            LossModel::distance_dependent(2.0, 1.5),
+            Err(LossModelError::ProbabilityOutOfRange(1.5))
+        );
+        assert!(LossModel::distance_dependent(f64::NAN, 0.5).is_err());
+    }
+
+    #[test]
+    fn error_display_names_the_offender() {
+        assert!(LossModelError::ProbabilityOutOfRange(1.5)
+            .to_string()
+            .contains("1.5"));
+        assert!(LossModelError::NegativeAlpha(-2.0)
+            .to_string()
+            .contains("-2"));
     }
 
     #[test]

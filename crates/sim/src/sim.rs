@@ -20,6 +20,7 @@
 //!   as [`Application::on_overhear`] otherwise.
 
 use crate::app::{Application, Command, Context, TimerId, TimerToken};
+use crate::fault::FaultPlan;
 use crate::frame::{Destination, Frame};
 use crate::ids::NodeId;
 use crate::mac::MacConfig;
@@ -87,6 +88,11 @@ enum EventKind<M> {
     RxEnd {
         node: NodeId,
         frame: Rc<Frame<M>>,
+    },
+    /// A fault-plan transition edge for `node`; the handler re-evaluates
+    /// the plan at the current time, so stale edges are harmless.
+    FaultEdge {
+        node: NodeId,
     },
 }
 
@@ -197,6 +203,8 @@ pub struct Simulator<A: Application> {
     trace: Trace,
     events_processed: u64,
     started: bool,
+    fault_plan: FaultPlan,
+    down: Vec<bool>,
 }
 
 impl<A: Application> Simulator<A> {
@@ -215,6 +223,7 @@ impl<A: Application> Simulator<A> {
             .map(|i| ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i + 1)))
             .collect();
         let mac = (0..n).map(|_| MacState::default()).collect();
+        let down = vec![false; n];
         Simulator {
             metrics: Metrics::new(n),
             trace: Trace::new(config.trace_capacity),
@@ -231,7 +240,41 @@ impl<A: Application> Simulator<A> {
             mac,
             events_processed: 0,
             started: false,
+            fault_plan: FaultPlan::none(),
+            down,
         }
+    }
+
+    /// Installs a fault plan before the simulation starts. An empty plan
+    /// is a strict no-op: no extra events are scheduled, so the run is
+    /// byte-identical to one without fault injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            !self.started,
+            "fault plan must be installed before the simulation starts"
+        );
+        self.fault_plan = plan;
+    }
+
+    /// The installed fault plan (empty unless [`Simulator::set_fault_plan`]
+    /// was called).
+    #[must_use]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Whether `node` is currently down under the fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn is_down(&self, id: NodeId) -> bool {
+        self.down[id.index()]
     }
 
     /// The deployment this simulator runs over.
@@ -308,9 +351,57 @@ impl<A: Application> Simulator<A> {
             return;
         }
         self.started = true;
+        // A non-empty fault plan schedules its transition edges up front
+        // (before any application event, so at equal times the fault edge
+        // wins) and applies t=0 states directly. An empty plan schedules
+        // nothing, keeping the event-sequence stream byte-identical to a
+        // fault-free build.
+        if !self.fault_plan.is_empty() {
+            for (time, node, _) in self.fault_plan.events() {
+                if time > SimTime::ZERO {
+                    self.schedule(time, EventKind::FaultEdge { node });
+                }
+            }
+            for i in 0..self.apps.len() {
+                let node = NodeId::new(i as u32);
+                if self.fault_plan.is_down(node, SimTime::ZERO) {
+                    self.down[i] = true;
+                    self.metrics.note_down();
+                    self.trace
+                        .record(SimTime::ZERO, TraceKind::NodeDown { node });
+                }
+            }
+        }
         for i in 0..self.apps.len() {
+            if self.down[i] {
+                continue;
+            }
             let node = NodeId::new(i as u32);
             self.with_ctx(node, |app, ctx| app.on_start(ctx));
+        }
+    }
+
+    /// Re-evaluates the fault plan for `node` at the current time and
+    /// applies the transition if its state actually changed.
+    fn handle_fault_edge(&mut self, node: NodeId) {
+        let now_down = self.fault_plan.is_down(node, self.now);
+        let i = node.index();
+        if now_down == self.down[i] {
+            return;
+        }
+        self.down[i] = now_down;
+        if now_down {
+            self.metrics.note_down();
+            self.trace.record(self.now, TraceKind::NodeDown { node });
+            // Battery pulled: queued frames and backoff state are lost.
+            // In-flight reception records are kept so RxEnd bookkeeping
+            // stays consistent; the delivery path discards them.
+            let st = &mut self.mac[i];
+            st.queue.clear();
+            st.attempts = 0;
+        } else {
+            self.metrics.note_up();
+            self.trace.record(self.now, TraceKind::NodeUp { node });
         }
     }
 
@@ -375,6 +466,14 @@ impl<A: Application> Simulator<A> {
     fn handle_mac_attempt(&mut self, node: NodeId) {
         let now = self.now;
         let mac_cfg = self.config.mac;
+        if self.down[node.index()] {
+            // A down node transmits nothing; its pending attempt chain
+            // ends here (the queue was already cleared at the down edge).
+            let st = &mut self.mac[node.index()];
+            st.active = false;
+            st.attempts = 0;
+            return;
+        }
         let st = &mut self.mac[node.index()];
         if st.queue.is_empty() {
             st.active = false;
@@ -429,6 +528,20 @@ impl<A: Application> Simulator<A> {
         let frame = Rc::new(frame);
         let neighbors: Vec<NodeId> = self.deployment.neighbors(node).to_vec();
         for r in neighbors {
+            if self.down[r.index()] {
+                // The receiver's radio is off: the frame is lost to it and
+                // it does not even sense the medium.
+                self.metrics.node_mut(r).lost_receiver_down += 1;
+                self.trace.record(
+                    now,
+                    TraceKind::FrameLost {
+                        node: r,
+                        seq: frame.seq,
+                        cause: crate::metrics::LossCause::ReceiverDown,
+                    },
+                );
+                continue;
+            }
             let rst = &mut self.mac[r.index()];
             rst.medium_busy_until = rst.medium_busy_until.max(end);
             if rst.tx_busy_until > now {
@@ -487,6 +600,19 @@ impl<A: Application> Simulator<A> {
             .position(|r| r.seq == frame.seq)
             .expect("invariant: every RxEnd event has a matching in-flight record");
         let record = st.rx_in_flight.swap_remove(idx);
+        if self.down[node.index()] {
+            // The node died while the frame was in the air.
+            self.metrics.node_mut(node).lost_receiver_down += 1;
+            self.trace.record(
+                self.now,
+                TraceKind::FrameLost {
+                    node,
+                    seq: frame.seq,
+                    cause: crate::metrics::LossCause::ReceiverDown,
+                },
+            );
+            return;
+        }
         if record.corrupted {
             self.metrics.node_mut(node).lost_collision += 1;
             self.trace.record(
@@ -554,7 +680,10 @@ impl<A: Application> Simulator<A> {
         self.events_processed += 1;
         match kind {
             EventKind::Timer { node, token, id } => {
-                if !self.cancelled_timers.remove(&id.0) {
+                let cancelled = self.cancelled_timers.remove(&id.0);
+                // Timers of a down node are lost, not deferred: a crashed
+                // node's schedule dies with it.
+                if !cancelled && !self.down[node.index()] {
                     self.trace
                         .record(self.now, TraceKind::TimerFired { node, token });
                     self.with_ctx(node, |app, ctx| app.on_timer(ctx, token));
@@ -563,6 +692,7 @@ impl<A: Application> Simulator<A> {
             EventKind::MacAttempt { node } => self.handle_mac_attempt(node),
             EventKind::TxEnd { node } => self.handle_tx_end(node),
             EventKind::RxEnd { node, frame } => self.handle_rx_end(node, frame),
+            EventKind::FaultEdge { node } => self.handle_fault_edge(node),
         }
     }
 

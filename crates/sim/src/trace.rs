@@ -62,6 +62,17 @@ pub enum TraceKind {
         /// The application-chosen token.
         token: u64,
     },
+    /// A node went down (crash-stop or outage start, see
+    /// [`crate::fault::FaultPlan`]).
+    NodeDown {
+        /// The node that died.
+        node: NodeId,
+    },
+    /// A node came back up (outage end).
+    NodeUp {
+        /// The node that recovered.
+        node: NodeId,
+    },
 }
 
 /// One traced event.
@@ -144,7 +155,9 @@ impl Trace {
             TraceKind::FrameDelivered { node: n, .. }
             | TraceKind::FrameLost { node: n, .. }
             | TraceKind::MacDrop { node: n }
-            | TraceKind::TimerFired { node: n, .. } => n == node,
+            | TraceKind::TimerFired { node: n, .. }
+            | TraceKind::NodeDown { node: n }
+            | TraceKind::NodeUp { node: n } => n == node,
         })
     }
 

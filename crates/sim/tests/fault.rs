@@ -1,0 +1,212 @@
+//! Behavioural tests of the fault-injection layer: empty plans are strict
+//! no-ops, down nodes are deaf, mute and timer-less, outages end, and the
+//! metrics/trace record every transition.
+
+use wsn_sim::fault::FaultPlan;
+use wsn_sim::geometry::{Point, Region};
+use wsn_sim::prelude::*;
+use wsn_sim::trace::TraceKind;
+
+/// Minimal scriptable app: broadcasts `[id]` at the scheduled times and
+/// records everything it hears.
+#[derive(Default)]
+struct Probe {
+    received: Vec<(NodeId, Vec<u8>)>,
+    overheard: Vec<NodeId>,
+    timers_fired: Vec<TimerToken>,
+    broadcast_at_ms: Vec<u64>,
+}
+
+impl Application for Probe {
+    type Message = Vec<u8>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Vec<u8>>) {
+        for (i, &ms) in self.broadcast_at_ms.iter().enumerate() {
+            ctx.set_timer(SimDuration::from_millis(ms), i as u64);
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<'_, Vec<u8>>, from: NodeId, msg: &Vec<u8>) {
+        self.received.push((from, msg.clone()));
+    }
+
+    fn on_overhear(&mut self, _ctx: &mut Context<'_, Vec<u8>>, frame: &Frame<Vec<u8>>) {
+        self.overheard.push(frame.src);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Vec<u8>>, token: TimerToken) {
+        self.timers_fired.push(token);
+        ctx.broadcast(vec![ctx.id().as_u32() as u8]);
+    }
+}
+
+fn line_deployment(n: usize, spacing: f64, range: f64) -> Deployment {
+    let pts = (0..n)
+        .map(|i| Point::new(i as f64 * spacing, 0.0))
+        .collect();
+    Deployment::from_positions(pts, Region::new(2_000.0, 10.0), range)
+}
+
+fn probe_sim(n: usize, scripts: Vec<Vec<u64>>, plan: Option<FaultPlan>) -> Simulator<Probe> {
+    let mut config = SimConfig::ideal();
+    config.trace_capacity = 4096;
+    let mut sim = Simulator::new(line_deployment(n, 10.0, 15.0), config, 42, move |id| {
+        Probe {
+            broadcast_at_ms: scripts.get(id.index()).cloned().unwrap_or_default(),
+            ..Probe::default()
+        }
+    });
+    if let Some(plan) = plan {
+        sim.set_fault_plan(plan);
+    }
+    sim
+}
+
+/// A run with `FaultPlan::none()` must be indistinguishable from a run
+/// that never heard of fault injection: same event count, same traffic,
+/// same deliveries.
+#[test]
+fn empty_plan_is_a_strict_no_op() {
+    let scripts: Vec<Vec<u64>> = vec![vec![1, 5, 9], vec![2, 6], vec![3, 7, 11]];
+    let fingerprint = |mut sim: Simulator<Probe>| {
+        sim.run_until(SimTime::from_secs(1));
+        (
+            sim.events_processed(),
+            sim.metrics().total_bytes_sent(),
+            sim.metrics().total_frames_sent(),
+            sim.apps()
+                .map(|(_, a)| a.received.clone())
+                .collect::<Vec<_>>(),
+            sim.trace().len(),
+        )
+    };
+    let plain = fingerprint(probe_sim(3, scripts.clone(), None));
+    let with_empty_plan = fingerprint(probe_sim(3, scripts, Some(FaultPlan::none())));
+    assert_eq!(plain, with_empty_plan);
+}
+
+#[test]
+fn crashed_node_stops_transmitting_and_firing_timers() {
+    let mut plan = FaultPlan::none();
+    plan.crash(NodeId::new(1), SimTime::from_millis(4)).unwrap();
+    // Node 1 would broadcast at 2ms (delivered) and 6ms (dead by then).
+    let mut sim = probe_sim(2, vec![vec![], vec![2, 6]], Some(plan));
+    sim.run_until(SimTime::from_secs(1));
+    assert_eq!(sim.app(NodeId::new(0)).received.len(), 1);
+    assert_eq!(sim.app(NodeId::new(1)).timers_fired, vec![0]);
+    assert!(sim.is_down(NodeId::new(1)));
+    let downs: Vec<_> = sim
+        .trace()
+        .iter()
+        .filter(|e| matches!(e.kind, TraceKind::NodeDown { node } if node == NodeId::new(1)))
+        .collect();
+    assert_eq!(downs.len(), 1);
+    assert_eq!(downs.first().map(|e| e.time), Some(SimTime::from_millis(4)));
+}
+
+#[test]
+fn down_receiver_loses_frames_to_the_receiver_down_bucket() {
+    let mut plan = FaultPlan::none();
+    plan.crash(NodeId::new(1), SimTime::from_millis(1)).unwrap();
+    // Node 0 broadcasts at 5ms: node 1 is down, the frame is lost to it.
+    let mut sim = probe_sim(2, vec![vec![5]], Some(plan));
+    sim.run_until(SimTime::from_secs(1));
+    assert!(sim.app(NodeId::new(1)).received.is_empty());
+    assert!(sim.app(NodeId::new(1)).overheard.is_empty());
+    assert_eq!(sim.metrics().total_lost(LossCause::ReceiverDown), 1);
+    assert_eq!(sim.metrics().node(NodeId::new(1)).lost_receiver_down, 1);
+}
+
+#[test]
+fn node_crashing_mid_reception_loses_the_in_flight_frame() {
+    // A 1-byte payload + 16 bytes overhead = 17 on-air bytes at 1 Mbps:
+    // 136 µs of airtime starting at t=1ms. Node 1 dies at 1.05 ms —
+    // inside the reception — so the RxEnd path must discard the frame as
+    // ReceiverDown without breaking the in-flight bookkeeping.
+    let mut plan = FaultPlan::none();
+    plan.crash(NodeId::new(1), SimTime::from_micros(1_050))
+        .unwrap();
+    let mut sim = probe_sim(2, vec![vec![1]], Some(plan));
+    sim.run_until(SimTime::from_secs(1));
+    assert!(sim.app(NodeId::new(1)).received.is_empty());
+    assert_eq!(sim.metrics().total_lost(LossCause::ReceiverDown), 1);
+}
+
+#[test]
+fn outage_node_misses_traffic_then_recovers() {
+    let mut plan = FaultPlan::none();
+    plan.outage(
+        NodeId::new(1),
+        SimTime::from_millis(2),
+        SimTime::from_millis(50),
+    )
+    .unwrap();
+    // Broadcasts from node 0 at 10ms (node 1 down) and 100ms (back up).
+    let mut sim = probe_sim(2, vec![vec![10, 100]], Some(plan));
+    sim.run_until(SimTime::from_secs(1));
+    assert_eq!(sim.app(NodeId::new(1)).received.len(), 1);
+    assert_eq!(sim.metrics().total_lost(LossCause::ReceiverDown), 1);
+    assert!(!sim.is_down(NodeId::new(1)));
+    assert!(sim
+        .trace()
+        .iter()
+        .any(|e| matches!(e.kind, TraceKind::NodeUp { node } if node == NodeId::new(1))));
+    assert_eq!(sim.metrics().alive(), 2);
+    assert_eq!(sim.metrics().min_alive(), 1);
+}
+
+#[test]
+fn timers_scheduled_before_an_outage_are_lost_inside_it() {
+    let mut plan = FaultPlan::none();
+    plan.outage(
+        NodeId::new(1),
+        SimTime::from_millis(2),
+        SimTime::from_millis(50),
+    )
+    .unwrap();
+    // Node 1's broadcast timers at 10ms and 20ms fall inside the outage:
+    // both are lost, not deferred.
+    let mut sim = probe_sim(2, vec![vec![], vec![10, 20]], Some(plan));
+    sim.run_until(SimTime::from_secs(1));
+    assert!(sim.app(NodeId::new(1)).timers_fired.is_empty());
+    assert!(sim.app(NodeId::new(0)).received.is_empty());
+}
+
+#[test]
+fn node_down_at_time_zero_never_starts() {
+    let mut plan = FaultPlan::none();
+    plan.crash(NodeId::new(1), SimTime::ZERO).unwrap();
+    let mut sim = probe_sim(2, vec![vec![], vec![1, 2, 3]], Some(plan));
+    sim.run_until(SimTime::from_secs(1));
+    assert!(sim.app(NodeId::new(1)).timers_fired.is_empty());
+    assert_eq!(sim.metrics().min_alive(), 1);
+    assert!(sim
+        .trace()
+        .iter()
+        .any(|e| matches!(e.kind, TraceKind::NodeDown { node } if node == NodeId::new(1))));
+}
+
+#[test]
+fn fault_runs_are_deterministic() {
+    let run = || {
+        let plan = FaultPlan::random_churn(8, 0.5, SimDuration::from_millis(500), 99).unwrap();
+        let scripts: Vec<Vec<u64>> = (0..8).map(|i| vec![1 + i as u64, 40 + i as u64]).collect();
+        let mut sim = probe_sim(8, scripts, Some(plan));
+        sim.run_until(SimTime::from_secs(1));
+        (
+            sim.events_processed(),
+            sim.metrics().total_bytes_sent(),
+            sim.metrics().total_lost(LossCause::ReceiverDown),
+            sim.metrics().min_alive(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+#[should_panic(expected = "before the simulation starts")]
+fn fault_plan_after_start_is_rejected() {
+    let mut sim = probe_sim(2, vec![vec![1]], None);
+    sim.run_until(SimTime::from_millis(5));
+    sim.set_fault_plan(FaultPlan::none());
+}
