@@ -100,6 +100,37 @@ impl Fp {
     pub const fn is_zero(self) -> bool {
         self.0 == 0
     }
+
+    /// Inverts every element of `values` with Montgomery's batch trick:
+    /// one Fermat inversion (~60 squarings) plus three multiplications
+    /// per element, instead of one full inversion each. `None` if any
+    /// element is zero (matching [`Fp::inverse`] on the offending
+    /// element); `values` is left unchanged in that case.
+    #[must_use]
+    pub fn batch_inverse(values: &mut [Fp]) -> Option<()> {
+        if values.iter().any(|v| v.is_zero()) {
+            return None;
+        }
+        // prefix[i] = values[0] * ... * values[i]
+        let mut prefix = Vec::with_capacity(values.len());
+        let mut acc = Fp::ONE;
+        for &v in values.iter() {
+            acc *= v;
+            prefix.push(acc);
+        }
+        // Walk back: inv(prefix[i]) * prefix[i-1] = inv(values[i]).
+        let mut inv_acc = acc.inverse()?;
+        for i in (0..values.len()).rev() {
+            let original = values[i];
+            values[i] = if i == 0 {
+                inv_acc
+            } else {
+                inv_acc * prefix[i - 1]
+            };
+            inv_acc *= original;
+        }
+        Some(())
+    }
 }
 
 impl From<u64> for Fp {
@@ -214,8 +245,30 @@ pub fn random_fp<R: rand::Rng + ?Sized>(rng: &mut R) -> Fp {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn batch_inverse_matches_individual_inverses() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let originals: Vec<Fp> = (0..17)
+            .map(|_| Fp::new(rng.gen_range(1..MODULUS)))
+            .collect();
+        let mut batch = originals.clone();
+        Fp::batch_inverse(&mut batch).expect("no zeros");
+        for (orig, inv) in originals.iter().zip(&batch) {
+            assert_eq!(Some(*inv), orig.inverse());
+        }
+        // A zero anywhere fails the whole batch and leaves it untouched.
+        let mut with_zero = vec![Fp::new(3), Fp::ZERO, Fp::new(7)];
+        assert!(Fp::batch_inverse(&mut with_zero).is_none());
+        assert_eq!(with_zero, vec![Fp::new(3), Fp::ZERO, Fp::new(7)]);
+        // Degenerate cases.
+        assert!(Fp::batch_inverse(&mut []).is_some());
+        let mut one = vec![Fp::new(2)];
+        Fp::batch_inverse(&mut one).expect("nonzero");
+        assert_eq!(one[0], Fp::new(2).inverse().unwrap());
+    }
 
     #[test]
     fn canonical_reduction() {

@@ -9,7 +9,9 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod json;
 pub mod parallel;
+pub mod perf;
 pub mod svg;
 
 use rand::SeedableRng;

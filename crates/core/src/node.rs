@@ -134,7 +134,10 @@ pub struct IcpdaNode {
     upstream_participants: u32,
     absorbed_inputs: Vec<InputClaim>,
     seen_upstream: BTreeSet<(NodeId, u32)>,
-    pending_upstream: Option<IcpdaMsg>,
+    // Kept as a prepared payload: the duplicate transmission and the
+    // parent-reroute path re-send it with a reference-count bump instead
+    // of deep-cloning the totals/inputs vectors and re-walking wire_size.
+    pending_upstream: Option<SharedPayload<IcpdaMsg>>,
     upstream_sent: bool,
     late_upstream: u32,
 
@@ -149,7 +152,7 @@ pub struct IcpdaNode {
 
     // Multi-round state.
     current_round: u16,
-    pending_flood: Option<IcpdaMsg>,
+    pending_flood: Option<SharedPayload<IcpdaMsg>>,
 
     // Quarantine.
     excluded: bool,
@@ -450,9 +453,9 @@ impl IcpdaNode {
         // Jittered rebroadcast: neighbours reacting to the same query
         // copy would otherwise all transmit within the tiny MAC jitter
         // and collide (broadcast storm).
-        self.pending_flood = Some(IcpdaMsg::Query {
+        self.pending_flood = Some(SharedPayload::new(IcpdaMsg::Query {
             level: level.saturating_add(1),
-        });
+        }));
         let relay_jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..100_000_000));
         ctx.set_timer(relay_jitter, TIMER_FLOOD_RELAY);
         let s = self.config.schedule;
@@ -774,7 +777,7 @@ impl IcpdaNode {
         }
         self.begin_round(ctx, round);
         // Flood the round marker onward with the usual jitter.
-        self.pending_flood = Some(IcpdaMsg::NewRound { round });
+        self.pending_flood = Some(SharedPayload::new(IcpdaMsg::NewRound { round }));
         let relay_jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..100_000_000));
         ctx.set_timer(relay_jitter, TIMER_FLOOD_RELAY);
     }
@@ -1393,13 +1396,13 @@ impl IcpdaNode {
         let Some(parent) = self.flood_parent else {
             return;
         };
-        let msg = IcpdaMsg::Upstream {
+        let msg = SharedPayload::new(IcpdaMsg::Upstream {
             msg_id: u32::from(self.current_round),
             totals: totals.iter().map(|f| f.to_u64()).collect(),
             participants,
             inputs,
-        };
-        ctx.send(parent, msg.clone());
+        });
+        ctx.send_shared(parent, &msg);
         // A single collision at the parent would silently drop a whole
         // subtree, so every report is transmitted twice; receivers
         // deduplicate on (sender, msg_id).
@@ -1493,7 +1496,7 @@ impl IcpdaNode {
         if !self.config.crash_recovery || self.parent_forwarded || !self.upstream_sent {
             return;
         }
-        let Some(msg) = self.pending_upstream.clone() else {
+        let Some(msg) = self.pending_upstream.as_ref() else {
             return;
         };
         let Some(my_level) = self.level.filter(|&l| l > 1) else {
@@ -1512,7 +1515,7 @@ impl IcpdaNode {
             Some(alt) => {
                 ctx.metrics().bump("icpda_parent_rerouted");
                 self.upstream_target = Some(alt);
-                ctx.send(alt, msg);
+                ctx.send_shared(alt, msg);
             }
             None => ctx.metrics().bump("icpda_reroute_no_alternate"),
         }
@@ -1881,7 +1884,7 @@ impl Application for IcpdaNode {
             totals,
             participants,
             inputs,
-        } = &frame.payload
+        } = &*frame.payload
         {
             if totals.len() == self.components() {
                 let totals: Vec<Fp> = totals.iter().map(|&v| Fp::new(v)).collect();
@@ -1900,7 +1903,7 @@ impl Application for IcpdaNode {
             TIMER_REPAIR | TIMER_REPAIR2 => self.handle_repair_timer(ctx),
             TIMER_FLOOD_RELAY => {
                 if let Some(msg) = self.pending_flood.take() {
-                    ctx.broadcast(msg);
+                    ctx.broadcast_shared(&msg);
                 }
             }
             TIMER_FSUM => self.handle_fsum_timer(ctx),
@@ -1912,9 +1915,9 @@ impl Application for IcpdaNode {
             TIMER_UPSTREAM => self.handle_upstream_timer(ctx),
             TIMER_UPSTREAM_REPEAT => {
                 if let (Some(msg), Some(parent)) =
-                    (self.pending_upstream.clone(), self.flood_parent)
+                    (self.pending_upstream.as_ref(), self.flood_parent)
                 {
-                    ctx.send(parent, msg);
+                    ctx.send_shared(parent, msg);
                 }
             }
             TIMER_DECISION => self.handle_decision_timer(ctx),

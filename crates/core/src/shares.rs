@@ -148,8 +148,11 @@ pub fn recover_sum(assemblies: &[ShareVector]) -> Option<ShareVector> {
         return None;
     }
     // Lagrange basis at zero: L_j(0) = Π_{k≠j} x_k / (x_k − x_j).
+    // The denominators are inverted together (Montgomery's batch trick):
+    // one Fermat inversion for the whole basis instead of one per point.
     let xs: Vec<Fp> = (0..m).map(seed_for).collect();
-    let mut weights = Vec::with_capacity(m);
+    let mut nums = Vec::with_capacity(m);
+    let mut dens = Vec::with_capacity(m);
     for j in 0..m {
         let mut num = Fp::ONE;
         let mut den = Fp::ONE;
@@ -159,8 +162,11 @@ pub fn recover_sum(assemblies: &[ShareVector]) -> Option<ShareVector> {
                 den *= xs[k] - xs[j];
             }
         }
-        weights.push(num * den.inverse()?);
+        nums.push(num);
+        dens.push(den);
     }
+    Fp::batch_inverse(&mut dens)?;
+    let weights: Vec<Fp> = nums.iter().zip(&dens).map(|(&n, &d)| n * d).collect();
     let mut sum = vec![Fp::ZERO; components];
     for (j, assembly) in assemblies.iter().enumerate() {
         for (acc, &f) in sum.iter_mut().zip(assembly) {
@@ -192,7 +198,8 @@ pub fn recover_sum_at(points: &[(usize, ShareVector)]) -> Option<ShareVector> {
             return None;
         }
     }
-    let mut weights = Vec::with_capacity(xs.len());
+    let mut nums = Vec::with_capacity(xs.len());
+    let mut dens = Vec::with_capacity(xs.len());
     for (j, &xj) in xs.iter().enumerate() {
         let mut num = Fp::ONE;
         let mut den = Fp::ONE;
@@ -202,8 +209,11 @@ pub fn recover_sum_at(points: &[(usize, ShareVector)]) -> Option<ShareVector> {
                 den *= xk - xj;
             }
         }
-        weights.push(num * den.inverse()?);
+        nums.push(num);
+        dens.push(den);
     }
+    Fp::batch_inverse(&mut dens)?;
+    let weights: Vec<Fp> = nums.iter().zip(&dens).map(|(&n, &d)| n * d).collect();
     let mut sum = vec![Fp::ZERO; components];
     for ((_, assembly), &w) in points.iter().zip(&weights) {
         for (acc, &f) in sum.iter_mut().zip(assembly) {

@@ -1,0 +1,137 @@
+//! Golden-trace regression: the engine's observable behaviour — every
+//! trace entry, every metrics counter, the virtual clock — is pinned to
+//! a committed fixture. Any engine refactor (payload sharing, batched
+//! delivery, trace levels, timer bookkeeping) must reproduce this file
+//! byte-for-byte; a diff here means the "same seed ⇒ identical trace"
+//! invariant broke, not that the fixture needs a casual refresh.
+//!
+//! To re-bless after an *intentional* behaviour change (one that
+//! DESIGN.md §6 sanctions), run:
+//!
+//! ```text
+//! ICPDA_BLESS=1 cargo test -p icpda --test golden_trace
+//! ```
+//!
+//! and commit the regenerated fixture together with the change that
+//! justifies it.
+
+use agg::AggFunction;
+use icpda::{IcpdaConfig, IcpdaNode};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use wsn_sim::geometry::Region;
+use wsn_sim::prelude::*;
+use wsn_sim::topology::Deployment;
+
+/// Network size for the fixture: the evaluation sweep's smallest point —
+/// dense enough to form many clusters and exercise collisions,
+/// overhearing and multi-hop relays, small enough to keep the committed
+/// fixture reviewable.
+const N: usize = 200;
+const SEED: u64 = 42;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Runs one full iCPDA round with tracing on and renders every
+/// observable into a deterministic text document.
+fn render_run() -> String {
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let dep =
+        Deployment::uniform_random_with_central_bs(N, Region::paper_default(), 50.0, &mut rng);
+    let config = IcpdaConfig::paper_default(AggFunction::Count);
+    let readings = agg::readings::count_readings(N);
+    let mut sim_config = SimConfig::paper_default();
+    // Room for the full round: the assertion below proves nothing was
+    // evicted, so the fixture is the *complete* event record.
+    sim_config.trace_capacity = 1 << 20;
+    let mut sim = Simulator::new(dep, sim_config, SEED, |id| {
+        IcpdaNode::new(config, id == NodeId::new(0), readings[id.index()])
+    });
+    let deadline = SimTime::ZERO + config.schedule.decision_time() + SimDuration::from_secs(1);
+    sim.run_until(deadline);
+    assert_eq!(sim.trace().evicted(), 0, "fixture must hold the full trace");
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# golden trace: n={N} seed={SEED} one round");
+    let _ = writeln!(out, "now_ns={}", sim.now().as_nanos());
+    let _ = writeln!(out, "events_processed={}", sim.events_processed());
+    for entry in sim.trace().iter() {
+        let _ = writeln!(out, "{} {:?}", entry.time.as_nanos(), entry.kind);
+    }
+    let m = sim.metrics();
+    let _ = writeln!(
+        out,
+        "totals frames={} bytes={} energy_uj={}",
+        m.total_frames_sent(),
+        m.total_bytes_sent(),
+        // Integer microjoules: full-precision floats would make the
+        // fixture brittle against benign float formatting.
+        (m.total_energy_mj() * 1000.0).round() as i64,
+    );
+    for (id, nm) in m.iter() {
+        let _ = writeln!(
+            out,
+            "node {} tx={}/{} rx={}/{} oh={} lost={},{},{},{} drops={}",
+            id.as_u32(),
+            nm.frames_sent,
+            nm.bytes_sent,
+            nm.frames_received,
+            nm.bytes_received,
+            nm.frames_overheard,
+            nm.lost_collision,
+            nm.lost_stochastic,
+            nm.lost_half_duplex,
+            nm.lost_receiver_down,
+            nm.mac_drops,
+        );
+    }
+    for (name, value) in m.user_counters() {
+        let _ = writeln!(out, "counter {name}={value}");
+    }
+    out
+}
+
+#[test]
+fn engine_reproduces_the_blessed_trace() {
+    let rendered = render_run();
+    let path = golden_path("trace_n200_seed42.txt");
+    if std::env::var_os("ICPDA_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &rendered).expect("write golden fixture");
+        eprintln!("blessed {} ({} bytes)", path.display(), rendered.len());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run with ICPDA_BLESS=1 to generate it",
+            path.display()
+        )
+    });
+    if rendered != golden {
+        // Locate the first divergent line so the failure is actionable
+        // without diffing megabytes by hand.
+        let mismatch = rendered
+            .lines()
+            .zip(golden.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b);
+        match mismatch {
+            Some((i, (got, want))) => panic!(
+                "golden trace diverged at line {}:\n  got:  {got}\n  want: {want}\n\
+                 (ICPDA_BLESS=1 re-blesses after an intentional change)",
+                i + 1
+            ),
+            None => panic!(
+                "golden trace length changed: got {} lines, want {} lines",
+                rendered.lines().count(),
+                golden.lines().count()
+            ),
+        }
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::ids::NodeId;
 use std::fmt;
+use std::sync::Arc;
 
 /// Where a frame is addressed.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -58,6 +59,10 @@ impl WireSize for Vec<u8> {
 /// A frame in flight: source, destination, opaque payload, and its wire
 /// size (captured at send time so the payload type needs no further
 /// inspection).
+///
+/// The payload is reference-counted: a broadcast reaching `k` receivers
+/// shares **one** allocation of `M` between the event heap and every
+/// delivery, instead of cloning the message per receiver.
 #[derive(Clone, Debug)]
 pub struct Frame<M> {
     /// Globally unique, monotonically increasing frame id.
@@ -66,8 +71,8 @@ pub struct Frame<M> {
     pub src: NodeId,
     /// Unicast target or broadcast.
     pub dest: Destination,
-    /// Protocol payload.
-    pub payload: M,
+    /// Protocol payload, shared across all receivers of this frame.
+    pub payload: Arc<M>,
     /// Payload size in bytes, fixed at send time.
     pub size_bytes: usize,
 }
@@ -100,7 +105,7 @@ mod tests {
             seq: 0,
             src: NodeId::new(0),
             dest: Destination::Unicast(NodeId::new(3)),
-            payload: (),
+            payload: Arc::new(()),
             size_bytes: 8,
         };
         assert!(f.addressed_to(NodeId::new(3)));

@@ -56,7 +56,7 @@ pub use trace::{Trace, TraceEntry, TraceKind};
 
 /// Convenient glob-import of the common simulator types.
 pub mod prelude {
-    pub use crate::app::{Application, Context, TimerId, TimerToken};
+    pub use crate::app::{Application, Context, SharedPayload, TimerId, TimerToken};
     pub use crate::fault::{FaultPlan, FaultPlanError};
     pub use crate::frame::{Destination, Frame, WireSize};
     pub use crate::geometry::{Point, Region};

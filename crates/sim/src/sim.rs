@@ -28,12 +28,11 @@ use crate::metrics::{EnergyModel, Metrics};
 use crate::radio::{LossModel, RadioConfig};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Deployment;
-use crate::trace::{Trace, TraceKind};
+use crate::trace::{Trace, TraceKind, TraceLevel};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, VecDeque};
-use std::rc::Rc;
 
 /// Engine-level configuration: radio, MAC, loss and energy models.
 #[derive(Clone, Copy, Debug, Default)]
@@ -49,6 +48,9 @@ pub struct SimConfig {
     /// Retained entries of the link-layer event trace
     /// ([`crate::trace::Trace`]); 0 disables tracing.
     pub trace_capacity: usize,
+    /// Which event classes the trace retains (see [`TraceLevel`]).
+    /// Irrelevant while `trace_capacity` is 0.
+    pub trace_level: TraceLevel,
 }
 
 impl SimConfig {
@@ -85,9 +87,17 @@ enum EventKind<M> {
     TxEnd {
         node: NodeId,
     },
-    RxEnd {
-        node: NodeId,
-        frame: Rc<Frame<M>>,
+    /// One transmission's entire fan-out: the frame reaches every node in
+    /// `receivers` (those that passed the sense/half-duplex checks at
+    /// transmission start) at the same instant — airtime is
+    /// distance-independent — so a single heap event carries all of them.
+    /// Receivers are delivered in the order they were admitted
+    /// (ascending node id), which is exactly the order the per-receiver
+    /// events of an unbatched engine would execute in: their (time, seq)
+    /// keys were contiguous, so no foreign event could interleave.
+    Delivery {
+        frame: Frame<M>,
+        receivers: Vec<NodeId>,
     },
     /// A fault-plan transition edge for `node`; the handler re-evaluates
     /// the plan at the current time, so stale edges are harmless.
@@ -195,7 +205,15 @@ pub struct Simulator<A: Application> {
     event_seq: u64,
     frame_seq: u64,
     next_timer_id: u64,
-    cancelled_timers: BTreeSet<u64>,
+    /// Ids of timers that are scheduled and not yet fired or cancelled.
+    /// A timer fires iff its id is still here at fire time; firing and
+    /// cancelling both *remove*, so the set is bounded by the number of
+    /// pending timers (cancelling an already-fired timer is a no-op
+    /// rather than a permanently retained tombstone).
+    live_timers: BTreeSet<u64>,
+    /// Reused buffer for callback commands (drained after every
+    /// callback), so the dispatch hot path allocates nothing per event.
+    command_buf: Vec<Command<A::Message>>,
     apps: Vec<A>,
     rngs: Vec<ChaCha8Rng>,
     mac: Vec<MacState<A::Message>>,
@@ -226,7 +244,7 @@ impl<A: Application> Simulator<A> {
         let down = vec![false; n];
         Simulator {
             metrics: Metrics::new(n),
-            trace: Trace::new(config.trace_capacity),
+            trace: Trace::with_level(config.trace_capacity, config.trace_level),
             deployment,
             config,
             now: SimTime::ZERO,
@@ -234,7 +252,8 @@ impl<A: Application> Simulator<A> {
             event_seq: 0,
             frame_seq: 0,
             next_timer_id: 0,
-            cancelled_timers: BTreeSet::new(),
+            live_timers: BTreeSet::new(),
+            command_buf: Vec::new(),
             apps,
             rngs,
             mac,
@@ -367,8 +386,10 @@ impl<A: Application> Simulator<A> {
                 if self.fault_plan.is_down(node, SimTime::ZERO) {
                     self.down[i] = true;
                     self.metrics.note_down();
-                    self.trace
-                        .record(SimTime::ZERO, TraceKind::NodeDown { node });
+                    if self.trace.wants(TraceLevel::Metrics) {
+                        self.trace
+                            .record(SimTime::ZERO, TraceKind::NodeDown { node });
+                    }
                 }
             }
         }
@@ -392,23 +413,30 @@ impl<A: Application> Simulator<A> {
         self.down[i] = now_down;
         if now_down {
             self.metrics.note_down();
-            self.trace.record(self.now, TraceKind::NodeDown { node });
+            if self.trace.wants(TraceLevel::Metrics) {
+                self.trace.record(self.now, TraceKind::NodeDown { node });
+            }
             // Battery pulled: queued frames and backoff state are lost.
-            // In-flight reception records are kept so RxEnd bookkeeping
-            // stays consistent; the delivery path discards them.
+            // In-flight reception records are kept so the delivery
+            // bookkeeping stays consistent; the delivery path discards
+            // them.
             let st = &mut self.mac[i];
             st.queue.clear();
             st.attempts = 0;
         } else {
             self.metrics.note_up();
-            self.trace.record(self.now, TraceKind::NodeUp { node });
+            if self.trace.wants(TraceLevel::Metrics) {
+                self.trace.record(self.now, TraceKind::NodeUp { node });
+            }
         }
     }
 
     /// Invokes `f` with a fresh context for `node`, then executes the
-    /// buffered commands.
+    /// buffered commands. The command buffer is taken from (and returned
+    /// to) the simulator, so steady-state dispatch performs no
+    /// allocation; callbacks never nest, so one buffer suffices.
     fn with_ctx(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut Context<'_, A::Message>)) {
-        let mut commands: Vec<Command<A::Message>> = Vec::new();
+        let mut commands = std::mem::take(&mut self.command_buf);
         {
             let ctx = &mut Context {
                 now: self.now,
@@ -421,7 +449,7 @@ impl<A: Application> Simulator<A> {
             };
             f(&mut self.apps[node.index()], ctx);
         }
-        for cmd in commands {
+        for cmd in commands.drain(..) {
             match cmd {
                 Command::Send {
                     dest,
@@ -429,20 +457,22 @@ impl<A: Application> Simulator<A> {
                     size_bytes,
                 } => self.enqueue_frame(node, dest, payload, size_bytes),
                 Command::SetTimer { at, token, id } => {
+                    self.live_timers.insert(id.0);
                     self.schedule(at.max(self.now), EventKind::Timer { node, token, id });
                 }
                 Command::CancelTimer { id } => {
-                    self.cancelled_timers.insert(id.0);
+                    self.live_timers.remove(&id.0);
                 }
             }
         }
+        self.command_buf = commands;
     }
 
     fn enqueue_frame(
         &mut self,
         src: NodeId,
         dest: Destination,
-        payload: A::Message,
+        payload: std::sync::Arc<A::Message>,
         size_bytes: usize,
     ) {
         let frame = Frame {
@@ -486,7 +516,9 @@ impl<A: Application> Simulator<A> {
                 st.queue.pop_front();
                 st.attempts = 0;
                 self.metrics.node_mut(node).mac_drops += 1;
-                self.trace.record(now, TraceKind::MacDrop { node });
+                if self.trace.wants(TraceLevel::Metrics) {
+                    self.trace.record(now, TraceKind::MacDrop { node });
+                }
                 if self.mac[node.index()].queue.is_empty() {
                     self.mac[node.index()].active = false;
                 } else {
@@ -516,30 +548,38 @@ impl<A: Application> Simulator<A> {
             nm.bytes_sent += on_air;
             nm.energy_tx_nj += on_air as f64 * self.config.energy.tx_nj_per_byte;
         }
-        self.trace.record(
-            now,
-            TraceKind::FrameSent {
-                src: node,
-                dest: frame.dest,
-                seq: frame.seq,
-                bytes: on_air as usize,
-            },
-        );
-        let frame = Rc::new(frame);
-        let neighbors: Vec<NodeId> = self.deployment.neighbors(node).to_vec();
-        for r in neighbors {
+        if self.trace.wants(TraceLevel::Full) {
+            self.trace.record(
+                now,
+                TraceKind::FrameSent {
+                    src: node,
+                    dest: frame.dest,
+                    seq: frame.seq,
+                    bytes: on_air as usize,
+                },
+            );
+        }
+        // Index loop: re-borrowing the (immutable) adjacency list per
+        // iteration keeps the receiver admission pass allocation-free
+        // while the MAC/metrics state is mutated.
+        let neighbor_count = self.deployment.neighbors(node).len();
+        let mut receivers: Vec<NodeId> = Vec::with_capacity(neighbor_count);
+        for i in 0..neighbor_count {
+            let r = self.deployment.neighbors(node)[i];
             if self.down[r.index()] {
                 // The receiver's radio is off: the frame is lost to it and
                 // it does not even sense the medium.
                 self.metrics.node_mut(r).lost_receiver_down += 1;
-                self.trace.record(
-                    now,
-                    TraceKind::FrameLost {
-                        node: r,
-                        seq: frame.seq,
-                        cause: crate::metrics::LossCause::ReceiverDown,
-                    },
-                );
+                if self.trace.wants(TraceLevel::Full) {
+                    self.trace.record(
+                        now,
+                        TraceKind::FrameLost {
+                            node: r,
+                            seq: frame.seq,
+                            cause: crate::metrics::LossCause::ReceiverDown,
+                        },
+                    );
+                }
                 continue;
             }
             let rst = &mut self.mac[r.index()];
@@ -547,14 +587,16 @@ impl<A: Application> Simulator<A> {
             if rst.tx_busy_until > now {
                 // Half-duplex: receiver is transmitting, frame missed.
                 self.metrics.node_mut(r).lost_half_duplex += 1;
-                self.trace.record(
-                    now,
-                    TraceKind::FrameLost {
-                        node: r,
-                        seq: frame.seq,
-                        cause: crate::metrics::LossCause::HalfDuplex,
-                    },
-                );
+                if self.trace.wants(TraceLevel::Full) {
+                    self.trace.record(
+                        now,
+                        TraceKind::FrameLost {
+                            node: r,
+                            seq: frame.seq,
+                            cause: crate::metrics::LossCause::HalfDuplex,
+                        },
+                    );
+                }
                 continue;
             }
             // Collision: overlap with any in-flight reception corrupts both.
@@ -570,13 +612,10 @@ impl<A: Application> Simulator<A> {
                 end,
                 corrupted,
             });
-            self.schedule(
-                end,
-                EventKind::RxEnd {
-                    node: r,
-                    frame: Rc::clone(&frame),
-                },
-            );
+            receivers.push(r);
+        }
+        if !receivers.is_empty() {
+            self.schedule(end, EventKind::Delivery { frame, receivers });
         }
         self.schedule(end, EventKind::TxEnd { node });
     }
@@ -592,37 +631,58 @@ impl<A: Application> Simulator<A> {
         }
     }
 
-    fn handle_rx_end(&mut self, node: NodeId, frame: Rc<Frame<A::Message>>) {
+    /// Delivers one transmission's fan-out. The per-frame quantities
+    /// (on-air size, receive energy) are computed once here instead of
+    /// once per receiver.
+    fn handle_delivery(&mut self, frame: &Frame<A::Message>, receivers: &[NodeId]) {
+        let on_air = self.config.radio.on_air_bytes(frame.size_bytes) as u64;
+        let rx_energy = on_air as f64 * self.config.energy.rx_nj_per_byte;
+        for &r in receivers {
+            self.deliver_frame(r, frame, on_air, rx_energy);
+        }
+    }
+
+    fn deliver_frame(
+        &mut self,
+        node: NodeId,
+        frame: &Frame<A::Message>,
+        on_air: u64,
+        rx_energy: f64,
+    ) {
         let st = &mut self.mac[node.index()];
         let idx = st
             .rx_in_flight
             .iter()
             .position(|r| r.seq == frame.seq)
-            .expect("invariant: every RxEnd event has a matching in-flight record");
+            .expect("invariant: every delivery has a matching in-flight record");
         let record = st.rx_in_flight.swap_remove(idx);
         if self.down[node.index()] {
             // The node died while the frame was in the air.
             self.metrics.node_mut(node).lost_receiver_down += 1;
-            self.trace.record(
-                self.now,
-                TraceKind::FrameLost {
-                    node,
-                    seq: frame.seq,
-                    cause: crate::metrics::LossCause::ReceiverDown,
-                },
-            );
+            if self.trace.wants(TraceLevel::Full) {
+                self.trace.record(
+                    self.now,
+                    TraceKind::FrameLost {
+                        node,
+                        seq: frame.seq,
+                        cause: crate::metrics::LossCause::ReceiverDown,
+                    },
+                );
+            }
             return;
         }
         if record.corrupted {
             self.metrics.node_mut(node).lost_collision += 1;
-            self.trace.record(
-                self.now,
-                TraceKind::FrameLost {
-                    node,
-                    seq: frame.seq,
-                    cause: crate::metrics::LossCause::Collision,
-                },
-            );
+            if self.trace.wants(TraceLevel::Full) {
+                self.trace.record(
+                    self.now,
+                    TraceKind::FrameLost {
+                        node,
+                        seq: frame.seq,
+                        cause: crate::metrics::LossCause::Collision,
+                    },
+                );
+            }
             return;
         }
         let distance_ratio = self
@@ -636,18 +696,18 @@ impl<A: Application> Simulator<A> {
             .drops(&mut self.rngs[node.index()], distance_ratio)
         {
             self.metrics.node_mut(node).lost_stochastic += 1;
-            self.trace.record(
-                self.now,
-                TraceKind::FrameLost {
-                    node,
-                    seq: frame.seq,
-                    cause: crate::metrics::LossCause::Stochastic,
-                },
-            );
+            if self.trace.wants(TraceLevel::Full) {
+                self.trace.record(
+                    self.now,
+                    TraceKind::FrameLost {
+                        node,
+                        seq: frame.seq,
+                        cause: crate::metrics::LossCause::Stochastic,
+                    },
+                );
+            }
             return;
         }
-        let on_air = self.config.radio.on_air_bytes(frame.size_bytes) as u64;
-        let rx_energy = on_air as f64 * self.config.energy.rx_nj_per_byte;
         let addressed = frame.addressed_to(node);
         {
             let nm = self.metrics.node_mut(node);
@@ -659,56 +719,76 @@ impl<A: Application> Simulator<A> {
                 nm.frames_overheard += 1;
             }
         }
-        self.trace.record(
-            self.now,
-            TraceKind::FrameDelivered {
-                node,
-                seq: frame.seq,
-                addressed,
-            },
-        );
+        if self.trace.wants(TraceLevel::Full) {
+            self.trace.record(
+                self.now,
+                TraceKind::FrameDelivered {
+                    node,
+                    seq: frame.seq,
+                    addressed,
+                },
+            );
+        }
         if addressed {
             let src = frame.src;
-            let payload = frame.payload.clone();
-            self.with_ctx(node, |app, ctx| app.on_message(ctx, src, &payload));
+            self.with_ctx(node, |app, ctx| app.on_message(ctx, src, &frame.payload));
         } else {
-            self.with_ctx(node, |app, ctx| app.on_overhear(ctx, &frame));
+            self.with_ctx(node, |app, ctx| app.on_overhear(ctx, frame));
         }
     }
 
     fn execute(&mut self, kind: EventKind<A::Message>) {
-        self.events_processed += 1;
+        // A batched delivery event stands for one logical event per
+        // receiver; counting it as such keeps events/sec comparable with
+        // a per-receiver event heap.
+        self.events_processed += match &kind {
+            EventKind::Delivery { receivers, .. } => receivers.len() as u64,
+            _ => 1,
+        };
         match kind {
             EventKind::Timer { node, token, id } => {
-                let cancelled = self.cancelled_timers.remove(&id.0);
+                let live = self.live_timers.remove(&id.0);
                 // Timers of a down node are lost, not deferred: a crashed
                 // node's schedule dies with it.
-                if !cancelled && !self.down[node.index()] {
-                    self.trace
-                        .record(self.now, TraceKind::TimerFired { node, token });
+                if live && !self.down[node.index()] {
+                    if self.trace.wants(TraceLevel::Full) {
+                        self.trace
+                            .record(self.now, TraceKind::TimerFired { node, token });
+                    }
                     self.with_ctx(node, |app, ctx| app.on_timer(ctx, token));
                 }
             }
             EventKind::MacAttempt { node } => self.handle_mac_attempt(node),
             EventKind::TxEnd { node } => self.handle_tx_end(node),
-            EventKind::RxEnd { node, frame } => self.handle_rx_end(node, frame),
+            EventKind::Delivery { frame, receivers } => self.handle_delivery(&frame, &receivers),
             EventKind::FaultEdge { node } => self.handle_fault_edge(node),
         }
+    }
+
+    /// Pops and executes the next due event, if any is due at or before
+    /// `deadline`. Returns `false` when the queue is empty or the next
+    /// event lies beyond the deadline. This is the single heap-pop site
+    /// shared by [`Simulator::step`], [`Simulator::run_until`] and
+    /// [`Simulator::run_to_quiescence`].
+    fn next_event(&mut self, deadline: SimTime) -> bool {
+        match self.heap.peek() {
+            Some(Reverse(entry)) if entry.time <= deadline => {}
+            _ => return false,
+        }
+        let Some(Reverse(entry)) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(entry.time >= self.now, "event time went backwards");
+        self.now = entry.time;
+        self.execute(entry.kind);
+        true
     }
 
     /// Executes a single event. Returns `false` if the event queue is
     /// empty (the simulation is quiescent).
     pub fn step(&mut self) -> bool {
         self.ensure_started();
-        match self.heap.pop() {
-            Some(Reverse(entry)) => {
-                debug_assert!(entry.time >= self.now, "event time went backwards");
-                self.now = entry.time;
-                self.execute(entry.kind);
-                true
-            }
-            None => false,
-        }
+        self.next_event(SimTime::MAX)
     }
 
     /// Runs until virtual time `deadline` (inclusive) or quiescence,
@@ -716,17 +796,7 @@ impl<A: Application> Simulator<A> {
     /// queue drained earlier.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
-        loop {
-            match self.heap.peek() {
-                Some(Reverse(entry)) if entry.time <= deadline => {}
-                _ => break,
-            }
-            let Some(Reverse(entry)) = self.heap.pop() else {
-                break;
-            };
-            self.now = entry.time;
-            self.execute(entry.kind);
-        }
+        while self.next_event(deadline) {}
         self.now = self.now.max(deadline.min(SimTime::MAX));
     }
 
@@ -740,17 +810,7 @@ impl<A: Application> Simulator<A> {
     /// time of quiescence (or `max_time`).
     pub fn run_to_quiescence(&mut self, max_time: SimTime) -> SimTime {
         self.ensure_started();
-        loop {
-            match self.heap.peek() {
-                Some(Reverse(entry)) if entry.time <= max_time => {}
-                _ => break,
-            }
-            let Some(Reverse(entry)) = self.heap.pop() else {
-                break;
-            };
-            self.now = entry.time;
-            self.execute(entry.kind);
-        }
+        while self.next_event(max_time) {}
         self.now
     }
 }

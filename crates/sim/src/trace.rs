@@ -7,7 +7,11 @@
 //!
 //! Tracing is off by default: the buffer costs memory and a few
 //! nanoseconds per event, and the metrics counters answer most
-//! aggregate questions more cheaply.
+//! aggregate questions more cheaply. The sink is leveled
+//! ([`TraceLevel`]): `Off` records nothing, `Metrics` keeps only the
+//! sparse lifecycle events (node up/down, MAC drops), and `Full` keeps
+//! the complete per-frame record. The engine checks the level before
+//! building a [`TraceKind`], so disabled trace points cost one branch.
 //!
 //! [`SimConfig::trace_capacity`]: crate::sim::SimConfig::trace_capacity
 
@@ -84,35 +88,69 @@ pub struct TraceEntry {
     pub kind: TraceKind,
 }
 
+/// How much the trace sink consumes. The engine's hot paths check the
+/// level *before* constructing a [`TraceKind`], so below the required
+/// level a trace point costs one branch and zero allocations/copies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Record nothing (equivalent to a zero-capacity buffer).
+    Off,
+    /// Record only the sparse events that explain metric counters:
+    /// node up/down edges and MAC drops. Per-frame traffic is skipped.
+    Metrics,
+    /// Record every link-layer event (the default when a capacity is
+    /// configured).
+    #[default]
+    Full,
+}
+
 /// A bounded ring buffer of [`TraceEntry`] values; when full, the oldest
 /// entries are evicted.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     entries: VecDeque<TraceEntry>,
     capacity: usize,
+    level: TraceLevel,
     evicted: u64,
 }
 
 impl Trace {
     /// Creates a trace retaining at most `capacity` entries
-    /// (0 disables recording entirely).
+    /// (0 disables recording entirely) at [`TraceLevel::Full`].
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        Trace::with_level(capacity, TraceLevel::Full)
+    }
+
+    /// Creates a trace retaining at most `capacity` entries of events at
+    /// or below `level` ([`TraceLevel::Off`] or a zero capacity both
+    /// disable recording entirely).
+    #[must_use]
+    pub fn with_level(capacity: usize, level: TraceLevel) -> Self {
         Trace {
             entries: VecDeque::with_capacity(capacity.min(1 << 20)),
             capacity,
+            level,
             evicted: 0,
         }
     }
 
-    /// Whether recording is enabled.
+    /// Whether recording is enabled at all.
     #[must_use]
     pub fn enabled(&self) -> bool {
-        self.capacity > 0
+        self.capacity > 0 && self.level > TraceLevel::Off
+    }
+
+    /// Whether events of class `level` have a consumer attached. The
+    /// engine guards every trace point with this so [`TraceKind`] values
+    /// are never even constructed for a disabled sink.
+    #[must_use]
+    pub fn wants(&self, level: TraceLevel) -> bool {
+        self.capacity > 0 && self.level >= level
     }
 
     pub(crate) fn record(&mut self, time: SimTime, kind: TraceKind) {
-        if self.capacity == 0 {
+        if !self.enabled() {
             return;
         }
         if self.entries.len() == self.capacity {
@@ -198,6 +236,23 @@ mod tests {
         let (t, k) = entry(1, 1);
         tr.record(t, k);
         assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn levels_gate_recording() {
+        let mut tr = Trace::with_level(8, TraceLevel::Metrics);
+        assert!(tr.enabled());
+        assert!(tr.wants(TraceLevel::Metrics));
+        assert!(!tr.wants(TraceLevel::Full));
+        let (t, k) = entry(1, 1);
+        tr.record(t, k);
+        assert_eq!(tr.len(), 1);
+
+        let off = Trace::with_level(8, TraceLevel::Off);
+        assert!(!off.enabled());
+        assert!(!off.wants(TraceLevel::Metrics));
+        // Zero capacity disables even a Full-level sink.
+        assert!(!Trace::new(0).wants(TraceLevel::Metrics));
     }
 
     #[test]

@@ -35,7 +35,7 @@ impl Application for Probe {
     }
 
     fn on_overhear(&mut self, _ctx: &mut Context<'_, Vec<u8>>, frame: &Frame<Vec<u8>>) {
-        self.overheard.push((frame.src, frame.payload.clone()));
+        self.overheard.push((frame.src, (*frame.payload).clone()));
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Vec<u8>>, token: TimerToken) {

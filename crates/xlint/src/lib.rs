@@ -10,6 +10,7 @@
 //! | XL003 | protocol-exhaustiveness  | message-enum variants never matched in a handler; `*Error` variants never constructed |
 //! | XL004 | config-hygiene           | config struct fields never read outside their declaration |
 //! | XL005 | forbid-unsafe            | crate roots missing `#![forbid(unsafe_code)]`        |
+//! | XL006 | hot-path-alloc           | `.clone()` / `.to_vec()` / `format!` inside the engine's event-dispatch and frame-delivery functions |
 //!
 //! Findings carry `file:line` plus a rule ID; legitimate sites are
 //! suppressed through the TOML allowlist (`xlint.toml` at the workspace
@@ -76,6 +77,25 @@ const UNSAFE_ROOTS: [&str; 10] = [
     "src/lib.rs",
 ];
 
+/// The engine's event-dispatch / frame-delivery hot path: one entry per
+/// file, listing the function bodies XL006 scans. These run once per
+/// simulated event (or per receiver), so a single `.clone()` there
+/// multiplies into millions of allocations per experiment sweep.
+const HOT_PATHS: [(&str, &[&str]); 1] = [(
+    "crates/sim/src/sim.rs",
+    &[
+        "schedule",
+        "with_ctx",
+        "enqueue_frame",
+        "handle_mac_attempt",
+        "handle_tx_end",
+        "handle_delivery",
+        "deliver_frame",
+        "execute",
+        "next_event",
+    ],
+)];
+
 /// Where message enums are defined (exhaustiveness rule input).
 const MSG_DEF: &str = "crates/core/src/msg.rs";
 
@@ -97,6 +117,8 @@ pub enum RuleId {
     Xl004,
     /// Crate root missing `#![forbid(unsafe_code)]`.
     Xl005,
+    /// Per-event allocation in a hot-path function body.
+    Xl006,
 }
 
 impl RuleId {
@@ -108,6 +130,7 @@ impl RuleId {
             RuleId::Xl003 => "XL003",
             RuleId::Xl004 => "XL004",
             RuleId::Xl005 => "XL005",
+            RuleId::Xl006 => "XL006",
         }
     }
 }
@@ -447,6 +470,97 @@ pub fn check_forbid_unsafe(file: &ScannedFile) -> Vec<Diagnostic> {
     }
 }
 
+/// XL006: no per-event allocation inside hot-path function bodies.
+///
+/// Finds every `fn <name>` where `<name>` is in `hot_fns`, brace-matches
+/// the body, and flags `.clone()`, `.to_vec()` and `format!` tokens
+/// inside it. The path-call spelling `Arc::clone(&x)` / `Rc::clone(&x)`
+/// deliberately escapes the `.clone()` ban: it is the workspace
+/// convention for marking a refcount bump that is known to be cheap,
+/// while the method spelling hides deep copies.
+pub fn check_hot_path_alloc(file: &ScannedFile, hot_fns: &[&str]) -> Vec<Diagnostic> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let hot = toks[i].is_ident("fn")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::Ident && hot_fns.contains(&t.text.as_str()))
+            && !file.is_test_line(toks[i].line);
+        if !hot {
+            i += 1;
+            continue;
+        }
+        let fn_name = toks[i + 1].text.clone();
+        // Skip the signature (which cannot contain `{`) to the body's
+        // opening brace, then walk the balanced body.
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct("{") {
+            j += 1;
+        }
+        let mut depth = 0u32;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            } else if t.kind == TokenKind::Ident {
+                let method_call = |name: &str| {
+                    t.is_ident(name)
+                        && j > 0
+                        && toks[j - 1].is_punct(".")
+                        && toks.get(j + 1).is_some_and(|n| n.is_punct("("))
+                };
+                let (ident, message) = if method_call("clone") {
+                    (
+                        "clone",
+                        format!(
+                            "`.clone()` in hot-path fn `{fn_name}` allocates per event; \
+                             borrow instead, or spell a deliberate refcount bump \
+                             `Arc::clone(&x)`"
+                        ),
+                    )
+                } else if method_call("to_vec") {
+                    (
+                        "to_vec",
+                        format!(
+                            "`.to_vec()` in hot-path fn `{fn_name}` copies a buffer per \
+                             event; iterate by index or borrow the slice"
+                        ),
+                    )
+                } else if t.is_ident("format") && toks.get(j + 1).is_some_and(|n| n.is_punct("!")) {
+                    (
+                        "format",
+                        format!(
+                            "`format!` in hot-path fn `{fn_name}` heap-allocates a string \
+                             per event; gate it behind a trace-level check or precompute"
+                        ),
+                    )
+                } else {
+                    j += 1;
+                    continue;
+                };
+                out.push(Diagnostic {
+                    rule: RuleId::Xl006,
+                    path: file.rel.clone(),
+                    line: t.line,
+                    ident: ident.to_string(),
+                    message,
+                });
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    out
+}
+
 /// True when `corpus` contains the qualified path `enum_name::variant`
 /// outside `#[cfg(test)]` regions, optionally excluding one file.
 fn qualified_use_exists(
@@ -667,6 +781,12 @@ pub fn lint_workspace(root: &Path, allowlist: &[AllowEntry]) -> Result<LintRepor
         return Err(format!("config definitions not found at {CONFIG_DEF}"));
     }
     raw.extend(check_error_variants(&corpus));
+    for (rel, fns) in HOT_PATHS {
+        match by_rel(rel) {
+            Some(file) => raw.extend(check_hot_path_alloc(file, fns)),
+            None => return Err(format!("hot-path file not found at {rel}")),
+        }
+    }
 
     // Apply the allowlist; unused entries become XL000 findings so the
     // allowlist cannot silently rot.

@@ -50,9 +50,10 @@ fn main() -> ExitCode {
                     "usage: xlint [--format=text|json] [--root DIR] [--allowlist FILE]\n\
                      \n\
                      Lints the iCPDA workspace for determinism (XL001), panic-policy\n\
-                     (XL002), protocol-exhaustiveness (XL003), config-hygiene (XL004)\n\
-                     and forbid(unsafe_code) (XL005) violations. Allowlist: xlint.toml\n\
-                     at the workspace root. Exit codes: 0 clean, 1 findings, 2 error."
+                     (XL002), protocol-exhaustiveness (XL003), config-hygiene (XL004),\n\
+                     forbid(unsafe_code) (XL005) and hot-path allocation (XL006)\n\
+                     violations. Allowlist: xlint.toml at the workspace root.\n\
+                     Exit codes: 0 clean, 1 findings, 2 error."
                 );
                 return ExitCode::SUCCESS;
             }

@@ -6,7 +6,8 @@
 use std::path::Path;
 use xlint::{
     check_config_hygiene, check_determinism, check_error_variants, check_forbid_unsafe,
-    check_msg_exhaustiveness, check_panic_policy, Diagnostic, RuleId, ScannedFile,
+    check_hot_path_alloc, check_msg_exhaustiveness, check_panic_policy, Diagnostic, RuleId,
+    ScannedFile,
 };
 
 fn fixture(name: &str) -> ScannedFile {
@@ -132,6 +133,30 @@ fn forbid_unsafe_rule_ignores_comments_and_strings() {
     )
     .expect("parses");
     assert!(check_forbid_unsafe(&present).is_empty());
+}
+
+#[test]
+fn hot_path_alloc_rule_flags_only_hot_function_bodies() {
+    let file = fixture("bad_hotpath.rs");
+    let diags = check_hot_path_alloc(&file, &["deliver_frame", "handle_mac_attempt"]);
+    assert!(diags.iter().all(|d| d.rule == RuleId::Xl006));
+    // Three findings: to_vec + format! in deliver_frame, the method-call
+    // clone in handle_mac_attempt. The `Arc::clone(&x)` path-call
+    // spelling and the clone in the cold `rebuild_cache` are accepted.
+    assert_eq!(idents(&diags), ["clone", "format", "to_vec"]);
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(
+        diags
+            .iter()
+            .find(|d| d.ident == "clone")
+            .is_some_and(|d| d.message.contains("handle_mac_attempt")),
+        "{diags:?}"
+    );
+    let cutoff = first_test_line("bad_hotpath.rs");
+    assert!(
+        diags.iter().all(|d| d.line < cutoff),
+        "a finding leaked into the #[cfg(test)] region: {diags:?}"
+    );
 }
 
 #[test]

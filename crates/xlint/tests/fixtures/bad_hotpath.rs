@@ -1,0 +1,37 @@
+//! XL006 fixture: per-event allocation inside hot-path function bodies.
+//! `deliver_frame` and `handle_mac_attempt` are configured hot in the
+//! test; `rebuild_cache` is cold and may clone freely. The path-call
+//! spelling `Arc::clone(&x)` is accepted even on the hot path.
+
+use std::sync::Arc;
+
+pub struct Frame {
+    pub payload: Arc<Vec<u8>>,
+}
+
+pub fn deliver_frame(frame: &Frame) -> Vec<u8> {
+    let copy = frame.payload.as_slice().to_vec(); // flagged
+    let shared = Arc::clone(&frame.payload); // accepted: explicit refcount bump
+    let label = format!("frame of {} bytes", shared.len()); // flagged
+    drop(label);
+    copy
+}
+
+pub fn handle_mac_attempt(frame: &Frame) -> Arc<Vec<u8>> {
+    frame.payload.clone() // flagged: method spelling hides the cost
+}
+
+pub fn rebuild_cache(frame: &Frame) -> Vec<u8> {
+    (*frame.payload).clone() // cold function: not scanned
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hot_named_fn_in_test_region_is_exempt() {
+        fn deliver_frame(v: &[u8]) -> Vec<u8> {
+            v.to_vec()
+        }
+        assert_eq!(deliver_frame(&[1]).len(), 1);
+    }
+}
