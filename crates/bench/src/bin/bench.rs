@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! bench [--label NAME] [--quick] [--baseline PATH] [--warn-factor X]
+//!       [--obs-out DIR]
 //! ```
 //!
 //! * `--label NAME`    output file name suffix (default `local`)
@@ -13,6 +14,8 @@
 //!   but never fail the run (CI treats this as a soft gate)
 //! * `--warn-factor X` slowdown factor that triggers a warning
 //!   (default 2.0)
+//! * `--obs-out DIR`   also run one instrumented end-to-end round and
+//!   write its observability capture to DIR (see `icpda obs report`)
 
 use icpda_bench::perf::{self, PerfConfig};
 use std::path::PathBuf;
@@ -23,6 +26,7 @@ struct Args {
     quick: bool,
     baseline: Option<PathBuf>,
     warn_factor: f64,
+    obs_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
         quick: false,
         baseline: None,
         warn_factor: 2.0,
+        obs_out: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -39,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
             "--label" => args.label = value_of("--label")?,
             "--quick" => args.quick = true,
             "--baseline" => args.baseline = Some(PathBuf::from(value_of("--baseline")?)),
+            "--obs-out" => args.obs_out = Some(PathBuf::from(value_of("--obs-out")?)),
             "--warn-factor" => {
                 let raw = value_of("--warn-factor")?;
                 args.warn_factor = raw
@@ -107,5 +113,12 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("(report written to {})", out.display());
+    if let Some(dir) = &args.obs_out {
+        eprintln!("capturing instrumented e2e round to {}...", dir.display());
+        if let Err(e) = perf::capture_obs(dir) {
+            eprintln!("error: --obs-out: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }

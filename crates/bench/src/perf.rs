@@ -20,7 +20,7 @@ use crate::experiments::{icpda_round, tag_round};
 use crate::json::Json;
 use crate::{paper_deployment, Table};
 use agg::AggFunction;
-use icpda::IcpdaConfig;
+use icpda::{IcpdaConfig, IcpdaRun};
 use std::time::Instant;
 use wsn_sim::geometry::{Point, Region};
 use wsn_sim::prelude::*;
@@ -335,7 +335,54 @@ pub fn run_matrix(label: &str, config: PerfConfig) -> BenchReport {
     }
 }
 
-fn git_rev() -> String {
+/// Runs one fully instrumented end-to-end iCPDA round (N=200 with node
+/// churn, so every protocol phase — crash recovery included — emits
+/// spans) and writes the observability capture (`manifest.json`,
+/// `spans.jsonl`, `metrics.jsonl`) to `dir`.
+///
+/// # Errors
+///
+/// Returns a description when the fault plan cannot be built or the
+/// capture directory cannot be written.
+pub fn capture_obs(dir: &std::path::Path) -> Result<(), String> {
+    let n = 200;
+    let seed = 7;
+    let churn = 0.15;
+    let mut config = IcpdaConfig::paper_default(AggFunction::Count);
+    config.crash_recovery = true;
+    let horizon = config.schedule.decision_time();
+    let plan = FaultPlan::random_churn(n, churn, horizon, seed).map_err(|e| e.to_string())?;
+    let mut sim_config = SimConfig::paper_default();
+    sim_config.obs_level = ObsLevel::Full;
+    let out = IcpdaRun::new(
+        paper_deployment(n, seed),
+        config,
+        agg::readings::count_readings(n),
+        seed,
+    )
+    .with_sim_config(sim_config)
+    .with_fault_plan(plan)
+    .run();
+    let manifest = icpda_obs::export::Manifest {
+        tool: "bench capture-obs".to_string(),
+        seed,
+        threads: crate::parallel::effective_threads(),
+        git_rev: git_rev(),
+        config: vec![
+            ("nodes".to_string(), n.to_string()),
+            ("seed".to_string(), seed.to_string()),
+            ("function".to_string(), config.function.to_string()),
+            ("churn".to_string(), churn.to_string()),
+        ],
+    };
+    icpda_obs::export::write_dir(dir, &manifest, &out.obs)
+        .map_err(|e| format!("{}: {e}", dir.display()))
+}
+
+/// Short git revision of the working tree, or `"unknown"` outside a
+/// repository — recorded in bench reports and observability manifests.
+#[must_use]
+pub fn git_rev() -> String {
     std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
         .output()
@@ -373,6 +420,7 @@ impl Baseline {
     pub fn load(path: &std::path::Path) -> Result<Baseline, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
         let doc = crate::json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        icpda_obs::export::check_schema_version(&doc, &path.display().to_string())?;
         let results = doc
             .get("results")
             .and_then(Json::as_arr)
@@ -505,6 +553,10 @@ impl BenchReport {
             })
             .collect();
         Json::Obj(vec![
+            (
+                "schema_version".to_string(),
+                Json::Num(icpda_obs::export::OBS_SCHEMA_VERSION as f64),
+            ),
             ("label".to_string(), Json::Str(self.label.clone())),
             ("git_rev".to_string(), Json::Str(self.git_rev.clone())),
             ("threads".to_string(), Json::Num(self.threads as f64)),

@@ -1,0 +1,40 @@
+//! The observability capture must be reproducible infrastructure:
+//! `spans.jsonl` and `metrics.jsonl` are byte-identical regardless of
+//! the worker-thread override, because the simulation is single-threaded
+//! and spans/metrics are emitted in deterministic order. Only
+//! `manifest.json` records the thread count.
+
+use icpda_bench::json::{self, Json};
+use icpda_bench::{parallel, perf};
+use std::path::Path;
+
+fn manifest_threads(dir: &Path) -> f64 {
+    let text = std::fs::read_to_string(dir.join("manifest.json")).expect("read manifest");
+    let doc = json::parse(&text).expect("parse manifest");
+    doc.get("threads")
+        .and_then(Json::as_f64)
+        .expect("manifest has threads")
+}
+
+#[test]
+fn obs_export_is_byte_identical_across_thread_counts() {
+    let base = std::env::temp_dir().join(format!("icpda_obs_det_{}", std::process::id()));
+    let one = base.join("t1");
+    let eight = base.join("t8");
+    parallel::set_threads(1);
+    perf::capture_obs(&one).expect("capture at 1 thread");
+    parallel::set_threads(8);
+    perf::capture_obs(&eight).expect("capture at 8 threads");
+
+    for file in ["spans.jsonl", "metrics.jsonl"] {
+        let a = std::fs::read(one.join(file)).expect("read 1-thread file");
+        let b = std::fs::read(eight.join(file)).expect("read 8-thread file");
+        assert_eq!(a, b, "{file} differs between thread counts");
+        assert!(!a.is_empty(), "{file} is empty");
+    }
+    // The manifest is where the environment difference belongs.
+    assert_eq!(manifest_threads(&one), 1.0);
+    assert_eq!(manifest_threads(&eight), 8.0);
+
+    let _ = std::fs::remove_dir_all(&base);
+}

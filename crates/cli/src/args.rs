@@ -1,13 +1,16 @@
 //! A small, dependency-free flag parser: `--key value` pairs plus a
-//! leading subcommand.
+//! leading subcommand and an optional action (`icpda obs report ...`).
 
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Parsed command line: a subcommand plus `--key value` options.
+/// Parsed command line: a subcommand, an optional second positional
+/// ("action", e.g. `report` in `icpda obs report`), plus `--key value`
+/// options. Commands that take no action must reject one themselves.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     command: Option<String>,
+    action: Option<String>,
     options: BTreeMap<String, String>,
 }
 
@@ -24,12 +27,13 @@ impl fmt::Display for ParseArgsError {
 impl std::error::Error for ParseArgsError {}
 
 impl Args {
-    /// Parses `argv[1..]`: first token is the subcommand, the rest must
-    /// be `--key value` pairs.
+    /// Parses `argv[1..]`: the first token is the subcommand, a second
+    /// bare token (if any) is the action, the rest must be `--key value`
+    /// pairs.
     ///
     /// # Errors
     ///
-    /// Returns an error for a stray positional argument, a flag without
+    /// Returns an error for a third positional argument, a flag without
     /// a value, or a repeated flag.
     pub fn parse<I, S>(argv: I) -> Result<Self, ParseArgsError>
     where
@@ -53,6 +57,8 @@ impl Args {
                 }
             } else if args.command.is_none() {
                 args.command = Some(token.to_string());
+            } else if args.action.is_none() {
+                args.action = Some(token.to_string());
             } else {
                 return Err(ParseArgsError(format!("unexpected argument '{token}'")));
             }
@@ -64,6 +70,12 @@ impl Args {
     #[must_use]
     pub fn command(&self) -> Option<&str> {
         self.command.as_deref()
+    }
+
+    /// The action (second positional), if any.
+    #[must_use]
+    pub fn action(&self) -> Option<&str> {
+        self.action.as_deref()
     }
 
     /// Raw string value of a flag.
@@ -123,8 +135,16 @@ mod tests {
     }
 
     #[test]
-    fn rejects_second_positional() {
-        let err = Args::parse(["run", "again"]).unwrap_err();
+    fn second_positional_is_the_action() {
+        let args = Args::parse(["obs", "report", "--dir", "out"]).unwrap();
+        assert_eq!(args.command(), Some("obs"));
+        assert_eq!(args.action(), Some("report"));
+        assert_eq!(args.get("dir"), Some("out"));
+    }
+
+    #[test]
+    fn rejects_third_positional() {
+        let err = Args::parse(["obs", "report", "again"]).unwrap_err();
         assert!(err.0.contains("unexpected"));
     }
 

@@ -102,13 +102,18 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
             "edge-loss",
             "rounds",
             "churn",
+            "obs-out",
         ],
     )?;
     let n: usize = args.get_or("nodes", 400)?;
     let seed: u64 = args.get_or("seed", 7)?;
     let mut config = parse_config(args)?;
     config.rounds = args.get_or("rounds", 1)?;
-    let sim = parse_sim_config(args)?;
+    let mut sim = parse_sim_config(args)?;
+    let obs_out = args.get("obs-out").map(std::path::PathBuf::from);
+    if obs_out.is_some() {
+        sim.obs_level = ObsLevel::Full;
+    }
     let churn: f64 = args.get_or("churn", 0.0)?;
     let plan = if churn > 0.0 {
         // Crash times are drawn over the whole multi-round horizon so
@@ -190,6 +195,79 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
         println!("rounds        :");
         for (i, d) in out.decisions.iter().enumerate() {
             println!("  {i}: value {:.1} accepted {}", d.value, d.accepted);
+        }
+    }
+    if let Some(dir) = &obs_out {
+        let manifest = icpda_obs::export::Manifest {
+            tool: "icpda run".to_string(),
+            seed,
+            threads: icpda_bench::parallel::effective_threads(),
+            git_rev: icpda_bench::perf::git_rev(),
+            config: vec![
+                ("nodes".to_string(), n.to_string()),
+                ("seed".to_string(), seed.to_string()),
+                ("function".to_string(), config.function.to_string()),
+                (
+                    "pc".to_string(),
+                    args.get("pc").unwrap_or("0.25").to_string(),
+                ),
+                (
+                    "integrity".to_string(),
+                    args.get("integrity").unwrap_or("on").to_string(),
+                ),
+                (
+                    "loss".to_string(),
+                    args.get("loss").unwrap_or("0").to_string(),
+                ),
+                (
+                    "edge-loss".to_string(),
+                    args.get("edge-loss").unwrap_or("0").to_string(),
+                ),
+                ("rounds".to_string(), config.rounds.to_string()),
+                ("churn".to_string(), churn.to_string()),
+            ],
+        };
+        icpda_obs::export::write_dir(dir, &manifest, &out.obs)
+            .map_err(|e| ParseArgsError(format!("--obs-out {}: {e}", dir.display())))?;
+        println!(
+            "obs           : {} spans -> {}",
+            out.obs.spans().len(),
+            dir.display()
+        );
+    }
+    Ok(())
+}
+
+/// `icpda obs` — inspect captured observability output.
+pub fn obs(args: &Args) -> Result<(), ParseArgsError> {
+    match args.action() {
+        Some("report") => {}
+        Some(other) => {
+            return Err(ParseArgsError(format!(
+                "obs: unknown action '{other}' (expected 'report')"
+            )))
+        }
+        None => {
+            return Err(ParseArgsError(
+                "obs: missing action (expected 'report')".into(),
+            ))
+        }
+    }
+    check_flags(args, &["dir", "against", "warn-pct"])?;
+    let dir = args
+        .get("dir")
+        .ok_or_else(|| ParseArgsError("obs report: --dir is required".into()))?;
+    let warn_pct: f64 = args.get_or("warn-pct", 10.0)?;
+    let run = icpda_obs::report::load_dir(std::path::Path::new(dir)).map_err(ParseArgsError)?;
+    print!("{}", icpda_obs::report::render_report(&run));
+    if let Some(against) = args.get("against") {
+        let base =
+            icpda_obs::report::load_dir(std::path::Path::new(against)).map_err(ParseArgsError)?;
+        let (table, warnings) = icpda_obs::report::render_diff(&base, &run, warn_pct);
+        println!();
+        print!("{table}");
+        for warning in warnings {
+            println!("::warning::{warning}");
         }
     }
     Ok(())

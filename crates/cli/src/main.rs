@@ -3,11 +3,12 @@
 //! ```text
 //! icpda run     --nodes 400 --seed 7 --function count [--pc 0.25]
 //!               [--integrity on|off] [--loss 0.05] [--edge-loss 0.3]
-//!               [--churn 0.1]
+//!               [--churn 0.1] [--obs-out DIR]
 //! icpda sweep   --seeds 5 --function count [--threads 8]
 //! icpda attack  --nodes 400 --seed 7 --mode naive|forge|phantom
 //!               --delta 1000 [--attackers 1] [--session] [--seeds 20]
 //! icpda privacy --nodes 600 --seed 1 --px 0.05 [--adversaries 30]
+//! icpda obs report --dir DIR [--against DIR] [--warn-pct 10]
 //! ```
 
 #![forbid(unsafe_code)]
@@ -31,6 +32,8 @@ COMMANDS:
               --loss P (0)     --edge-loss E (0)   --rounds R (1)
               --churn P (0: each node crashes mid-run with prob. P;
               enables crash recovery)
+              --obs-out DIR (capture manifest.json, spans.jsonl and
+              metrics.jsonl for the run; see `icpda obs report`)
     sweep     accuracy/overhead across the paper's size sweep
               --seeds K (5)    --function ... (count)  --threads T (cores)
     attack    compromise cluster heads and watch the integrity layer
@@ -40,6 +43,9 @@ COMMANDS:
     privacy   disclosure analysis over one run's clusters
               --nodes N (600)  --seed S (1)  --px P (0.05)
               --adversaries K (30)
+    obs       inspect captured observability output
+              report --dir DIR (per-phase latency/traffic/energy tables)
+              [--against DIR (diff two runs)] [--warn-pct P (10)]
     help      this text
 ";
 
@@ -52,10 +58,16 @@ fn main() -> ExitCode {
         }
     };
     let result = match args.command() {
+        // Only `obs` takes an action token (`icpda obs report`).
+        Some(cmd) if cmd != "obs" && args.action().is_some() => Err(args::ParseArgsError(format!(
+            "unexpected argument '{}'",
+            args.action().unwrap_or_default()
+        ))),
         Some("run") => commands::run(&args),
         Some("sweep") => commands::sweep(&args),
         Some("attack") => commands::attack(&args),
         Some("privacy") => commands::privacy(&args),
+        Some("obs") => commands::obs(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())

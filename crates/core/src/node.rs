@@ -55,6 +55,39 @@ const TIMER_HEAD_CHECK: TimerToken = 18;
 const TIMER_PARENT_CHECK: TimerToken = 19;
 const TIMER_BEACON: TimerToken = 20;
 
+// Protocol-phase span names (see DESIGN §12). Spans are recorded per
+// node at `ObsLevel::Phases` and bracket the protocol's observable
+// phases; with observability off every hook is a single branch.
+const PHASE_QUERY_FLOOD: &str = "phase.query_flood";
+const PHASE_CLUSTER_FORMATION: &str = "phase.cluster_formation";
+const PHASE_SHARE_EXCHANGE: &str = "phase.share_exchange";
+const PHASE_AGGREGATION: &str = "phase.aggregation";
+const PHASE_ASCENT_VERIFY: &str = "phase.ascent_verify";
+const PHASE_CRASH_RECOVERY: &str = "phase.crash_recovery";
+
+/// Opens the protocol-phase span `name` for this node. Re-opening an
+/// already-open span is a no-op (first start wins), so repeat paths and
+/// multi-round timers need no extra state here.
+fn obs_phase_start(ctx: &mut Context<'_, IcpdaMsg>, name: &'static str) {
+    if ctx.obs().wants(ObsLevel::Phases) {
+        let snap = ctx.obs_snapshot();
+        let node = ctx.id().as_u32();
+        let now = ctx.now().as_nanos();
+        ctx.obs().span_start(name, node, now, snap);
+    }
+}
+
+/// Closes the protocol-phase span `name` for this node (no-op when the
+/// span is not open, so shared exit paths may close unconditionally).
+fn obs_phase_end(ctx: &mut Context<'_, IcpdaMsg>, name: &'static str) {
+    if ctx.obs().wants(ObsLevel::Phases) {
+        let snap = ctx.obs_snapshot();
+        let node = ctx.id().as_u32();
+        let now = ctx.now().as_nanos();
+        ctx.obs().span_end(name, node, now, snap);
+    }
+}
+
 /// A node's role after cluster formation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Role {
@@ -450,6 +483,7 @@ impl IcpdaNode {
         let my_level = level.saturating_add(1);
         self.level = Some(my_level);
         self.flood_parent = Some(from);
+        obs_phase_start(ctx, PHASE_QUERY_FLOOD);
         // Jittered rebroadcast: neighbours reacting to the same query
         // copy would otherwise all transmit within the tiny MAC jitter
         // and collide (broadcast storm).
@@ -511,6 +545,7 @@ impl IcpdaNode {
         if self.heads_heard.is_empty() {
             self.role = Role::Orphan;
             ctx.metrics().bump("icpda_orphan_no_head");
+            obs_phase_end(ctx, PHASE_CLUSTER_FORMATION);
             return;
         }
         let pick = ctx.rng().gen_range(0..self.heads_heard.len());
@@ -546,6 +581,7 @@ impl IcpdaNode {
         // Silent head: treat it like a resignation — re-join another
         // in-range head, or degrade to orphan (and later direct-report).
         ctx.metrics().bump("icpda_head_dead_detected");
+        obs_phase_start(ctx, PHASE_CRASH_RECOVERY);
         self.resigned_heads.insert(head);
         self.schedule_rejoin(ctx);
     }
@@ -715,11 +751,13 @@ impl IcpdaNode {
             // Our join was lost or the cluster was full.
             self.role = Role::Orphan;
             ctx.metrics().bump("icpda_orphan_join_lost");
+            obs_phase_end(ctx, PHASE_CLUSTER_FORMATION);
             return;
         }
         let participates = roster.len() >= self.config.min_cluster_size;
         self.my_stagger_ms = stagger_ms;
         self.roster = Some(roster);
+        obs_phase_end(ctx, PHASE_CLUSTER_FORMATION);
         if participates {
             self.schedule_share_phases(ctx, stagger_ms);
         }
@@ -1623,6 +1661,10 @@ impl IcpdaNode {
         participants: u32,
         inputs: &[InputClaim],
     ) {
+        // Any upstream report marks the start of this node's ascent/
+        // verification window (intermediate nodes absorb children before
+        // their own slot; the base station only ever receives).
+        obs_phase_start(ctx, PHASE_ASCENT_VERIFY);
         if totals_raw.len() != self.components() {
             ctx.metrics().bump("icpda_upstream_malformed");
             return;
@@ -1895,10 +1937,22 @@ impl Application for IcpdaNode {
 
     fn on_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>, token: TimerToken) {
         match token {
-            TIMER_ELECT => self.handle_elect(ctx),
+            TIMER_ELECT => {
+                // Election marks the flood settling into formation.
+                obs_phase_end(ctx, PHASE_QUERY_FLOOD);
+                obs_phase_start(ctx, PHASE_CLUSTER_FORMATION);
+                self.handle_elect(ctx);
+            }
             TIMER_JOIN => self.handle_join_timer(ctx),
-            TIMER_ROSTER => self.handle_roster_timer(ctx),
-            TIMER_SHARES => self.handle_shares_timer(ctx),
+            TIMER_ROSTER => {
+                // Broadcasting the roster fixes the head's cluster.
+                self.handle_roster_timer(ctx);
+                obs_phase_end(ctx, PHASE_CLUSTER_FORMATION);
+            }
+            TIMER_SHARES => {
+                obs_phase_start(ctx, PHASE_SHARE_EXCHANGE);
+                self.handle_shares_timer(ctx);
+            }
             TIMER_SHARE_DRAIN => self.drain_one_share(ctx),
             TIMER_REPAIR | TIMER_REPAIR2 => self.handle_repair_timer(ctx),
             TIMER_FLOOD_RELAY => {
@@ -1906,21 +1960,45 @@ impl Application for IcpdaNode {
                     ctx.broadcast_shared(&msg);
                 }
             }
-            TIMER_FSUM => self.handle_fsum_timer(ctx),
+            TIMER_FSUM => {
+                obs_phase_end(ctx, PHASE_SHARE_EXCHANGE);
+                obs_phase_start(ctx, PHASE_AGGREGATION);
+                self.handle_fsum_timer(ctx);
+            }
             TIMER_FSUM_REPAIR => self.handle_fsum_repair_timer(ctx),
             TIMER_ROSTER_REPEAT => self.handle_roster_repeat(ctx),
             TIMER_RESIGN => self.handle_resign_timer(ctx),
-            TIMER_REJOIN => self.handle_rejoin_timer(ctx),
-            TIMER_SOLVE => self.handle_solve_timer(ctx),
-            TIMER_UPSTREAM => self.handle_upstream_timer(ctx),
+            TIMER_REJOIN => {
+                self.handle_rejoin_timer(ctx);
+                // A resigned head's formation (still open) and a
+                // crash-recovery episode both resolve here; either close
+                // is a no-op when that span is not open.
+                obs_phase_end(ctx, PHASE_CLUSTER_FORMATION);
+                obs_phase_end(ctx, PHASE_CRASH_RECOVERY);
+            }
+            TIMER_SOLVE => {
+                obs_phase_start(ctx, PHASE_AGGREGATION);
+                self.handle_solve_timer(ctx);
+                obs_phase_end(ctx, PHASE_AGGREGATION);
+            }
+            TIMER_UPSTREAM => {
+                obs_phase_start(ctx, PHASE_ASCENT_VERIFY);
+                self.handle_upstream_timer(ctx);
+            }
             TIMER_UPSTREAM_REPEAT => {
                 if let (Some(msg), Some(parent)) =
                     (self.pending_upstream.as_ref(), self.flood_parent)
                 {
                     ctx.send_shared(parent, msg);
                 }
+                obs_phase_end(ctx, PHASE_ASCENT_VERIFY);
             }
-            TIMER_DECISION => self.handle_decision_timer(ctx),
+            TIMER_DECISION => {
+                // The base station's verification window closes with the
+                // round's verdict.
+                self.handle_decision_timer(ctx);
+                obs_phase_end(ctx, PHASE_ASCENT_VERIFY);
+            }
             TIMER_HEAD_CHECK => self.handle_head_check(ctx),
             TIMER_PARENT_CHECK => self.handle_parent_check(ctx),
             TIMER_BEACON => self.handle_beacon_timer(ctx),

@@ -219,6 +219,19 @@ impl IcpdaRun {
             + SimDuration::from_secs(1);
         sim.run_until(deadline);
 
+        // Detach the observability registry: close still-open spans at
+        // the virtual end time and fold the protocol counters (and the
+        // run-level liveness gauge) in, so one registry describes the
+        // whole run. With observability off this is two branches.
+        let mut obs = sim.take_obs();
+        if obs.enabled() {
+            obs.finish(sim.now().as_nanos());
+            for (name, value) in sim.metrics().user_counters() {
+                obs.add(name, value);
+            }
+            obs.gauge_set("sim.min_alive", sim.metrics().min_alive() as i64);
+        }
+
         let decisions = sim.app(NodeId::new(0)).decisions().to_vec();
         let decision = decisions.last().cloned().expect(
             "invariant: the base station's decision timer fires before the session deadline",
@@ -285,6 +298,7 @@ impl IcpdaRun {
             last_update: sim.app(NodeId::new(0)).last_update(),
             finished_at: sim.now(),
             user_counters: metrics.user_counters().collect(),
+            obs,
         }
     }
 }
@@ -346,6 +360,10 @@ pub struct IcpdaOutcome {
     pub finished_at: wsn_sim::SimTime,
     /// All protocol counters, for ad-hoc inspection.
     pub user_counters: Vec<(&'static str, u64)>,
+    /// The run's observability registry (spans, counters, gauges,
+    /// histograms). Empty unless `SimConfig::obs_level` was raised; see
+    /// [`icpda_obs`](wsn_sim::Obs) and DESIGN §12.
+    pub obs: Obs,
 }
 
 impl IcpdaOutcome {

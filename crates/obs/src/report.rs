@@ -1,0 +1,488 @@
+//! Reads an obs directory back and renders human reports: a per-phase
+//! table (latency, messages, energy, coverage) and a two-run diff with
+//! `::warning::`-style deltas (same soft-gate idiom as the bench
+//! harness).
+
+use crate::export::Manifest;
+use crate::json::{self, Json};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One span line read back from `spans.jsonl`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRow {
+    /// Span name, e.g. `phase.share_exchange`.
+    pub name: String,
+    /// Owning node.
+    pub node: u32,
+    /// Start, sim-time nanoseconds.
+    pub start_ns: u64,
+    /// End, sim-time nanoseconds.
+    pub end_ns: u64,
+    /// Frames handled during the span.
+    pub messages: u64,
+    /// Bytes moved during the span.
+    pub bytes: u64,
+    /// Energy spent during the span, nanojoules.
+    pub energy_nj: u64,
+}
+
+/// One metric line read back from `metrics.jsonl`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricRow {
+    /// A monotonic counter.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Final value.
+        value: u64,
+    },
+    /// A last-write-wins gauge.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Final value.
+        value: i64,
+    },
+    /// A fixed-bucket histogram.
+    Histogram {
+        /// Metric name.
+        name: String,
+        /// Bucket upper bounds.
+        bounds: Vec<u64>,
+        /// Per-bucket counts (one longer than `bounds`).
+        counts: Vec<u64>,
+        /// Observation count.
+        total: u64,
+        /// Sum of observed values.
+        sum: u64,
+    },
+}
+
+/// A fully loaded obs directory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObsRun {
+    /// The run manifest.
+    pub manifest: Manifest,
+    /// All spans, in file order.
+    pub spans: Vec<SpanRow>,
+    /// All metrics, in file order.
+    pub metrics: Vec<MetricRow>,
+}
+
+/// Loads and validates an obs directory.
+///
+/// # Errors
+///
+/// Describes the offending file and line on malformed or
+/// version-incompatible input; never panics.
+pub fn load_dir(dir: &Path) -> Result<ObsRun, String> {
+    let read = |name: &str| {
+        let path = dir.join(name);
+        std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let manifest_doc = json::parse(&read("manifest.json")?)
+        .map_err(|e| format!("{}: {e}", dir.join("manifest.json").display()))?;
+    let manifest = Manifest::from_json(&manifest_doc)?;
+    let spans = parse_lines(&read("spans.jsonl")?, "spans.jsonl", parse_span)?;
+    let metrics = parse_lines(&read("metrics.jsonl")?, "metrics.jsonl", parse_metric)?;
+    Ok(ObsRun {
+        manifest,
+        spans,
+        metrics,
+    })
+}
+
+fn parse_lines<T>(
+    text: &str,
+    what: &str,
+    parse_one: impl Fn(&Json) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = json::parse(line).map_err(|e| format!("{what} line {}: {e}", i + 1))?;
+        out.push(parse_one(&doc).map_err(|e| format!("{what} line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .map(|v| v as u64)
+        .ok_or_else(|| format!("missing numeric field `{key}`"))
+}
+
+fn field_str(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field `{key}`"))
+}
+
+fn parse_span(doc: &Json) -> Result<SpanRow, String> {
+    Ok(SpanRow {
+        name: field_str(doc, "name")?,
+        node: field_u64(doc, "node")? as u32,
+        start_ns: field_u64(doc, "start_ns")?,
+        end_ns: field_u64(doc, "end_ns")?,
+        messages: field_u64(doc, "messages")?,
+        bytes: field_u64(doc, "bytes")?,
+        energy_nj: field_u64(doc, "energy_nj")?,
+    })
+}
+
+fn parse_metric(doc: &Json) -> Result<MetricRow, String> {
+    let arr_u64 = |key: &str| -> Result<Vec<u64>, String> {
+        doc.get(key)
+            .and_then(Json::as_arr)
+            .map(|a| {
+                a.iter()
+                    .filter_map(Json::as_f64)
+                    .map(|v| v as u64)
+                    .collect()
+            })
+            .ok_or_else(|| format!("missing array field `{key}`"))
+    };
+    match field_str(doc, "kind")?.as_str() {
+        "counter" => Ok(MetricRow::Counter {
+            name: field_str(doc, "name")?,
+            value: field_u64(doc, "value")?,
+        }),
+        "gauge" => Ok(MetricRow::Gauge {
+            name: field_str(doc, "name")?,
+            value: doc
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or("missing numeric field `value`")? as i64,
+        }),
+        "histogram" => Ok(MetricRow::Histogram {
+            name: field_str(doc, "name")?,
+            bounds: arr_u64("bounds")?,
+            counts: arr_u64("counts")?,
+            total: field_u64(doc, "total")?,
+            sum: field_u64(doc, "sum")?,
+        }),
+        other => Err(format!("unknown metric kind `{other}`")),
+    }
+}
+
+/// Aggregate statistics for one span name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Number of spans.
+    pub spans: u64,
+    /// Distinct nodes covered.
+    pub nodes: u64,
+    /// Mean span duration, milliseconds of sim time.
+    pub mean_ms: f64,
+    /// Max span duration, milliseconds of sim time.
+    pub max_ms: f64,
+    /// Total frames handled inside the spans.
+    pub messages: u64,
+    /// Total bytes moved inside the spans.
+    pub bytes: u64,
+    /// Total energy inside the spans, millijoules.
+    pub energy_mj: f64,
+}
+
+/// Groups a run's spans by name.
+#[must_use]
+pub fn phase_stats(run: &ObsRun) -> BTreeMap<String, PhaseStats> {
+    let mut nodes: BTreeMap<&str, BTreeSet<u32>> = BTreeMap::new();
+    let mut sums: BTreeMap<&str, (u64, f64, f64, u64, u64, u64)> = BTreeMap::new();
+    for s in &run.spans {
+        nodes.entry(&s.name).or_default().insert(s.node);
+        let e = sums.entry(&s.name).or_default();
+        let dur_ms = s.end_ns.saturating_sub(s.start_ns) as f64 / 1e6;
+        e.0 += 1;
+        e.1 += dur_ms;
+        e.2 = e.2.max(dur_ms);
+        e.3 += s.messages;
+        e.4 += s.bytes;
+        e.5 += s.energy_nj;
+    }
+    sums.into_iter()
+        .map(
+            |(name, (n, dur_sum, dur_max, messages, bytes, energy_nj))| {
+                (
+                    name.to_string(),
+                    PhaseStats {
+                        spans: n,
+                        nodes: nodes.get(name).map_or(0, |s| s.len() as u64),
+                        mean_ms: if n > 0 { dur_sum / n as f64 } else { 0.0 },
+                        max_ms: dur_max,
+                        messages,
+                        bytes,
+                        energy_mj: energy_nj as f64 / 1e6,
+                    },
+                )
+            },
+        )
+        .collect()
+}
+
+fn total_nodes(run: &ObsRun) -> Option<u64> {
+    run.manifest
+        .config
+        .iter()
+        .find(|(k, _)| k == "nodes")
+        .and_then(|(_, v)| v.parse::<u64>().ok())
+}
+
+/// Renders the per-phase report for one run.
+#[must_use]
+pub fn render_report(run: &ObsRun) -> String {
+    let mut out = String::new();
+    let m = &run.manifest;
+    let _ = writeln!(
+        out,
+        "obs report — tool `{}`, seed {}, threads {}, rev {}",
+        m.tool, m.seed, m.threads, m.git_rev
+    );
+    let config: Vec<String> = m.config.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    let _ = writeln!(out, "config: {}", config.join(" "));
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<26} {:>6} {:>9} {:>10} {:>10} {:>9} {:>11} {:>11}",
+        "span", "count", "nodes", "mean ms", "max ms", "msgs", "bytes", "energy mJ"
+    );
+    let total = total_nodes(run);
+    for (name, st) in phase_stats(run) {
+        let nodes = match total {
+            // Coverage only makes sense for protocol phases, which at
+            // most cover every deployed node once.
+            Some(t) if t > 0 && st.nodes <= t => {
+                format!("{}/{t}", st.nodes)
+            }
+            _ => format!("{}", st.nodes),
+        };
+        let _ = writeln!(
+            out,
+            "{:<26} {:>6} {:>9} {:>10.2} {:>10.2} {:>9} {:>11} {:>11.3}",
+            name, st.spans, nodes, st.mean_ms, st.max_ms, st.messages, st.bytes, st.energy_mj
+        );
+    }
+    let counters: Vec<(&String, &u64)> = run
+        .metrics
+        .iter()
+        .filter_map(|m| match m {
+            MetricRow::Counter { name, value } => Some((name, value)),
+            _ => None,
+        })
+        .collect();
+    if !counters.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{:<40} {:>12}", "counter", "value");
+        for (name, value) in counters {
+            let _ = writeln!(out, "{name:<40} {value:>12}");
+        }
+    }
+    for m in &run.metrics {
+        if let MetricRow::Gauge { name, value } = m {
+            let _ = writeln!(out, "{name:<40} {value:>12}  (gauge)");
+        }
+    }
+    for m in &run.metrics {
+        if let MetricRow::Histogram {
+            name, total, sum, ..
+        } = m
+        {
+            let mean = if *total > 0 {
+                *sum as f64 / *total as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(out, "{name:<40} {total:>12}  (histogram, mean {mean:.2})");
+        }
+    }
+    out
+}
+
+fn pct(before: f64, after: f64) -> Option<f64> {
+    if before == 0.0 {
+        if after == 0.0 {
+            Some(0.0)
+        } else {
+            None // born from zero: no meaningful percentage
+        }
+    } else {
+        Some((after - before) / before * 100.0)
+    }
+}
+
+/// Diffs two runs phase-by-phase. Returns the rendered diff table and a
+/// list of `::warning::`-ready strings for deltas whose magnitude
+/// exceeds `warn_pct` percent.
+#[must_use]
+pub fn render_diff(a: &ObsRun, b: &ObsRun, warn_pct: f64) -> (String, Vec<String>) {
+    let mut out = String::new();
+    let mut warnings = Vec::new();
+    let sa = phase_stats(a);
+    let sb = phase_stats(b);
+    let _ = writeln!(
+        out,
+        "obs diff — A: seed {} rev {}  |  B: seed {} rev {}",
+        a.manifest.seed, a.manifest.git_rev, b.manifest.seed, b.manifest.git_rev
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<26} {:>22} {:>22} {:>22}",
+        "span", "mean ms (A→B)", "msgs (A→B)", "energy mJ (A→B)"
+    );
+    let names: BTreeSet<&String> = sa.keys().chain(sb.keys()).collect();
+    let default = PhaseStats::default();
+    for name in names {
+        let (pa, pb) = (
+            sa.get(name).unwrap_or(&default),
+            sb.get(name).unwrap_or(&default),
+        );
+        let cell = |before: f64, after: f64, decimals: usize| match pct(before, after) {
+            Some(p) => format!("{before:.decimals$}→{after:.decimals$} ({p:+.1}%)"),
+            None => format!("{before:.decimals$}→{after:.decimals$} (new)"),
+        };
+        let _ = writeln!(
+            out,
+            "{:<26} {:>22} {:>22} {:>22}",
+            name,
+            cell(pa.mean_ms, pb.mean_ms, 2),
+            cell(pa.messages as f64, pb.messages as f64, 0),
+            cell(pa.energy_mj, pb.energy_mj, 3),
+        );
+        let checks = [
+            ("mean span ms", pa.mean_ms, pb.mean_ms),
+            ("messages", pa.messages as f64, pb.messages as f64),
+            ("bytes", pa.bytes as f64, pb.bytes as f64),
+            ("energy", pa.energy_mj, pb.energy_mj),
+            ("node coverage", pa.nodes as f64, pb.nodes as f64),
+        ];
+        for (what, before, after) in checks {
+            let exceeded = match pct(before, after) {
+                Some(p) => p.abs() > warn_pct,
+                None => true, // appeared out of nothing: always notable
+            };
+            if exceeded {
+                warnings.push(format!(
+                    "obs diff: {name} {what} changed {before:.2} -> {after:.2} \
+                     (threshold {warn_pct}%)"
+                ));
+            }
+        }
+    }
+    (out, warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::{write_dir, Manifest};
+    use crate::{Obs, ObsLevel, SpanSnapshot};
+
+    fn run_with(messages: u64) -> ObsRun {
+        ObsRun {
+            manifest: Manifest {
+                tool: "test".into(),
+                seed: 1,
+                threads: 1,
+                git_rev: "deadbee".into(),
+                config: vec![("nodes".into(), "4".into())],
+            },
+            spans: vec![
+                SpanRow {
+                    name: "phase.aggregation".into(),
+                    node: 1,
+                    start_ns: 0,
+                    end_ns: 2_000_000,
+                    messages,
+                    bytes: 100,
+                    energy_nj: 1_000_000,
+                },
+                SpanRow {
+                    name: "phase.aggregation".into(),
+                    node: 2,
+                    start_ns: 0,
+                    end_ns: 4_000_000,
+                    messages: 2,
+                    bytes: 60,
+                    energy_nj: 500_000,
+                },
+            ],
+            metrics: vec![MetricRow::Counter {
+                name: "icpda_solved".into(),
+                value: 2,
+            }],
+        }
+    }
+
+    #[test]
+    fn phase_stats_aggregate_per_name() {
+        let stats = phase_stats(&run_with(4));
+        let st = stats.get("phase.aggregation").expect("phase present");
+        assert_eq!(st.spans, 2);
+        assert_eq!(st.nodes, 2);
+        assert_eq!(st.messages, 6);
+        assert!((st.mean_ms - 3.0).abs() < 1e-9);
+        assert!((st.max_ms - 4.0).abs() < 1e-9);
+        assert!((st.energy_mj - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_renders_coverage_and_counters() {
+        let text = render_report(&run_with(4));
+        assert!(text.contains("phase.aggregation"), "{text}");
+        assert!(text.contains("2/4"), "coverage cell missing:\n{text}");
+        assert!(text.contains("icpda_solved"), "{text}");
+    }
+
+    #[test]
+    fn diff_warns_beyond_threshold_only() {
+        let (text, warnings) = render_diff(&run_with(4), &run_with(4), 10.0);
+        assert!(text.contains("+0.0%"), "{text}");
+        assert!(warnings.is_empty(), "{warnings:?}");
+        let (_, warnings) = render_diff(&run_with(4), &run_with(40), 10.0);
+        assert!(
+            warnings.iter().any(|w| w.contains("messages")),
+            "{warnings:?}"
+        );
+    }
+
+    #[test]
+    fn export_then_load_round_trips() {
+        let mut obs = Obs::new(ObsLevel::Full);
+        obs.span_start("phase.query_flood", 1, 0, SpanSnapshot::default());
+        obs.span_end(
+            "phase.query_flood",
+            1,
+            1_000,
+            SpanSnapshot {
+                messages: 1,
+                bytes: 10,
+                energy_nj: 100,
+            },
+        );
+        obs.inc("c");
+        obs.gauge_set("g", -4);
+        obs.observe("h", &[2, 8], 3);
+        let manifest = Manifest {
+            tool: "test".into(),
+            seed: 7,
+            threads: 2,
+            git_rev: "unknown".into(),
+            config: vec![("nodes".into(), "10".into())],
+        };
+        let dir = std::env::temp_dir().join(format!("obs-rt-{}", std::process::id()));
+        write_dir(&dir, &manifest, &obs).expect("write obs dir");
+        let run = load_dir(&dir).expect("load obs dir");
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(run.manifest, manifest);
+        assert_eq!(run.spans.len(), 1);
+        assert_eq!(run.spans[0].name, "phase.query_flood");
+        assert_eq!(run.metrics.len(), 3);
+    }
+}

@@ -11,6 +11,7 @@ use crate::frame::{Destination, Frame, WireSize};
 use crate::ids::NodeId;
 use crate::metrics::Metrics;
 use crate::time::{SimDuration, SimTime};
+use icpda_obs::{Obs, SpanSnapshot};
 use rand_chacha::ChaCha8Rng;
 use std::fmt;
 use std::sync::Arc;
@@ -128,6 +129,7 @@ pub struct Context<'a, M> {
     pub(crate) neighbors: &'a [NodeId],
     pub(crate) rng: &'a mut ChaCha8Rng,
     pub(crate) metrics: &'a mut Metrics,
+    pub(crate) obs: &'a mut Obs,
     pub(crate) commands: &'a mut Vec<Command<M>>,
     pub(crate) next_timer_id: &'a mut u64,
 }
@@ -161,6 +163,26 @@ impl<'a, M: WireSize> Context<'a, M> {
     /// Protocol-level named counters (see [`Metrics::bump`]).
     pub fn metrics(&mut self) -> &mut Metrics {
         self.metrics
+    }
+
+    /// The run's observability registry (see [`icpda_obs::Obs`];
+    /// disabled unless `SimConfig::obs_level` is raised). Guard
+    /// recording with [`Obs::wants`] before computing arguments.
+    pub fn obs(&mut self) -> &mut Obs {
+        self.obs
+    }
+
+    /// A point-in-time [`SpanSnapshot`] of this node's traffic/energy
+    /// accounting, for span start/end bookkeeping. Call only under an
+    /// [`Obs::wants`] guard.
+    #[must_use]
+    pub fn obs_snapshot(&self) -> SpanSnapshot {
+        let nm = self.metrics.node(self.node);
+        SpanSnapshot {
+            messages: nm.frames_sent + nm.frames_received + nm.frames_overheard,
+            bytes: nm.bytes_sent + nm.bytes_received,
+            energy_nj: nm.energy_total_nj() as u64,
+        }
     }
 
     /// Queues a unicast to `to`. Neighbors other than `to` will overhear
@@ -233,6 +255,7 @@ mod tests {
         cmds: &'a mut Vec<Command<M>>,
         rng: &'a mut ChaCha8Rng,
         metrics: &'a mut Metrics,
+        obs: &'a mut Obs,
         next_id: &'a mut u64,
     ) -> Context<'a, M> {
         Context {
@@ -241,6 +264,7 @@ mod tests {
             neighbors: &[],
             rng,
             metrics,
+            obs,
             commands: cmds,
             next_timer_id: next_id,
         }
@@ -251,8 +275,9 @@ mod tests {
         let mut cmds = Vec::new();
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let mut metrics = Metrics::new(4);
+        let mut obs = Obs::off();
         let mut next_id = 0;
-        let mut ctx = harness::<Vec<u8>>(&mut cmds, &mut rng, &mut metrics, &mut next_id);
+        let mut ctx = harness::<Vec<u8>>(&mut cmds, &mut rng, &mut metrics, &mut obs, &mut next_id);
         ctx.send(NodeId::new(1), vec![0; 9]);
         ctx.broadcast(vec![0; 3]);
         match &cmds[0] {
@@ -280,10 +305,11 @@ mod tests {
         let mut cmds = Vec::new();
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let mut metrics = Metrics::new(4);
+        let mut obs = Obs::off();
         let mut next_id = 0;
         let shared = SharedPayload::new(vec![0u8; 13]);
         assert_eq!(shared.size_bytes(), 13);
-        let mut ctx = harness::<Vec<u8>>(&mut cmds, &mut rng, &mut metrics, &mut next_id);
+        let mut ctx = harness::<Vec<u8>>(&mut cmds, &mut rng, &mut metrics, &mut obs, &mut next_id);
         ctx.send_shared(NodeId::new(1), &shared);
         ctx.broadcast_shared(&shared);
         for cmd in &cmds {
@@ -307,8 +333,9 @@ mod tests {
         let mut cmds = Vec::new();
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let mut metrics = Metrics::new(4);
+        let mut obs = Obs::off();
         let mut next_id = 0;
-        let mut ctx = harness::<()>(&mut cmds, &mut rng, &mut metrics, &mut next_id);
+        let mut ctx = harness::<()>(&mut cmds, &mut rng, &mut metrics, &mut obs, &mut next_id);
         let a = ctx.set_timer(SimDuration::from_millis(10), 7);
         let b = ctx.set_timer(SimDuration::from_millis(20), 8);
         assert_ne!(a, b);

@@ -54,6 +54,10 @@ pub use time::{SimDuration, SimTime};
 pub use topology::Deployment;
 pub use trace::{Trace, TraceEntry, TraceKind};
 
+// Observability types used in the `Context`/`SimConfig` API surface, so
+// protocols need no direct `icpda-obs` dependency for instrumentation.
+pub use icpda_obs::{Obs, ObsLevel, Span, SpanSnapshot};
+
 /// Convenient glob-import of the common simulator types.
 pub mod prelude {
     pub use crate::app::{Application, Context, SharedPayload, TimerId, TimerToken};
@@ -67,4 +71,5 @@ pub mod prelude {
     pub use crate::sim::{SimConfig, Simulator};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::Deployment;
+    pub use icpda_obs::{Obs, ObsLevel, Span, SpanSnapshot};
 }

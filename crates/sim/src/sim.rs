@@ -29,6 +29,7 @@ use crate::radio::{LossModel, RadioConfig};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Deployment;
 use crate::trace::{Trace, TraceKind, TraceLevel};
+use icpda_obs::{Obs, ObsLevel, SpanSnapshot};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::cmp::Reverse;
@@ -51,6 +52,10 @@ pub struct SimConfig {
     /// Which event classes the trace retains (see [`TraceLevel`]).
     /// Irrelevant while `trace_capacity` is 0.
     pub trace_level: TraceLevel,
+    /// How much the run's observability registry records (see
+    /// [`ObsLevel`]; `Off` by default — one branch per instrumentation
+    /// point, no allocation, byte-identical engine behavior).
+    pub obs_level: ObsLevel,
 }
 
 impl SimConfig {
@@ -219,6 +224,7 @@ pub struct Simulator<A: Application> {
     mac: Vec<MacState<A::Message>>,
     metrics: Metrics,
     trace: Trace,
+    obs: Obs,
     events_processed: u64,
     started: bool,
     fault_plan: FaultPlan,
@@ -245,6 +251,7 @@ impl<A: Application> Simulator<A> {
         Simulator {
             metrics: Metrics::new(n),
             trace: Trace::with_level(config.trace_capacity, config.trace_level),
+            obs: Obs::new(config.obs_level),
             deployment,
             config,
             now: SimTime::ZERO,
@@ -357,6 +364,24 @@ impl<A: Application> Simulator<A> {
         &self.trace
     }
 
+    /// The observability registry (disabled unless
+    /// [`SimConfig::obs_level`] is raised).
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mutable access to the observability registry, e.g. to merge
+    /// run-level counters before export.
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
+    }
+
+    /// Takes the registry out for export, leaving a disabled one behind.
+    pub fn take_obs(&mut self) -> Obs {
+        std::mem::take(&mut self.obs)
+    }
+
     fn schedule(&mut self, time: SimTime, kind: EventKind<A::Message>) {
         debug_assert!(time >= self.now, "scheduling into the past");
         let seq = self.event_seq;
@@ -390,6 +415,10 @@ impl<A: Application> Simulator<A> {
                         self.trace
                             .record(SimTime::ZERO, TraceKind::NodeDown { node });
                     }
+                    if self.obs.wants(ObsLevel::Full) {
+                        let snap = obs_snap(&self.metrics, node);
+                        self.obs.span_start("engine.outage", node.as_u32(), 0, snap);
+                    }
                 }
             }
         }
@@ -411,6 +440,16 @@ impl<A: Application> Simulator<A> {
             return;
         }
         self.down[i] = now_down;
+        if self.obs.wants(ObsLevel::Full) {
+            self.obs.inc("engine.fault_edges");
+            let snap = obs_snap(&self.metrics, node);
+            let t = self.now.as_nanos();
+            if now_down {
+                self.obs.span_start("engine.outage", node.as_u32(), t, snap);
+            } else {
+                self.obs.span_end("engine.outage", node.as_u32(), t, snap);
+            }
+        }
         if now_down {
             self.metrics.note_down();
             if self.trace.wants(TraceLevel::Metrics) {
@@ -444,6 +483,7 @@ impl<A: Application> Simulator<A> {
                 neighbors: self.deployment.neighbors(node),
                 rng: &mut self.rngs[node.index()],
                 metrics: &mut self.metrics,
+                obs: &mut self.obs,
                 commands: &mut commands,
                 next_timer_id: &mut self.next_timer_id,
             };
@@ -457,10 +497,16 @@ impl<A: Application> Simulator<A> {
                     size_bytes,
                 } => self.enqueue_frame(node, dest, payload, size_bytes),
                 Command::SetTimer { at, token, id } => {
+                    if self.obs.wants(ObsLevel::Full) {
+                        self.obs.inc("engine.timers_set");
+                    }
                     self.live_timers.insert(id.0);
                     self.schedule(at.max(self.now), EventKind::Timer { node, token, id });
                 }
                 Command::CancelTimer { id } => {
+                    if self.obs.wants(ObsLevel::Full) {
+                        self.obs.inc("engine.timers_cancelled");
+                    }
                     self.live_timers.remove(&id.0);
                 }
             }
@@ -519,12 +565,18 @@ impl<A: Application> Simulator<A> {
                 if self.trace.wants(TraceLevel::Metrics) {
                     self.trace.record(now, TraceKind::MacDrop { node });
                 }
+                if self.obs.wants(ObsLevel::Full) {
+                    self.obs.inc("engine.mac_drops");
+                }
                 if self.mac[node.index()].queue.is_empty() {
                     self.mac[node.index()].active = false;
                 } else {
                     self.schedule(now, EventKind::MacAttempt { node });
                 }
                 return;
+            }
+            if self.obs.wants(ObsLevel::Full) {
+                self.obs.inc("engine.mac_defers");
             }
             let window = mac_cfg.backoff_window(st.attempts);
             let slots = self.rngs[node.index()].gen_range(0..window);
@@ -637,6 +689,16 @@ impl<A: Application> Simulator<A> {
     fn handle_delivery(&mut self, frame: &Frame<A::Message>, receivers: &[NodeId]) {
         let on_air = self.config.radio.on_air_bytes(frame.size_bytes) as u64;
         let rx_energy = on_air as f64 * self.config.energy.rx_nj_per_byte;
+        if self.obs.wants(ObsLevel::Full) {
+            self.obs.inc("engine.delivery_batches");
+            self.obs
+                .add("engine.delivery_receivers", receivers.len() as u64);
+            self.obs.observe(
+                "engine.batch_receivers",
+                BATCH_RECEIVER_BUCKETS,
+                receivers.len() as u64,
+            );
+        }
         for &r in receivers {
             self.deliver_frame(r, frame, on_air, rx_energy);
         }
@@ -755,7 +817,12 @@ impl<A: Application> Simulator<A> {
                         self.trace
                             .record(self.now, TraceKind::TimerFired { node, token });
                     }
+                    if self.obs.wants(ObsLevel::Full) {
+                        self.obs.inc("engine.timers_fired");
+                    }
                     self.with_ctx(node, |app, ctx| app.on_timer(ctx, token));
+                } else if self.obs.wants(ObsLevel::Full) {
+                    self.obs.inc("engine.timers_stale");
                 }
             }
             EventKind::MacAttempt { node } => self.handle_mac_attempt(node),
@@ -812,6 +879,21 @@ impl<A: Application> Simulator<A> {
         self.ensure_started();
         while self.next_event(max_time) {}
         self.now
+    }
+}
+
+/// Bucket bounds for the delivery fan-out histogram: receivers admitted
+/// per batched `Delivery` event.
+const BATCH_RECEIVER_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Accounting snapshot of `node` for engine spans. Call only under an
+/// [`Obs::wants`] guard so disabled runs never evaluate it.
+fn obs_snap(metrics: &Metrics, node: NodeId) -> SpanSnapshot {
+    let nm = metrics.node(node);
+    SpanSnapshot {
+        messages: nm.frames_sent + nm.frames_received + nm.frames_overheard,
+        bytes: nm.bytes_sent + nm.bytes_received,
+        energy_nj: nm.energy_total_nj() as u64,
     }
 }
 

@@ -125,10 +125,21 @@ impl Trace {
     /// Creates a trace retaining at most `capacity` entries of events at
     /// or below `level` ([`TraceLevel::Off`] or a zero capacity both
     /// disable recording entirely).
+    ///
+    /// Invariant: a disabled sink owns no buffer. The level is fixed at
+    /// construction, so `capacity > 0` with `TraceLevel::Off` can never
+    /// record anything — reserving the ring up front would spend memory
+    /// that `enabled() == false` promises is not spent. Construction
+    /// therefore allocates exactly when `enabled()` holds.
     #[must_use]
     pub fn with_level(capacity: usize, level: TraceLevel) -> Self {
+        let reserve = if capacity > 0 && level > TraceLevel::Off {
+            capacity.min(1 << 20)
+        } else {
+            0
+        };
         Trace {
-            entries: VecDeque::with_capacity(capacity.min(1 << 20)),
+            entries: VecDeque::with_capacity(reserve),
             capacity,
             level,
             evicted: 0,
@@ -256,6 +267,27 @@ mod tests {
     }
 
     #[test]
+    fn disabled_construction_reserves_no_buffer() {
+        // `capacity > 0` with `Off` is disabled, so it must not reserve
+        // the ring either (see the `with_level` invariant).
+        assert_eq!(
+            Trace::with_level(1 << 10, TraceLevel::Off)
+                .entries
+                .capacity(),
+            0
+        );
+        assert_eq!(Trace::new(0).entries.capacity(), 0);
+        // Enabled sinks still reserve up front, capped at 2^20.
+        assert!(Trace::new(16).entries.capacity() >= 16);
+        assert!(
+            Trace::with_level(usize::MAX, TraceLevel::Metrics)
+                .entries
+                .capacity()
+                <= 1 << 21
+        );
+    }
+
+    #[test]
     fn ring_buffer_evicts_oldest() {
         let mut tr = Trace::new(2);
         for i in 0..5u64 {
@@ -321,6 +353,81 @@ mod tests {
         tr.record(t, k);
         assert_eq!(tr.frame_fate(42).count(), 3);
         assert_eq!(tr.frame_fate(43).count(), 0);
+    }
+
+    /// One entry of every [`TraceKind`] variant, all involving `node`
+    /// and (where a seq exists) frame `seq`.
+    fn one_of_each(tr: &mut Trace, node: u32, seq: u64) {
+        let n = NodeId::new(node);
+        let kinds = [
+            TraceKind::FrameSent {
+                src: n,
+                dest: Destination::Broadcast,
+                seq,
+                bytes: 8,
+            },
+            TraceKind::FrameDelivered {
+                node: n,
+                seq,
+                addressed: false,
+            },
+            TraceKind::FrameLost {
+                node: n,
+                seq,
+                cause: LossCause::HalfDuplex,
+            },
+            TraceKind::MacDrop { node: n },
+            TraceKind::TimerFired { node: n, token: 9 },
+            TraceKind::NodeDown { node: n },
+            TraceKind::NodeUp { node: n },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            tr.record(SimTime::from_nanos(i as u64), kind);
+        }
+    }
+
+    #[test]
+    fn involving_matches_every_variant() {
+        let mut tr = Trace::new(32);
+        one_of_each(&mut tr, 7, 100);
+        one_of_each(&mut tr, 9, 200);
+        // All seven variants of node 7 match; none of node 9's do.
+        assert_eq!(tr.involving(NodeId::new(7)).count(), 7);
+        assert_eq!(tr.involving(NodeId::new(3)).count(), 0);
+        // A unicast FrameSent also involves its destination.
+        tr.record(
+            SimTime::from_nanos(99),
+            TraceKind::FrameSent {
+                src: NodeId::new(9),
+                dest: Destination::Unicast(NodeId::new(7)),
+                seq: 300,
+                bytes: 4,
+            },
+        );
+        assert_eq!(tr.involving(NodeId::new(7)).count(), 8);
+        // ... but a broadcast from another node does not.
+        assert_eq!(
+            tr.involving(NodeId::new(9))
+                .filter(|e| matches!(e.kind, TraceKind::FrameSent { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn frame_fate_matches_exactly_the_frame_carrying_variants() {
+        let mut tr = Trace::new(32);
+        one_of_each(&mut tr, 7, 100);
+        // Sent + delivered + lost carry the seq; the other four variants
+        // (MacDrop, TimerFired, NodeDown, NodeUp) never match any seq.
+        assert_eq!(tr.frame_fate(100).count(), 3);
+        assert!(tr.frame_fate(100).all(|e| matches!(
+            e.kind,
+            TraceKind::FrameSent { .. }
+                | TraceKind::FrameDelivered { .. }
+                | TraceKind::FrameLost { .. }
+        )));
+        assert_eq!(tr.frame_fate(101).count(), 0);
     }
 
     #[test]

@@ -42,7 +42,7 @@ const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "unimplemented", "todo"
 /// Crates whose `src/` trees the determinism rule covers (plus the
 /// umbrella `src/`). Protocol, simulation, crypto, aggregation,
 /// analysis and the experiment harness all feed reproducible traces.
-const DETERMINISM_SCOPE: [&str; 8] = [
+const DETERMINISM_SCOPE: [&str; 9] = [
     "crates/core/src",
     "crates/sim/src",
     "crates/crypto/src",
@@ -50,21 +50,24 @@ const DETERMINISM_SCOPE: [&str; 8] = [
     "crates/analysis/src",
     "crates/bench/src",
     "crates/cli/src",
+    "crates/obs/src",
     "src",
 ];
 
 /// Crates whose library code must not panic (the simulated base
 /// station and every node run on these).
-const PANIC_SCOPE: [&str; 4] = [
+const PANIC_SCOPE: [&str; 5] = [
     "crates/core/src",
     "crates/sim/src",
     "crates/crypto/src",
     "crates/agg/src",
+    "crates/obs/src",
 ];
 
 /// Crate roots that must carry `#![forbid(unsafe_code)]`. Each entry is
 /// a candidate list: the first path that exists is the root.
-const UNSAFE_ROOTS: [&str; 10] = [
+const UNSAFE_ROOTS: [&str; 11] = [
+    "crates/obs/src/lib.rs",
     "crates/core/src/lib.rs",
     "crates/sim/src/lib.rs",
     "crates/crypto/src/lib.rs",
