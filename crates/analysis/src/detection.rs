@@ -13,6 +13,13 @@
 //! a forged-input attack qualifies only the holders of that input
 //! (cluster members for a cluster claim). A phantom-input attack has
 //! `k = 0` — the model's documented blind spot.
+//!
+//! **Input-validation policy** (uniform across `icpda-analysis`, see
+//! also [`crate::privacy`]): probability arguments are *asserted* with a
+//! documented panic — an out-of-range probability is a caller bug the
+//! curves must not paper over — and integer counts are exponentiated via
+//! `powf`, which covers the whole `usize` range without the silent
+//! `i32::MAX` saturation `powi` conversions used to hide.
 
 /// Detection probability with `k` qualified monitors, overhear
 /// probability `q`, and alarm-delivery probability `a`.
@@ -22,16 +29,26 @@
 /// Panics if `q` or `a` is not a probability.
 #[must_use]
 pub fn detection_probability(monitors: usize, q: f64, a: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&q) && (0.0..=1.0).contains(&a));
-    1.0 - (1.0 - q * a).powi(i32::try_from(monitors).unwrap_or(i32::MAX))
+    assert!((0.0..=1.0).contains(&q), "q must be a probability");
+    assert!((0.0..=1.0).contains(&a), "a must be a probability");
+    1.0 - (1.0 - q * a).powf(monitors as f64)
 }
 
 /// Expected number of qualified monitors for a *cluster-claim* forgery
 /// by the head of an `m`-cluster: the other members that recovered the
 /// aggregate themselves (each with probability `solve_rate`).
+///
+/// # Panics
+///
+/// Panics if `solve_rate` is not a probability (same validate-loudly
+/// policy as [`detection_probability`]; this used to clamp silently).
 #[must_use]
 pub fn qualified_members(m: usize, solve_rate: f64) -> f64 {
-    (m.saturating_sub(1)) as f64 * solve_rate.clamp(0.0, 1.0)
+    assert!(
+        (0.0..=1.0).contains(&solve_rate),
+        "solve_rate must be a probability"
+    );
+    (m.saturating_sub(1)) as f64 * solve_rate
 }
 
 /// Detection probability for an inconsistent-sum attack by a node with
@@ -75,5 +92,20 @@ mod tests {
     #[should_panic]
     fn validates_probabilities() {
         let _ = detection_probability(3, 1.2, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn qualified_members_validates_solve_rate() {
+        let _ = qualified_members(4, 1.5);
+    }
+
+    #[test]
+    fn huge_monitor_counts_do_not_saturate() {
+        // Beyond i32::MAX the old powi conversion silently pinned the
+        // exponent; powf keeps the limit behaviour exact.
+        let d = detection_probability(usize::MAX, 0.5, 0.5);
+        assert_eq!(d, 1.0);
+        assert_eq!(detection_probability(usize::MAX, 0.0, 1.0), 0.0);
     }
 }

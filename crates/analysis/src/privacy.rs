@@ -11,6 +11,10 @@
 /// Disclosure probability for a member of a cluster of exactly `m`
 /// nodes: `p_x^{m−1}`.
 ///
+/// Follows the crate-wide validation policy (see [`crate::detection`]):
+/// assert on bad probabilities, exponentiate counts via `powf` so no
+/// `usize` value silently saturates.
+///
 /// # Panics
 ///
 /// Panics if `p_x` is not a probability or `m == 0`.
@@ -18,7 +22,7 @@
 pub fn disclosure_probability(p_x: f64, m: usize) -> f64 {
     assert!((0.0..=1.0).contains(&p_x), "p_x must be a probability");
     assert!(m >= 1, "clusters have at least one member");
-    p_x.powi(i32::try_from(m - 1).unwrap_or(i32::MAX))
+    p_x.powf((m - 1) as f64)
 }
 
 /// Population-average disclosure over an empirical cluster-size
@@ -90,5 +94,11 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn validates_px() {
         let _ = disclosure_probability(1.5, 3);
+    }
+
+    #[test]
+    fn huge_clusters_do_not_saturate() {
+        assert_eq!(disclosure_probability(0.5, usize::MAX), 0.0);
+        assert_eq!(disclosure_probability(1.0, usize::MAX), 1.0);
     }
 }

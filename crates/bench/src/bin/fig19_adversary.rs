@@ -1,0 +1,6 @@
+//! Regenerates the "fig19_adversary" evaluation artefact. See
+//! `icpda_bench::experiments::fig19_adversary`.
+
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::fig19_adversary::run)
+}

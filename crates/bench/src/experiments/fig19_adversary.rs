@@ -1,0 +1,221 @@
+//! **Figure 19 — Byzantine adversaries: detection and disclosure curves.**
+//!
+//! Three tables driven by the per-node [`AdversaryPlan`] behaviour layer:
+//!
+//! 1. Round-rejection rate vs. the fraction of compromised cluster
+//!    heads mounting aggregate pollution, for tolerances straddling the
+//!    pollution magnitude Δ. Each cell carries the closed-form
+//!    prediction built from `detection_probability` (promiscuous
+//!    monitoring: every solved member is a qualified monitor, so the
+//!    per-head term is `1 − (1−qa)^{m−1}` with `q = 1` and
+//!    `a = [Δ > Th]`, combined over the attacked heads). Expected
+//!    shape: a step — ≈ 1 whenever any head is attacked and Δ > Th,
+//!    exactly 0 once Th absorbs Δ.
+//!
+//! 2. Disclosure probability vs. the fraction of colluding members
+//!    (`ColludePrivacy` assigned i.i.d. at rate f): a member of an
+//!    m-cluster is exposed iff its whole complement colludes, so the
+//!    measured pooled rate must track `mixed_disclosure(f, sizes)` =
+//!    Σ m·f^{m−1} / Σ m over the formed rosters.
+//!
+//! 3. The published CPDA collusion attack (arXiv:1201.4532): m−1
+//!    colluding members of a cluster reconstruct the remaining honest
+//!    member's exact reading from their own share traffic plus the
+//!    broadcast assemblies — success probability 1 per completed
+//!    cluster, verified bit-for-bit against the victim's reading.
+
+use crate::parallel::par_map;
+use crate::{f3, mean, paper_deployment, Table, TRIALS};
+use agg::AggFunction;
+use icpda::{AdversaryPlan, Behavior, IcpdaConfig, IcpdaOutcome, IcpdaRun, Pollution};
+use icpda_analysis::detection::detection_probability;
+use icpda_analysis::privacy::mixed_disclosure;
+use wsn_sim::NodeId;
+
+const N: usize = 300;
+
+/// Pollution magnitude applied by every compromised head.
+const DELTA: u64 = 1_000;
+
+fn adversarial_run(seed: u64, config: IcpdaConfig, plan: AdversaryPlan) -> IcpdaOutcome {
+    let dep = paper_deployment(N, seed);
+    let readings = agg::readings::count_readings(N);
+    IcpdaRun::new(dep, config, readings, seed.wrapping_mul(31).wrapping_add(7))
+        .with_adversary_plan(plan)
+        .run()
+}
+
+/// Heads that formed clusters in the honest run, with their sizes.
+fn formed_heads(seed: u64, config: IcpdaConfig) -> Vec<(NodeId, usize)> {
+    let honest = adversarial_run(seed, config, AdversaryPlan::none());
+    honest
+        .rosters
+        .iter()
+        .filter_map(|(node, roster)| (roster.head() == *node).then_some((*node, roster.len())))
+        .collect()
+}
+
+/// Regenerates Figure 19.
+///
+/// # Errors
+///
+/// Propagates CSV write failures.
+pub fn run() -> std::io::Result<()> {
+    let config = IcpdaConfig::paper_default(AggFunction::Count);
+
+    // ── 19a: detection vs. attacker fraction × tolerance ──────────────
+    let fractions = [0.0f64, 0.1, 0.2, 0.3];
+    let ths = [0u64, 500, 5_000];
+    let mut table = Table::new(
+        "Figure 19a — rejection rate vs. compromised-head fraction and tolerance Th (N = 300, Δ = 1000)",
+        &[
+            "fraction",
+            "Th=0 measured",
+            "Th=0 model",
+            "Th=500 measured",
+            "Th=500 model",
+            "Th=5000 measured",
+            "Th=5000 model",
+        ],
+    );
+    let jobs: Vec<(String, (usize, usize, u64))> = fractions
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, &f)| {
+            ths.iter().enumerate().flat_map(move |(ti, &th)| {
+                (0..TRIALS).map(move |seed| (format!("f={f}/th={th}/seed={seed}"), (fi, ti, seed)))
+            })
+        })
+        .collect();
+    let outcomes = par_map("fig19a_detection", jobs, |&(fi, ti, seed)| {
+        let mut cfg = config;
+        cfg.threshold = ths[ti];
+        let heads = formed_heads(seed, cfg);
+        let k = (fractions[fi] * heads.len() as f64).round() as usize;
+        let mut plan = AdversaryPlan::none();
+        for &(head, _) in heads.iter().take(k) {
+            plan.assign(head, Behavior::PolluteAggregate(Pollution::inflate(DELTA)))
+                .expect("heads are never the base station");
+        }
+        let out = adversarial_run(seed, cfg, plan);
+        // Closed-form round rejection: every solved member monitors its
+        // head (q = 1) and convicts iff the pollution clears Th.
+        let audible = if DELTA > ths[ti] { 1.0 } else { 0.0 };
+        let model = 1.0
+            - heads
+                .iter()
+                .take(k)
+                .map(|&(_, m)| 1.0 - detection_probability(m - 1, 1.0, audible))
+                .product::<f64>();
+        (!out.accepted, model)
+    });
+    for (fi, f) in fractions.iter().enumerate() {
+        let mut cells = vec![f3(*f)];
+        for ti in 0..ths.len() {
+            let trials: Vec<&(bool, f64)> = outcomes
+                .iter()
+                .skip((fi * ths.len() + ti) * TRIALS as usize)
+                .take(TRIALS as usize)
+                .collect();
+            let measured = trials.iter().filter(|t| t.0).count() as f64 / trials.len() as f64;
+            let model = mean(&trials.iter().map(|t| t.1).collect::<Vec<f64>>());
+            cells.push(f3(measured));
+            cells.push(f3(model));
+        }
+        table.row(cells);
+    }
+    table.emit("fig19a_detection")?;
+
+    // ── 19b: disclosure vs. colluding-member fraction ─────────────────
+    let collusion_fractions = [0.2f64, 0.4, 0.6, 0.8];
+    let mut privacy_table = Table::new(
+        "Figure 19b — disclosure probability vs. colluding fraction f (N = 300)",
+        &[
+            "f",
+            "targets",
+            "measured",
+            "model Σ m·f^(m−1)/Σ m",
+            "verified",
+        ],
+    );
+    let privacy_jobs: Vec<(String, (usize, u64))> = collusion_fractions
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, &f)| {
+            (0..TRIALS).map(move |seed| (format!("f={f}/seed={seed}"), (fi, seed)))
+        })
+        .collect();
+    let reports = par_map("fig19b_disclosure", privacy_jobs, |&(fi, seed)| {
+        let plan = AdversaryPlan::random_compromise(
+            N,
+            collusion_fractions[fi],
+            Behavior::ColludePrivacy,
+            seed,
+        )
+        .expect("invariant: collusion_fractions entries lie in [0, 1]");
+        let out = adversarial_run(seed, config, plan);
+        let report = out.collusion.expect("colluders present ⇒ report");
+        let model = mixed_disclosure(collusion_fractions[fi], &out.cluster_sizes);
+        (report, model)
+    });
+    for (fi, f) in collusion_fractions.iter().enumerate() {
+        let trials = &reports[fi * TRIALS as usize..(fi + 1) * TRIALS as usize];
+        let exposed: usize = trials.iter().map(|(r, _)| r.exposed).sum();
+        let targets: usize = trials.iter().map(|(r, _)| r.targets).sum();
+        let measured = if targets == 0 {
+            0.0
+        } else {
+            exposed as f64 / targets as f64
+        };
+        let model = mean(&trials.iter().map(|(_, m)| *m).collect::<Vec<f64>>());
+        let verified = trials.iter().all(|(r, _)| r.all_verified());
+        privacy_table.row(vec![
+            f3(*f),
+            targets.to_string(),
+            f3(measured),
+            f3(model),
+            verified.to_string(),
+        ]);
+    }
+    privacy_table.emit("fig19b_disclosure")?;
+
+    // ── 19c: the m−1 collusion success condition, per cluster size ────
+    let mut attack_table = Table::new(
+        "Figure 19c — targeted m−1 collusion per cluster (the arXiv:1201.4532 success condition)",
+        &[
+            "cluster size m",
+            "colluders",
+            "targets",
+            "exposed",
+            "verified",
+        ],
+    );
+    let honest = adversarial_run(2, config, AdversaryPlan::none());
+    let mut sizes_done = std::collections::BTreeSet::new();
+    for (node, roster) in &honest.rosters {
+        if roster.head() != *node || roster.len() < 2 || !sizes_done.insert(roster.len()) {
+            continue;
+        }
+        let victim = *roster
+            .members()
+            .iter()
+            .find(|&&m| m != roster.head())
+            .unwrap_or(&roster.head());
+        let mut plan = AdversaryPlan::none();
+        plan.collude_all_but_one(roster.members(), victim)
+            .expect("cluster members are never the base station");
+        let out = adversarial_run(2, config, plan);
+        let report = out.collusion.expect("colluders present ⇒ report");
+        attack_table.row(vec![
+            roster.len().to_string(),
+            report.colluders.to_string(),
+            report.targets.to_string(),
+            report.exposed.to_string(),
+            report.all_verified().to_string(),
+        ]);
+        if sizes_done.len() >= 4 {
+            break;
+        }
+    }
+    attack_table.emit("fig19c_collusion")
+}

@@ -10,6 +10,7 @@ pub mod fig15_hotspots;
 pub mod fig16_rounds;
 pub mod fig17_synergy;
 pub mod fig18_churn;
+pub mod fig19_adversary;
 pub mod fig2_overhead;
 pub mod fig3_accuracy;
 pub mod fig4_privacy;
@@ -72,5 +73,6 @@ pub fn run_all() -> std::io::Result<()> {
     fig15_hotspots::run()?;
     fig16_rounds::run()?;
     fig17_synergy::run()?;
-    fig18_churn::run()
+    fig18_churn::run()?;
+    fig19_adversary::run()
 }

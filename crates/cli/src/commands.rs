@@ -3,7 +3,8 @@
 use crate::args::{Args, ParseArgsError};
 use agg::AggFunction;
 use icpda::{
-    evaluate_disclosure, run_session, HeadElection, IcpdaConfig, IcpdaRun, IntegrityMode, Pollution,
+    evaluate_disclosure, run_session, AdversaryPlan, Behavior, HeadElection, IcpdaConfig, IcpdaRun,
+    IntegrityMode, Pollution,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -102,6 +103,8 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
             "edge-loss",
             "rounds",
             "churn",
+            "adversary",
+            "adversary-mode",
             "obs-out",
         ],
     )?;
@@ -125,6 +128,24 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
     } else {
         FaultPlan::none()
     };
+    let adversary: f64 = args.get_or("adversary", 0.0)?;
+    let behavior = match args.get("adversary-mode").unwrap_or("pollute") {
+        "garbage" => Behavior::GarbageShares,
+        "pollute" => Behavior::PolluteAggregate(Pollution::inflate(1_000)),
+        "collude" => Behavior::ColludePrivacy,
+        "drop" => Behavior::SelectiveForward,
+        other => {
+            return Err(ParseArgsError(format!(
+                "--adversary-mode: expected garbage|pollute|collude|drop, got '{other}'"
+            )))
+        }
+    };
+    let adversary_plan = if adversary > 0.0 {
+        AdversaryPlan::random_compromise(n, adversary, behavior, seed)
+            .map_err(|e| ParseArgsError(format!("--adversary: {e}")))?
+    } else {
+        AdversaryPlan::none()
+    };
     let readings = readings_for(config.function, n, seed);
     let dep = deployment(n, seed);
     println!(
@@ -139,9 +160,18 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
             n - 1
         );
     }
+    if !adversary_plan.is_empty() {
+        println!(
+            "adversary     : {} of {} nodes compromised ({} at rate {adversary})",
+            adversary_plan.compromised_count(),
+            n - 1,
+            args.get("adversary-mode").unwrap_or("pollute"),
+        );
+    }
     let out = IcpdaRun::new(dep, config, readings, seed)
         .with_sim_config(sim)
         .with_fault_plan(plan.clone())
+        .with_adversary_plan(adversary_plan)
         .run();
     println!("accepted      : {}", out.accepted);
     println!("value         : {:.3}", out.value);
@@ -191,6 +221,16 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
     if !out.alarms.is_empty() {
         println!("alarms        : {:?}", out.alarms);
     }
+    if let Some(report) = out.collusion {
+        println!(
+            "collusion     : {} colluders exposed {} of {} honest sharers (P = {:.3}, verified {})",
+            report.colluders,
+            report.exposed,
+            report.targets,
+            report.probability(),
+            report.all_verified()
+        );
+    }
     if out.decisions.len() > 1 {
         println!("rounds        :");
         for (i, d) in out.decisions.iter().enumerate() {
@@ -225,6 +265,11 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
                 ),
                 ("rounds".to_string(), config.rounds.to_string()),
                 ("churn".to_string(), churn.to_string()),
+                ("adversary".to_string(), adversary.to_string()),
+                (
+                    "adversary-mode".to_string(),
+                    args.get("adversary-mode").unwrap_or("pollute").to_string(),
+                ),
             ],
         };
         icpda_obs::export::write_dir(dir, &manifest, &out.obs)
@@ -537,5 +582,23 @@ mod tests {
         // Exercise the `run` command itself on a very small network.
         let a = args(&["run", "--nodes", "40", "--seed", "1"]);
         run(&a).expect("run succeeds");
+    }
+
+    #[test]
+    fn adversarial_run_parses_and_succeeds() {
+        let a = args(&[
+            "run",
+            "--nodes",
+            "40",
+            "--seed",
+            "1",
+            "--adversary",
+            "0.5",
+            "--adversary-mode",
+            "collude",
+        ]);
+        run(&a).expect("adversarial run succeeds");
+        let bad = args(&["run", "--adversary-mode", "invisible"]);
+        assert!(run(&bad).is_err(), "unknown behaviour is rejected");
     }
 }

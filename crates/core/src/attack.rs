@@ -111,30 +111,48 @@ impl Pollution {
     }
 
     /// Applies the pollution to an outgoing report.
+    ///
+    /// Participant deltas saturate *consistently*: a deflation larger
+    /// than the affected count is clamped once and the same effective
+    /// delta is applied to every counter it touches, so a "consistent"
+    /// forgery stays consistent on small clusters instead of silently
+    /// underflowing into a self-incriminating mismatch (the outer count
+    /// and the claim used to saturate independently).
     pub fn apply(&self, totals: &mut [Fp], participants: &mut u32, inputs: &mut Vec<InputClaim>) {
         match self.mode {
             PollutionMode::AlterTotals => {
-                self.bump_totals(totals, participants);
+                self.bump_totals(totals, participants, self.participants_delta);
             }
             PollutionMode::AlterInput => {
-                self.bump_totals(totals, participants);
                 let idx = inputs
                     .iter()
                     .position(|i| matches!(i.source, MergedRef::Cluster { .. }))
                     .or(if inputs.is_empty() { None } else { Some(0) });
-                if let Some(input) = idx.map(|i| &mut inputs[i]) {
-                    if let Some(first) = input.totals.first_mut() {
-                        *first = (Fp::new(*first) + self.component_delta).to_u64();
-                    }
-                    input.participants = input
-                        .participants
-                        .saturating_add_signed(self.participants_delta);
+                let Some(input) = idx.map(|i| &mut inputs[i]) else {
+                    // With no audit trail (integrity off) this degenerates
+                    // to AlterTotals, the only observable surface anyway.
+                    self.bump_totals(totals, participants, self.participants_delta);
+                    return;
+                };
+                // The forged claim's count floors at 0, and the outer
+                // total is the claims' sum, so clamping to the claim's
+                // headroom keeps both counters in lockstep. The max is
+                // bounded by the i32 delta below and 0 above, so the
+                // cast back is exact.
+                let effective =
+                    i64::from(self.participants_delta).max(-i64::from(input.participants)) as i32;
+                if let Some(first) = input.totals.first_mut() {
+                    *first = (Fp::new(*first) + self.component_delta).to_u64();
                 }
-                // With no audit trail (integrity off) this degenerates to
-                // AlterTotals, which is the only observable surface anyway.
+                input.participants = input.participants.saturating_add_signed(effective);
+                self.bump_totals(totals, participants, effective);
             }
             PollutionMode::PhantomInput => {
-                self.bump_totals(totals, participants);
+                // A phantom claim's count is unsigned: a negative delta
+                // cannot be embedded consistently, so it clamps to 0 for
+                // the claim *and* the outer count alike.
+                let effective = self.participants_delta.max(0);
+                self.bump_totals(totals, participants, effective);
                 if !inputs.is_empty() {
                     inputs.push(InputClaim {
                         source: MergedRef::Relay {
@@ -149,18 +167,18 @@ impl Pollution {
                             }
                             t
                         },
-                        participants: u32::try_from(self.participants_delta.max(0)).unwrap_or(0),
+                        participants: u32::try_from(effective).unwrap_or(0),
                     });
                 }
             }
         }
     }
 
-    fn bump_totals(&self, totals: &mut [Fp], participants: &mut u32) {
+    fn bump_totals(&self, totals: &mut [Fp], participants: &mut u32, delta: i32) {
         if let Some(first) = totals.first_mut() {
             *first += self.component_delta;
         }
-        *participants = participants.saturating_add_signed(self.participants_delta);
+        *participants = participants.saturating_add_signed(delta);
     }
 }
 
@@ -235,6 +253,47 @@ mod tests {
         let mut n = 3;
         p.apply(&mut totals, &mut n, &mut Vec::new());
         assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn alter_input_deflation_clamps_consistently_on_small_clusters() {
+        // Regression: a deflation larger than the claim's count used to
+        // saturate the outer count and the claim independently (outer
+        // −10 → floor 0 at delta −3 effective, claim −3), silently
+        // turning the "consistent" forgery into a detectable mismatch.
+        let p = Pollution {
+            mode: PollutionMode::AlterInput,
+            component_delta: Fp::ZERO,
+            participants_delta: -10,
+        };
+        let mut totals = vec![Fp::new(50)];
+        let mut n = 3; // outer count == the single claim's count + 0
+        let mut inputs = inputs_one_cluster();
+        p.apply(&mut totals, &mut n, &mut inputs);
+        // Both counters moved by the same effective delta (−3).
+        assert_eq!(inputs[0].participants, 0);
+        assert_eq!(n, 0);
+        assert_eq!(
+            u64::from(n),
+            inputs.iter().map(|i| u64::from(i.participants)).sum(),
+            "forgery must remain self-consistent"
+        );
+    }
+
+    #[test]
+    fn phantom_negative_delta_clamps_to_zero_for_both_counters() {
+        // Regression: a negative delta used to shrink the outer count
+        // while the phantom claim got 0 participants — an immediately
+        // inconsistent report on any cluster.
+        let p = Pollution::phantom(500, -4);
+        let mut totals = vec![Fp::new(50)];
+        let mut n = 3;
+        let mut inputs = inputs_one_cluster();
+        p.apply(&mut totals, &mut n, &mut inputs);
+        assert_eq!(n, 3, "outer count untouched by the clamped delta");
+        assert_eq!(inputs.len(), 2);
+        assert_eq!(inputs[1].participants, 0);
+        assert_eq!(totals[0], Fp::new(550));
     }
 
     #[test]

@@ -234,8 +234,11 @@ impl IcpdaConfig {
     ///
     /// # Panics
     ///
-    /// Panics if sizes are inconsistent (min > max, max > 64, min < 2)
-    /// or the election probability is out of range.
+    /// Panics if sizes are inconsistent (min > max, max > 64, min < 2),
+    /// the election probability is out of range, or the monitoring
+    /// tolerance exceeds the meaningful half-field bound (beyond which
+    /// every check trivially passes — see
+    /// [`crate::monitor::MAX_MEANINGFUL_THRESHOLD`]).
     pub fn validate(&self) {
         assert!(self.rounds >= 1, "a session needs at least one round");
         assert!(
@@ -247,6 +250,10 @@ impl IcpdaConfig {
         if let HeadElection::Fixed(p) = self.election {
             assert!((0.0..=1.0).contains(&p), "p_c must be a probability");
         }
+        assert!(
+            self.threshold <= crate::monitor::MAX_MEANINGFUL_THRESHOLD,
+            "threshold beyond (p-1)/2 disables monitoring entirely"
+        );
     }
 }
 
@@ -304,6 +311,21 @@ mod tests {
     fn oversized_cluster_rejected() {
         let mut c = IcpdaConfig::paper_default(AggFunction::Sum);
         c.max_cluster_size = 65;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "disables monitoring")]
+    fn absurd_threshold_rejected() {
+        let mut c = IcpdaConfig::paper_default(AggFunction::Sum);
+        c.threshold = crate::monitor::MAX_MEANINGFUL_THRESHOLD + 1;
+        c.validate();
+    }
+
+    #[test]
+    fn boundary_threshold_accepted() {
+        let mut c = IcpdaConfig::paper_default(AggFunction::Sum);
+        c.threshold = crate::monitor::MAX_MEANINGFUL_THRESHOLD;
         c.validate();
     }
 }

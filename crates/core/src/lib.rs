@@ -39,6 +39,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod adversary;
 pub mod attack;
 pub mod cluster;
 pub mod config;
@@ -50,6 +51,9 @@ pub mod runner;
 pub mod session;
 pub mod shares;
 
+pub use adversary::{
+    evaluate_collusion, AdversaryPlan, AdversaryPlanError, Behavior, CollusionReport, CollusionView,
+};
 pub use attack::Pollution;
 pub use cluster::Roster;
 pub use config::{HeadElection, IcpdaConfig, IntegrityMode, PhaseSchedule, PrivacyMode};

@@ -20,9 +20,28 @@
 //! attack model and measured explicitly by the integrity experiments.
 
 use crate::msg::{InputClaim, MergedRef};
-use agg::field::Fp;
+use agg::field::{Fp, MODULUS};
 use std::collections::BTreeMap;
 use wsn_sim::NodeId;
+
+/// The largest tolerance `Th` that can ever distinguish anything: the
+/// centered difference `(c − e).to_i64_centered()` of two field elements
+/// lies in `[−(p−1)/2, (p−1)/2]`, so any `Th` at or above `(p−1)/2`
+/// accepts *every* report unconditionally. [`MonitorCache::check`] clamps
+/// to this bound (see [`effective_tolerance`]) instead of silently
+/// saturating at `i64::MAX`, and [`crate::config::IcpdaConfig::validate`]
+/// rejects configurations beyond it outright.
+pub const MAX_MEANINGFUL_THRESHOLD: u64 = (MODULUS - 1) / 2;
+
+/// The signed tolerance actually compared against centered differences:
+/// `threshold` clamped into `0..=MAX_MEANINGFUL_THRESHOLD`. The clamp is
+/// behaviour-preserving — a larger tolerance cannot reject more — and
+/// documented here rather than hidden in an `unwrap_or(i64::MAX)`.
+#[must_use]
+pub fn effective_tolerance(threshold: u64) -> i64 {
+    // The bound is < 2^60, so the cast is exact.
+    threshold.min(MAX_MEANINGFUL_THRESHOLD) as i64
+}
 
 /// One cached aggregate: componentwise totals plus participant count.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -116,7 +135,7 @@ impl MonitorCache {
         if inputs.is_empty() {
             return CheckOutcome::Unknown;
         }
-        let th = i64::try_from(threshold).unwrap_or(i64::MAX);
+        let th = effective_tolerance(threshold);
         // 1. Public consistency: totals == Σ claimed inputs.
         let mut claimed_sum = vec![Fp::ZERO; totals.len()];
         let mut claimed_participants: u64 = 0;
@@ -304,6 +323,40 @@ mod tests {
             c.check(&[Fp::new(40), Fp::new(0)], 5, &inputs, 0),
             CheckOutcome::Violation(_)
         ));
+    }
+
+    #[test]
+    fn tolerance_clamps_at_the_half_field_boundary() {
+        // Boundary regression for the former silent `unwrap_or(i64::MAX)`
+        // saturation: the clamp must keep the comparison meaningful right
+        // up to (p−1)/2 and be exactly the identity below it.
+        assert_eq!(effective_tolerance(0), 0);
+        assert_eq!(effective_tolerance(17), 17);
+        assert_eq!(
+            effective_tolerance(MAX_MEANINGFUL_THRESHOLD),
+            MAX_MEANINGFUL_THRESHOLD as i64
+        );
+        assert_eq!(
+            effective_tolerance(MAX_MEANINGFUL_THRESHOLD + 1),
+            MAX_MEANINGFUL_THRESHOLD as i64
+        );
+        assert_eq!(
+            effective_tolerance(u64::MAX),
+            MAX_MEANINGFUL_THRESHOLD as i64
+        );
+        // At the clamp, every centered difference is accepted — the
+        // documented "tolerance off" extreme, not an i64 overflow hazard.
+        let (c, inputs) = cache_with_two_inputs();
+        assert_eq!(
+            c.check(&[Fp::new(9_999_999)], 5, &inputs, u64::MAX),
+            CheckOutcome::Clean
+        );
+        // One past a tight tolerance still rejects (the clamp only
+        // engages at the half-field bound).
+        assert_eq!(
+            c.check(&[Fp::new(43)], 5, &inputs, 2),
+            CheckOutcome::Violation(ViolationKind::InconsistentSum)
+        );
     }
 
     #[test]

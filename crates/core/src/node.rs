@@ -15,6 +15,7 @@
 //!    reports and raise alarms on mismatch; the base station rejects the
 //!    round if any alarm arrives.
 
+use crate::adversary::{Behavior, CollusionView};
 use crate::attack::Pollution;
 use crate::cluster::Roster;
 use crate::config::{IcpdaConfig, IntegrityMode, PrivacyMode};
@@ -24,7 +25,7 @@ use crate::shares::{
     assemble, generate_shares, generate_shares_t, recover_sum, recover_sum_at, share_from_bytes,
     share_to_bytes, ShareVector,
 };
-use agg::field::Fp;
+use agg::field::{random_fp, Fp};
 use rand::Rng;
 // Node state uses ordered collections throughout: iteration order
 // feeds assemblies, plain-mode sums, and (in future changes) message
@@ -193,6 +194,10 @@ pub struct IcpdaNode {
     // Attack.
     pollution: Option<Pollution>,
     slander: Option<NodeId>,
+    /// Byzantine behaviour (see [`crate::adversary`]); `Lawful` keeps
+    /// every hook dormant, so uncompromised nodes run byte-identically
+    /// to a build without the adversary layer.
+    behavior: Behavior,
 
     // Crash recovery (all unused unless `config.crash_recovery`).
     /// Flood levels of neighbours, learnt from their query rebroadcasts;
@@ -266,6 +271,7 @@ impl IcpdaNode {
             excluded: false,
             pollution: None,
             slander: None,
+            behavior: Behavior::Lawful,
             neighbor_levels: BTreeMap::new(),
             head_alive_seen: false,
             parent_forwarded: false,
@@ -281,6 +287,35 @@ impl IcpdaNode {
     /// Installs a data-pollution attack on this node.
     pub fn set_pollution(&mut self, pollution: Pollution) {
         self.pollution = Some(pollution);
+    }
+
+    /// Installs a Byzantine behaviour (see [`crate::adversary`]).
+    /// [`Behavior::Lawful`] restores honest execution.
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        self.behavior = behavior;
+    }
+
+    /// The node's installed Byzantine behaviour.
+    #[must_use]
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    /// Snapshots the round state the collusion evaluation pools: the
+    /// roster, the shares this node received and sent, and the `FSum`
+    /// assemblies it holds (plus the ground-truth reading, used only to
+    /// verify reconstructions — see
+    /// [`crate::adversary::evaluate_collusion`]).
+    #[must_use]
+    pub fn collusion_view(&self) -> CollusionView {
+        CollusionView {
+            roster: self.participating_roster().cloned(),
+            shared: self.shared,
+            reading: self.reading,
+            received_shares: self.received_shares.clone(),
+            outgoing_shares: self.outgoing_shares.clone(),
+            fsums: self.fsums.clone(),
+        }
     }
 
     /// Replaces this node's private reading (periodic sensing between
@@ -866,16 +901,31 @@ impl IcpdaNode {
             generate_shares(&contribution, roster.len(), ctx.rng())
         };
         self.shared = true;
+        // Byzantine hook (share exchange): a GarbageShares node swaps
+        // every outgoing evaluation for fresh uniform field elements —
+        // its cluster's recovered sum is silently corrupted. The extra
+        // draws come from this node's own RNG stream, so honest nodes
+        // draw exactly what they would in a clean run.
+        let garbage = self.behavior == Behavior::GarbageShares;
+        if garbage {
+            ctx.metrics().bump("icpda_adv_garbage_shares");
+            ctx.trace_adversary(self.behavior.code());
+        }
         // Keep own share locally.
         self.received_shares.insert(me, shares[my_pos].clone());
         for (j, &member) in roster.members().iter().enumerate() {
             if member == me {
                 continue;
             }
-            self.outgoing_shares.insert(member, shares[j].clone());
+            let share = if garbage {
+                (0..shares[j].len()).map(|_| random_fp(ctx.rng())).collect()
+            } else {
+                shares[j].clone()
+            };
+            self.outgoing_shares.insert(member, share.clone());
             // Queue rather than send: the drain timer spaces the m−1
             // unicasts across the share window (see `share_sendq`).
-            self.share_sendq.push((member, shares[j].clone()));
+            self.share_sendq.push((member, share));
         }
         // LIFO drain order doesn't matter; what matters is the spacing.
         self.drain_one_share(ctx);
@@ -1430,6 +1480,12 @@ impl IcpdaNode {
         }
         if let Some(pollution) = self.pollution {
             pollution.apply(&mut totals, &mut participants, &mut inputs);
+        } else if let Behavior::PolluteAggregate(pollution) = self.behavior {
+            // Byzantine hook (aggregation): same embedding machinery as
+            // the legacy per-node attack, driven by the plan instead.
+            pollution.apply(&mut totals, &mut participants, &mut inputs);
+            ctx.metrics().bump("icpda_adv_polluted");
+            ctx.trace_adversary(self.behavior.code());
         }
         let Some(parent) = self.flood_parent else {
             return;
@@ -1672,6 +1728,15 @@ impl IcpdaNode {
         let totals: Vec<Fp> = totals_raw.iter().map(|&v| Fp::new(v)).collect();
         if !self.seen_upstream.insert((from, msg_id)) {
             ctx.metrics().bump("icpda_upstream_duplicate");
+            return;
+        }
+        // Byzantine hook (ascent): a SelectiveForward node black-holes
+        // its children's reports — absorbed into nothing, forwarded
+        // nowhere. The base station itself never drops (node 0 is
+        // honest by construction).
+        if !self.is_base_station && self.behavior == Behavior::SelectiveForward {
+            ctx.metrics().bump("icpda_adv_dropped_upstream");
+            ctx.trace_adversary(self.behavior.code());
             return;
         }
         // With the integrity layer on, every honest report carries an

@@ -1,11 +1,13 @@
 //! One-call experiment driver: deploy, run a full iCPDA round, extract
 //! every quantity the evaluation figures need.
 
+use crate::adversary::{evaluate_collusion, AdversaryPlan, CollusionReport, CollusionView};
 use crate::attack::Pollution;
 use crate::cluster::Roster;
 use crate::config::IcpdaConfig;
 use crate::node::{BsDecision, IcpdaNode, Role};
 use agg::accuracy::accuracy_ratio;
+use std::collections::BTreeMap;
 use wsn_sim::prelude::*;
 
 /// A configured run, built with [`IcpdaRun::new`] and executed with
@@ -46,6 +48,7 @@ pub struct IcpdaRun {
     slanderers: Vec<(NodeId, NodeId)>,
     reading_schedule: Vec<Vec<u64>>,
     fault_plan: FaultPlan,
+    adversary_plan: AdversaryPlan,
 }
 
 impl IcpdaRun {
@@ -73,7 +76,20 @@ impl IcpdaRun {
             slanderers: Vec::new(),
             reading_schedule: Vec::new(),
             fault_plan: FaultPlan::none(),
+            adversary_plan: AdversaryPlan::none(),
         }
+    }
+
+    /// Installs a Byzantine adversary plan (per-node behaviours, see
+    /// [`crate::adversary`]). An empty plan is a strict no-op: the run
+    /// is byte-identical to one configured without it. When the plan
+    /// contains [`crate::adversary::Behavior::ColludePrivacy`] nodes,
+    /// the outcome carries a [`CollusionReport`] evaluating the
+    /// published m−1 reconstruction attack against every honest member.
+    #[must_use]
+    pub fn with_adversary_plan(mut self, plan: AdversaryPlan) -> Self {
+        self.adversary_plan = plan;
+        self
     }
 
     /// Installs a node-churn fault plan (crashes and outage windows,
@@ -188,6 +204,9 @@ impl IcpdaRun {
         for (node, pollution) in &self.attackers {
             sim.app_mut(*node).set_pollution(*pollution);
         }
+        for (node, behavior) in self.adversary_plan.compromised() {
+            sim.app_mut(node).set_behavior(behavior);
+        }
         for (slanderer, victim) in &self.slanderers {
             sim.app_mut(*slanderer).set_slander(*victim);
         }
@@ -230,7 +249,31 @@ impl IcpdaRun {
                 obs.add(name, value);
             }
             obs.gauge_set("sim.min_alive", sim.metrics().min_alive() as i64);
+            if !self.adversary_plan.is_empty() {
+                obs.gauge_set(
+                    "icpda.adversaries",
+                    self.adversary_plan.compromised_count() as i64,
+                );
+            }
         }
+
+        // Pool the colluders' round state and run the published m−1
+        // reconstruction. Skipped entirely (no harvest, no report) when
+        // the plan names no colluder.
+        let collusion = if self.adversary_plan.colluders().next().is_some() {
+            let views: BTreeMap<NodeId, CollusionView> = sim
+                .apps()
+                .filter(|(id, _)| *id != NodeId::new(0))
+                .map(|(id, app)| (id, app.collusion_view()))
+                .collect();
+            Some(evaluate_collusion(
+                &self.adversary_plan,
+                &views,
+                config.function,
+            ))
+        } else {
+            None
+        };
 
         let decisions = sim.app(NodeId::new(0)).decisions().to_vec();
         let decision = decisions.last().cloned().expect(
@@ -298,6 +341,7 @@ impl IcpdaRun {
             last_update: sim.app(NodeId::new(0)).last_update(),
             finished_at: sim.now(),
             user_counters: metrics.user_counters().collect(),
+            collusion,
             obs,
         }
     }
@@ -360,6 +404,9 @@ pub struct IcpdaOutcome {
     pub finished_at: wsn_sim::SimTime,
     /// All protocol counters, for ad-hoc inspection.
     pub user_counters: Vec<(&'static str, u64)>,
+    /// The collusion evaluation, present iff the adversary plan named at
+    /// least one [`crate::adversary::Behavior::ColludePrivacy`] node.
+    pub collusion: Option<CollusionReport>,
     /// The run's observability registry (spans, counters, gauges,
     /// histograms). Empty unless `SimConfig::obs_level` was raised; see
     /// [`icpda_obs`](wsn_sim::Obs) and DESIGN §12.

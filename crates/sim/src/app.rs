@@ -116,6 +116,14 @@ pub(crate) enum Command<M> {
     CancelTimer {
         id: TimerId,
     },
+    /// Record an adversary-action trace note (see
+    /// [`crate::trace::TraceKind::AdversaryAction`]). Buffered like every
+    /// other side effect so the callback stays re-entrancy-free; the
+    /// engine drops it unless the trace sink wants `Metrics`-level
+    /// events.
+    TraceNote {
+        code: u8,
+    },
 }
 
 /// The environment handed to every [`Application`] callback.
@@ -243,6 +251,14 @@ impl<'a, M: WireSize> Context<'a, M> {
     /// or unknown timer is a no-op.
     pub fn cancel_timer(&mut self, id: TimerId) {
         self.commands.push(Command::CancelTimer { id });
+    }
+
+    /// Records that this node exercised a malicious behaviour (an
+    /// `AdversaryAction` trace entry with application-defined `code`).
+    /// A no-op unless the trace sink records `Metrics`-level events, so
+    /// honest runs never see it and adversarial runs pay one branch.
+    pub fn trace_adversary(&mut self, code: u8) {
+        self.commands.push(Command::TraceNote { code });
     }
 }
 

@@ -509,6 +509,12 @@ impl<A: Application> Simulator<A> {
                     }
                     self.live_timers.remove(&id.0);
                 }
+                Command::TraceNote { code } => {
+                    if self.trace.wants(TraceLevel::Metrics) {
+                        self.trace
+                            .record(self.now, TraceKind::AdversaryAction { node, code });
+                    }
+                }
             }
         }
         self.command_buf = commands;

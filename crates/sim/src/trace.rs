@@ -77,6 +77,16 @@ pub enum TraceKind {
         /// The node that recovered.
         node: NodeId,
     },
+    /// A compromised node exercised a malicious behaviour (see
+    /// `icpda::adversary`). Recorded at [`TraceLevel::Metrics`] — like
+    /// node up/down edges, these sparse causes explain counter anomalies.
+    /// The `code` is the application-defined behaviour discriminant.
+    AdversaryAction {
+        /// The misbehaving node.
+        node: NodeId,
+        /// Application-defined behaviour code.
+        code: u8,
+    },
 }
 
 /// One traced event.
@@ -206,7 +216,8 @@ impl Trace {
             | TraceKind::MacDrop { node: n }
             | TraceKind::TimerFired { node: n, .. }
             | TraceKind::NodeDown { node: n }
-            | TraceKind::NodeUp { node: n } => n == node,
+            | TraceKind::NodeUp { node: n }
+            | TraceKind::AdversaryAction { node: n, .. } => n == node,
         })
     }
 
@@ -380,6 +391,7 @@ mod tests {
             TraceKind::TimerFired { node: n, token: 9 },
             TraceKind::NodeDown { node: n },
             TraceKind::NodeUp { node: n },
+            TraceKind::AdversaryAction { node: n, code: 1 },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             tr.record(SimTime::from_nanos(i as u64), kind);
@@ -391,8 +403,8 @@ mod tests {
         let mut tr = Trace::new(32);
         one_of_each(&mut tr, 7, 100);
         one_of_each(&mut tr, 9, 200);
-        // All seven variants of node 7 match; none of node 9's do.
-        assert_eq!(tr.involving(NodeId::new(7)).count(), 7);
+        // All eight variants of node 7 match; none of node 9's do.
+        assert_eq!(tr.involving(NodeId::new(7)).count(), 8);
         assert_eq!(tr.involving(NodeId::new(3)).count(), 0);
         // A unicast FrameSent also involves its destination.
         tr.record(
@@ -404,7 +416,7 @@ mod tests {
                 bytes: 4,
             },
         );
-        assert_eq!(tr.involving(NodeId::new(7)).count(), 8);
+        assert_eq!(tr.involving(NodeId::new(7)).count(), 9);
         // ... but a broadcast from another node does not.
         assert_eq!(
             tr.involving(NodeId::new(9))
