@@ -41,9 +41,16 @@ pub trait KeyManager {
 /// assert_eq!(k, km.link_key(NodeId::new(2), NodeId::new(1)));
 /// assert!(!km.third_party_can_read(NodeId::new(3), NodeId::new(1), NodeId::new(2)));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct PairwiseKeys {
     master: u64,
+}
+
+impl std::fmt::Debug for PairwiseKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The master secret must never print (XL007): fixed redacted form.
+        f.write_str("PairwiseKeys(<redacted>)")
+    }
 }
 
 impl PairwiseKeys {
@@ -68,10 +75,17 @@ impl KeyManager for PairwiseKeys {
 }
 
 /// Eschenauer–Gligor random key predistribution.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct RandomPredistribution {
     pool_seed: u64,
     rings: Vec<Vec<u32>>,
+}
+
+impl std::fmt::Debug for RandomPredistribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Pool seed and rings are key material (XL007): fixed redacted form.
+        f.write_str("RandomPredistribution(<redacted>)")
+    }
 }
 
 impl RandomPredistribution {

@@ -33,6 +33,7 @@
 
 pub mod export;
 pub mod json;
+pub mod redact;
 pub mod report;
 
 use std::collections::BTreeMap;

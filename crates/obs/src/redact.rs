@@ -1,0 +1,48 @@
+//! Sanctioned redaction boundary for secret-typed data (XL007).
+//!
+//! The static gate (`xlint` rule XL007) forbids any flow from a secret
+//! type — link keys, key-pool seeds, slice-share vectors — into an
+//! operator-visible sink: traces, obs exports, format strings, results
+//! artifacts. When a diagnostic *needs* to mention a secret, it must go
+//! through this module: these are the only functions registered under
+//! `[secrets].redact` in `xlint.toml`, and values derived through them
+//! stop being tainted.
+//!
+//! Nothing here preserves enough information to reconstruct the input:
+//! [`redacted`] is a constant placeholder and [`fingerprint`] keeps eight
+//! bits — enough to tell two keys apart in a log with 1/256 collision
+//! odds, useless for key recovery.
+
+/// The fixed placeholder every redacted secret renders as.
+#[must_use]
+pub fn redacted() -> &'static str {
+    "<redacted>"
+}
+
+/// An 8-bit tag of a secret value for correlating log lines.
+///
+/// Keeps only the lowest byte after a xor-fold of all eight: two log
+/// lines with equal fingerprints *probably* refer to the same key, and
+/// nothing more can be learned from it.
+#[must_use]
+pub fn fingerprint(v: u64) -> String {
+    let folded = (v ^ (v >> 32) ^ (v >> 16) ^ (v >> 8)) as u8;
+    format!("#{folded:02x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_short_and_stable() {
+        assert_eq!(fingerprint(0), "#00");
+        assert_eq!(fingerprint(42), fingerprint(42));
+        assert_eq!(fingerprint(u64::MAX).len(), 3);
+    }
+
+    #[test]
+    fn redacted_is_constant() {
+        assert_eq!(redacted(), "<redacted>");
+    }
+}

@@ -1,0 +1,86 @@
+//! Name-resolved cross-crate call graph over the [`crate::ir`] function
+//! set.
+//!
+//! Resolution is by function name, sharpened with what the call syntax
+//! reveals:
+//!
+//! * `Type::name(...)` (an uppercase path qualifier) resolves only to
+//!   `name` methods in `impl Type` blocks;
+//! * `module::name(...)` (lowercase qualifier) resolves only to free
+//!   functions named `name`;
+//! * `recv.name(...)` (a method call) resolves only to methods, since a
+//!   free function can never be the target of method syntax;
+//! * bare `name(...)` resolves only to free functions.
+//!
+//! Within each bucket the match is still by bare name across the whole
+//! workspace — an over-approximation (taint may flow anywhere the name
+//! could bind), which is the right bias for a leak detector. The syntax
+//! buckets exist because without them one tainted `Fp::new(share)` would
+//! taint `Point::new`, `SimTime::new` and every other constructor in the
+//! tree.
+
+use std::collections::BTreeMap;
+
+use crate::ir::{Call, ExprCall, Ir};
+
+/// Whether a candidate with `owner` matches a call of the given shape.
+fn shape_matches(owner: Option<&str>, qualifier: Option<&str>, is_method: bool) -> bool {
+    match qualifier {
+        Some(q) if q.chars().next().is_some_and(char::is_uppercase) => owner == Some(q),
+        Some(_) => owner.is_none(),
+        None if is_method => owner.is_some(),
+        None => owner.is_none(),
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// fn name → indices into `ir.fns`.
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    pub fn build(ir: &Ir) -> Self {
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in ir.fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        CallGraph { by_name }
+    }
+
+    /// All workspace functions a statement-level call could bind.
+    pub fn resolve_call(&self, ir: &Ir, call: &Call) -> Vec<usize> {
+        let Some(cands) = self.by_name.get(&call.name) else {
+            return Vec::new();
+        };
+        cands
+            .iter()
+            .copied()
+            .filter(|&i| {
+                shape_matches(
+                    ir.fns[i].owner.as_deref(),
+                    call.path.last().map(String::as_str),
+                    call.receiver.is_some(),
+                )
+            })
+            .collect()
+    }
+
+    /// All workspace functions an expression-level call could bind.
+    pub fn resolve_expr_call(&self, ir: &Ir, call: &ExprCall) -> Vec<usize> {
+        let Some(cands) = self.by_name.get(&call.name) else {
+            return Vec::new();
+        };
+        cands
+            .iter()
+            .copied()
+            .filter(|&i| {
+                shape_matches(
+                    ir.fns[i].owner.as_deref(),
+                    call.qualifier.as_deref(),
+                    call.is_method,
+                )
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,978 @@
+//! Lightweight per-workspace IR for the dataflow rules (XL007/XL008).
+//!
+//! Built straight from the vendored `syn` token stream: for every file we
+//! extract type definitions (with derive lists), `impl` blocks (with a
+//! "reads through `self`" summary), and functions with their parameters,
+//! `let` bindings, calls, struct-literal field initialisations and return
+//! expressions. Expressions are flattened into bags of identifiers, field
+//! reads and call names — enough for a forward may-taint analysis, far
+//! short of a real type checker.
+//!
+//! Deliberate under-approximations (precision over recall, so the
+//! workspace gate can stay clean): contents of nested `{ ... }` blocks are
+//! not collected into the surrounding expression (a closure body cannot
+//! taint the binding it is assigned to), `match`/`for` pattern bindings are
+//! not tracked, and method *receivers* do not propagate into call results.
+//! Identifiers captured inline in format strings (`"{k:?}"`) *are*
+//! extracted, since that is precisely how a secret leaks into a log line.
+
+use std::collections::BTreeSet;
+
+use syn::{Token, TokenKind};
+
+use crate::ScannedFile;
+
+/// A call mentioned inside an expression, with the syntax shape needed
+/// for owner-aware resolution (see [`crate::callgraph`]).
+#[derive(Debug, Clone)]
+pub struct ExprCall {
+    pub name: String,
+    /// Last path segment before the name (`Fp::new` → `Some("Fp")`).
+    pub qualifier: Option<String>,
+    /// True for `recv.name(...)` method syntax.
+    pub is_method: bool,
+}
+
+/// A flattened expression: who it mentions, not what it computes.
+#[derive(Debug, Clone, Default)]
+pub struct ExprInfo {
+    /// Every identifier mentioned (including path segments, call names,
+    /// `self`, and `{ident}` captures inside string literals).
+    pub idents: Vec<String>,
+    /// Field names read through `.field` (not followed by a call).
+    pub field_reads: Vec<String>,
+    /// Functions / macros invoked inside the expression.
+    pub calls: Vec<ExprCall>,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    pub name: String,
+    /// Path segments before the name (`Instant::now` → `["Instant"]`).
+    pub path: Vec<String>,
+    /// `Some(ident)` when the call is `ident.name(...)`.
+    pub receiver: Option<String>,
+    pub is_macro: bool,
+    pub line: u32,
+    /// One flattened expression per top-level argument.
+    pub args: Vec<ExprInfo>,
+}
+
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub name: String,
+    /// Space-joined type tokens, used for word matching only.
+    pub ty: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct LetBind {
+    /// Lowercase identifiers bound by the pattern.
+    pub names: Vec<String>,
+    /// Space-joined type annotation tokens, if any.
+    pub ty: Option<String>,
+    pub rhs: ExprInfo,
+}
+
+/// `Type { field: expr, .. }` struct-literal initialisation.
+#[derive(Debug, Clone)]
+pub struct FieldInit {
+    pub type_name: String,
+    pub field: String,
+    pub value: ExprInfo,
+}
+
+#[derive(Debug, Clone)]
+pub struct FnIr {
+    pub rel: String,
+    pub name: String,
+    /// Type name of the enclosing `impl` block, if any.
+    pub owner: Option<String>,
+    pub line: u32,
+    pub is_test: bool,
+    pub params: Vec<Param>,
+    /// Space-joined return type tokens, if any.
+    pub ret_ty: Option<String>,
+    pub calls: Vec<Call>,
+    pub lets: Vec<LetBind>,
+    pub field_inits: Vec<FieldInit>,
+    /// `return expr;` expressions plus the tail expression.
+    pub returns: Vec<ExprInfo>,
+}
+
+/// A `struct` / `enum` / `type` alias definition.
+#[derive(Debug, Clone)]
+pub struct TypeIr {
+    pub rel: String,
+    pub name: String,
+    pub line: u32,
+    pub derives: Vec<String>,
+}
+
+/// An `impl [Trait for] Type` block.
+#[derive(Debug, Clone)]
+pub struct ImplIr {
+    pub rel: String,
+    pub trait_name: Option<String>,
+    pub type_name: String,
+    pub line: u32,
+    pub is_test: bool,
+    /// True when any body token sequence reads through `self` (`self.x`).
+    pub reads_self: bool,
+}
+
+/// The whole-workspace IR.
+#[derive(Debug, Default)]
+pub struct Ir {
+    pub fns: Vec<FnIr>,
+    pub types: Vec<TypeIr>,
+    pub impls: Vec<ImplIr>,
+}
+
+const EXPR_KEYWORDS: [&str; 18] = [
+    "if", "else", "match", "while", "for", "loop", "let", "mut", "ref", "move", "return", "break",
+    "continue", "in", "as", "fn", "where", "impl",
+];
+
+fn is_upper(name: &str) -> bool {
+    name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+/// Advance past a balanced group opened at `toks[i]` (which must be an
+/// opening delimiter); returns the index just past the closer.
+fn skip_group(toks: &[Token], i: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0u32;
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].is_punct(open) {
+            depth += 1;
+        } else if toks[j].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Extract `{ident}` captures from a format-style string literal,
+/// honouring `{{` escapes and `{name:spec}` format specs.
+fn strlit_captures(text: &str, out: &mut Vec<String>) {
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'{' {
+            if bytes.get(i + 1) == Some(&b'{') {
+                i += 2;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            let named = j > i + 1 && (bytes[i + 1].is_ascii_alphabetic() || bytes[i + 1] == b'_');
+            if named && matches!(bytes.get(j), Some(b'}') | Some(b':')) {
+                out.push(String::from_utf8_lossy(&bytes[i + 1..j]).into_owned());
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Flatten `toks[range]` into an [`ExprInfo`]. Skips the contents of
+/// nested `{ ... }` blocks, and skips the parenthesised arguments of any
+/// call whose name is in `barriers` (a redaction / declassification
+/// boundary) — including popping a `receiver.` ident just before it.
+pub fn collect_expr(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    barriers: &BTreeSet<String>,
+) -> ExprInfo {
+    let mut info = ExprInfo::default();
+    let mut i = start;
+    while i < end.min(toks.len()) {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            i = skip_group(toks, i, "{", "}");
+            continue;
+        }
+        match t.kind {
+            TokenKind::Ident => {
+                let name = t.text.as_str();
+                let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+                let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
+                if barriers.contains(name) && next_paren {
+                    // `redact(x)` / `recv.declassify(x)`: the contents are
+                    // sanctioned; the receiver (if a plain ident) too.
+                    if i > start && toks[i - 1].is_punct(".") {
+                        if let Some(last) = info.idents.last().cloned() {
+                            if toks
+                                .get(i.wrapping_sub(2))
+                                .is_some_and(|p| p.is_ident(&last))
+                            {
+                                info.idents.pop();
+                            }
+                        }
+                    }
+                    i = skip_group(toks, i + 1, "(", ")");
+                    continue;
+                }
+                if !EXPR_KEYWORDS.contains(&name) {
+                    if i > start && toks[i - 1].is_punct(".") && !next_paren && !next_bang {
+                        info.field_reads.push(t.text.clone());
+                    } else {
+                        info.idents.push(t.text.clone());
+                        if next_paren || next_bang {
+                            let is_method = i > start && toks[i - 1].is_punct(".");
+                            let qualifier = (i >= 3
+                                && toks[i - 1].is_punct(":")
+                                && toks[i - 2].is_punct(":")
+                                && toks[i - 3].kind == TokenKind::Ident)
+                                .then(|| toks[i - 3].text.clone());
+                            info.calls.push(ExprCall {
+                                name: t.text.clone(),
+                                qualifier,
+                                is_method,
+                            });
+                        }
+                    }
+                }
+                i += 1;
+            }
+            TokenKind::StrLit => {
+                strlit_captures(&t.text, &mut info.idents);
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    info
+}
+
+/// Split `toks[start..end]` on top-level commas (all delimiter kinds at
+/// depth 0), returning `(seg_start, seg_end)` ranges. Empty input → none.
+fn split_top_commas(toks: &[Token], start: usize, end: usize) -> Vec<(usize, usize)> {
+    let mut segs = Vec::new();
+    let mut depth = 0i32;
+    let mut seg_start = start;
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(",") {
+            segs.push((seg_start, i));
+            seg_start = i + 1;
+        }
+        i += 1;
+    }
+    if seg_start < end {
+        segs.push((seg_start, end));
+    }
+    segs
+}
+
+/// Index just past a balanced `( ... )` group starting at `open_idx`.
+fn paren_end(toks: &[Token], open_idx: usize) -> usize {
+    skip_group(toks, open_idx, "(", ")")
+}
+
+/// Build the workspace IR from already-scanned files. `barriers` are the
+/// redaction/declassification function names whose call arguments are
+/// excluded from expression collection.
+pub fn build(files: &[&ScannedFile], barriers: &BTreeSet<String>) -> Ir {
+    let mut ir = Ir::default();
+    for file in files {
+        build_file(file, barriers, &mut ir);
+    }
+    ir
+}
+
+fn build_file(file: &ScannedFile, barriers: &BTreeSet<String>, ir: &mut Ir) {
+    let toks = &file.tokens;
+
+    // Pass 1: impl blocks (header + body token range + reads_self).
+    // `impl` opens an item only when the previous significant token closes
+    // one (`}` `;` `]`) or we are at the start of the file; `-> impl Trait`
+    // and `x: impl Fn()` never look like that.
+    let mut impl_ranges: Vec<(usize, usize, usize)> = Vec::new(); // (body_start, body_end, impl_idx)
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("impl") {
+            let item_pos = i == 0
+                || toks[i - 1].is_punct("}")
+                || toks[i - 1].is_punct(";")
+                || toks[i - 1].is_punct("]");
+            if item_pos {
+                if let Some((imp, body_start, body_end)) = parse_impl_header(file, toks, i) {
+                    impl_ranges.push((body_start, body_end, ir.impls.len()));
+                    ir.impls.push(imp);
+                    i = body_end;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Pass 2: type definitions with derive lists.
+    let mut pending_derives: Vec<String> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("#") && toks.get(i + 1).is_some_and(|n| n.is_punct("[")) {
+            let attr_end = skip_group(toks, i + 1, "[", "]");
+            if toks.get(i + 2).is_some_and(|n| n.is_ident("derive")) {
+                for t in &toks[i + 3..attr_end] {
+                    if t.kind == TokenKind::Ident {
+                        pending_derives.push(t.text.clone());
+                    }
+                }
+            }
+            i = attr_end;
+            continue;
+        }
+        if t.is_ident("pub") {
+            i += 1;
+            if toks.get(i).is_some_and(|n| n.is_punct("(")) {
+                i = paren_end(toks, i);
+            }
+            continue;
+        }
+        if (t.is_ident("struct") || t.is_ident("enum") || t.is_ident("union") || t.is_ident("type"))
+            && toks.get(i + 1).is_some_and(|n| n.kind == TokenKind::Ident)
+        {
+            ir.types.push(TypeIr {
+                rel: file.rel.clone(),
+                name: toks[i + 1].text.clone(),
+                line: t.line,
+                derives: std::mem::take(&mut pending_derives),
+            });
+            i += 2;
+            continue;
+        }
+        pending_derives.clear();
+        i += 1;
+    }
+
+    // Pass 3: functions (with owners resolved from the impl ranges).
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|n| n.kind == TokenKind::Ident) {
+            let owner = impl_ranges
+                .iter()
+                .find(|&&(s, e, _)| s <= i && i < e)
+                .map(|&(_, _, idx)| ir.impls[idx].type_name.clone());
+            let next = parse_fn(file, toks, i, owner, barriers, &mut ir.fns);
+            i = next;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Parse an `impl [Trait for] Type { ... }` header at `toks[start]`.
+/// Returns the ImplIr plus the body token range (inclusive of braces).
+fn parse_impl_header(
+    file: &ScannedFile,
+    toks: &[Token],
+    start: usize,
+) -> Option<(ImplIr, usize, usize)> {
+    let line = toks[start].line;
+    let mut j = start + 1;
+    // Skip generic parameters on the impl itself.
+    if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+        let mut angle = 0i32;
+        while j < toks.len() {
+            if toks[j].is_punct("<") {
+                angle += 1;
+            } else if toks[j].is_punct(">") && !toks[j - 1].is_punct("-") {
+                angle -= 1;
+                if angle == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // Collect header idents until the body `{` (angle-depth 0 only), noting
+    // a top-level `for`.
+    let mut angle = 0i32;
+    let mut before_for: Vec<&Token> = Vec::new();
+    let mut after_for: Vec<&Token> = Vec::new();
+    let mut saw_for = false;
+    let body_open = loop {
+        let t = toks.get(j)?;
+        if angle == 0 && t.is_punct("{") {
+            break j;
+        }
+        if angle == 0 && t.is_punct(";") {
+            return None; // `impl Trait for Type;`-like oddity — skip
+        }
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") && !toks[j - 1].is_punct("-") {
+            angle -= 1;
+        } else if angle == 0 && t.is_ident("for") {
+            saw_for = true;
+            j += 1;
+            continue;
+        } else if angle == 0 && t.kind == TokenKind::Ident && !t.is_ident("where") {
+            if saw_for {
+                after_for.push(t);
+            } else {
+                before_for.push(t);
+            }
+        }
+        j += 1;
+    };
+    let trait_name = if saw_for {
+        before_for.last().map(|t| t.text.clone())
+    } else {
+        None
+    };
+    let type_toks = if saw_for { &after_for } else { &before_for };
+    let type_name = type_toks
+        .iter()
+        .rev()
+        .find(|t| is_upper(&t.text))
+        .or_else(|| type_toks.last())
+        .map(|t| t.text.clone())?;
+    let body_end = skip_group(toks, body_open, "{", "}");
+    let reads_self = (body_open..body_end)
+        .any(|k| toks[k].is_ident("self") && toks.get(k + 1).is_some_and(|n| n.is_punct(".")));
+    Some((
+        ImplIr {
+            rel: file.rel.clone(),
+            trait_name,
+            type_name,
+            line,
+            is_test: file.is_test_line(line),
+            reads_self,
+        },
+        body_open,
+        body_end,
+    ))
+}
+
+/// Parse `fn name(params) -> Ret { body }` at `toks[start]` and append the
+/// FnIr. Returns the index to resume scanning from.
+fn parse_fn(
+    file: &ScannedFile,
+    toks: &[Token],
+    start: usize,
+    owner: Option<String>,
+    barriers: &BTreeSet<String>,
+    out: &mut Vec<FnIr>,
+) -> usize {
+    let line = toks[start].line;
+    let name = toks[start + 1].text.clone();
+    let mut j = start + 2;
+    // Generics on the fn.
+    if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+        let mut angle = 0i32;
+        while j < toks.len() {
+            if toks[j].is_punct("<") {
+                angle += 1;
+            } else if toks[j].is_punct(">") && !toks[j - 1].is_punct("-") {
+                angle -= 1;
+                if angle == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    if !toks.get(j).is_some_and(|t| t.is_punct("(")) {
+        return start + 2;
+    }
+    let params_start = j + 1;
+    let params_close = paren_end(toks, j); // index just past `)`
+    let params = parse_params(toks, params_start, params_close.saturating_sub(1));
+    j = params_close;
+    // Return type.
+    let mut ret_ty: Option<String> = None;
+    if toks.get(j).is_some_and(|t| t.is_punct("-"))
+        && toks.get(j + 1).is_some_and(|t| t.is_punct(">"))
+    {
+        j += 2;
+        let mut parts = Vec::new();
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(j) {
+            if depth == 0 && (t.is_punct("{") || t.is_punct(";") || t.is_ident("where")) {
+                break;
+            }
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            }
+            parts.push(t.text.clone());
+            j += 1;
+        }
+        ret_ty = Some(parts.join(" "));
+    }
+    // Where clause / anything before the body.
+    while let Some(t) = toks.get(j) {
+        if t.is_punct("{") || t.is_punct(";") {
+            break;
+        }
+        j += 1;
+    }
+    let mut f = FnIr {
+        rel: file.rel.clone(),
+        name,
+        owner,
+        line,
+        is_test: file.is_test_line(line),
+        params,
+        ret_ty,
+        calls: Vec::new(),
+        lets: Vec::new(),
+        field_inits: Vec::new(),
+        returns: Vec::new(),
+    };
+    let resume = if toks.get(j).is_some_and(|t| t.is_punct("{")) {
+        let body_end = skip_group(toks, j, "{", "}");
+        extract_body(toks, j + 1, body_end.saturating_sub(1), barriers, &mut f);
+        body_end
+    } else {
+        j + 1
+    };
+    out.push(f);
+    resume
+}
+
+fn parse_params(toks: &[Token], start: usize, end: usize) -> Vec<Param> {
+    let mut params = Vec::new();
+    for (s, e) in split_top_commas(toks, start, end) {
+        // Find the top-level `:` separating pattern from type.
+        let mut depth = 0i32;
+        let mut colon = None;
+        let mut k = s;
+        while k < e {
+            let t = &toks[k];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(")")
+                || t.is_punct("]")
+                || (t.is_punct(">") && !toks[k - 1].is_punct("-"))
+            {
+                depth -= 1;
+            } else if depth == 0
+                && t.is_punct(":")
+                && !toks.get(k + 1).is_some_and(|n| n.is_punct(":"))
+                && !(k > s && toks[k - 1].is_punct(":"))
+            {
+                colon = Some(k);
+                break;
+            }
+            k += 1;
+        }
+        let Some(c) = colon else {
+            continue; // `self` / `&mut self`
+        };
+        let name = (s..c)
+            .rev()
+            .map(|k| &toks[k])
+            .find(|t| t.kind == TokenKind::Ident && t.text != "mut" && t.text != "ref");
+        let Some(name) = name else {
+            continue;
+        };
+        let ty = (c + 1..e).map(|k| toks[k].text.clone()).collect::<Vec<_>>();
+        params.push(Param {
+            name: name.text.clone(),
+            ty: ty.join(" "),
+        });
+    }
+    params
+}
+
+/// Walk a function body `toks[start..end]`, filling `f` with lets, calls,
+/// field inits and return expressions.
+fn extract_body(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    barriers: &BTreeSet<String>,
+    f: &mut FnIr,
+) {
+    // Lets, calls and field inits are collected at *any* depth inside the
+    // body (flow order approximated by token order); the tail expression is
+    // tracked at depth 0 only.
+    let mut i = start;
+    let mut tail_start = start;
+    let mut depth = 0i32;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+            if depth <= 0 {
+                depth = 0;
+                // Only a block close ends a statement; a `)` or `]`
+                // returning to depth 0 is still inside the tail
+                // expression (`t.elapsed().as_millis()`).
+                if t.is_punct("}") {
+                    tail_start = i + 1;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if depth == 0 && t.is_punct(";") {
+            tail_start = i + 1;
+            i += 1;
+            continue;
+        }
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = t.text.as_str();
+        match name {
+            "let" => {
+                i = parse_let(toks, i, end, barriers, f);
+                // parse_let consumes the statement's `;`, so the depth-0
+                // `;` reset above never sees it: restart the tail here.
+                tail_start = i;
+                continue;
+            }
+            "return" => {
+                let stop = stmt_end(toks, i + 1, end);
+                f.returns.push(collect_expr(toks, i + 1, stop, barriers));
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
+        let next_brace = toks.get(i + 1).is_some_and(|n| n.is_punct("{"));
+        if next_paren && !EXPR_KEYWORDS.contains(&name) {
+            record_call(toks, i, i + 1, false, barriers, f);
+        } else if next_bang {
+            // Macro invocation `name!(...)` / `name![...]` / `name!{...}`.
+            let d = i + 2;
+            let (open, close) = match toks.get(d) {
+                Some(t) if t.is_punct("(") => ("(", ")"),
+                Some(t) if t.is_punct("[") => ("[", "]"),
+                Some(t) if t.is_punct("{") => ("{", "}"),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            record_macro(toks, i, d, open, close, barriers, f);
+        } else if next_brace && is_upper(name) && struct_literal_position(toks, i) {
+            parse_field_inits(toks, i, barriers, f);
+        }
+        i += 1;
+    }
+    // Tail expression (depth-0 segment after the last `;` / block close).
+    if tail_start < end {
+        f.returns
+            .push(collect_expr(toks, tail_start, end, barriers));
+    }
+}
+
+/// Heuristic: `Upper {` opens a struct literal unless the previous token
+/// makes it a definition or a `for`-loop iterable position.
+fn struct_literal_position(toks: &[Token], i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    let prev = &toks[i - 1];
+    if prev.is_punct(":") {
+        // `Enum::Variant { .. }` is a literal; `x: Foo {` (single colon,
+        // a type-ascription shape) is not.
+        return i >= 2 && toks[i - 2].is_punct(":");
+    }
+    !(prev.is_ident("struct")
+        || prev.is_ident("enum")
+        || prev.is_ident("union")
+        || prev.is_ident("trait")
+        || prev.is_ident("mod")
+        || prev.is_ident("fn")
+        || prev.is_ident("impl")
+        || prev.is_ident("for")
+        || prev.is_ident("in")
+        || prev.is_punct(":"))
+}
+
+/// End of the statement starting at `from`: the next `;` with all
+/// delimiters balanced, or `end`.
+fn stmt_end(toks: &[Token], from: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            if depth == 0 {
+                return i;
+            }
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(";") {
+            return i;
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Parse a `let` statement at `toks[i]`; returns the resume index.
+fn parse_let(
+    toks: &[Token],
+    i: usize,
+    end: usize,
+    barriers: &BTreeSet<String>,
+    f: &mut FnIr,
+) -> usize {
+    let stop = stmt_end(toks, i + 1, end);
+    // Find the binding `=`: first top-level `=` that is not part of a
+    // two-char operator (`==`, `<=`, `>=`, `!=`, `+=`, ...).
+    let mut depth = 0i32;
+    let mut eq = None;
+    let mut k = i + 1;
+    while k < stop {
+        let t = &toks[k];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") || t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(")")
+            || t.is_punct("]")
+            || t.is_punct("}")
+            || (t.is_punct(">") && !toks[k - 1].is_punct("-"))
+        {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct("=") {
+            let prev_op = toks[k - 1].kind == TokenKind::Punct
+                && matches!(
+                    toks[k - 1].text.as_str(),
+                    "=" | "<" | ">" | "!" | "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"
+                );
+            let next_eq = toks.get(k + 1).is_some_and(|n| n.is_punct("="));
+            if !prev_op && !next_eq {
+                eq = Some(k);
+                break;
+            }
+        }
+        k += 1;
+    }
+    // Resume past a `;`, but *on* an unmatched close (`}` of the
+    // surrounding block when an `if let`/`while let` header ended the
+    // statement): extract_body must still see that close to keep its
+    // depth — and therefore its tail-expression tracking — balanced.
+    let resume = if toks.get(stop).is_some_and(|t| t.is_punct(";")) {
+        stop + 1
+    } else {
+        stop
+    };
+    let Some(eq) = eq else {
+        return resume; // `let x;` — uninitialised, nothing to taint
+    };
+    // Pattern + optional type annotation before `=`.
+    let mut depth = 0i32;
+    let mut colon = None;
+    for k in i + 1..eq {
+        let t = &toks[k];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(")")
+            || t.is_punct("]")
+            || (t.is_punct(">") && !toks[k - 1].is_punct("-"))
+        {
+            depth -= 1;
+        } else if depth == 0
+            && t.is_punct(":")
+            && !toks.get(k + 1).is_some_and(|n| n.is_punct(":"))
+            && !toks[k - 1].is_punct(":")
+        {
+            colon = Some(k);
+            break;
+        }
+    }
+    let pat_end = colon.unwrap_or(eq);
+    let mut names = Vec::new();
+    for k in i + 1..pat_end {
+        let t = &toks[k];
+        if t.kind == TokenKind::Ident
+            && !is_upper(&t.text)
+            && !matches!(t.text.as_str(), "mut" | "ref" | "box" | "_")
+            && !toks.get(k + 1).is_some_and(|n| n.is_punct(":"))
+        {
+            names.push(t.text.clone());
+        }
+    }
+    let ty = colon.map(|c| {
+        (c + 1..eq)
+            .map(|k| toks[k].text.clone())
+            .collect::<Vec<_>>()
+            .join(" ")
+    });
+    let rhs = collect_expr(toks, eq + 1, stop, barriers);
+    f.lets.push(LetBind { names, ty, rhs });
+    // Calls inside the rhs still need recording (sink/propagation sites):
+    // fall back to re-scanning the rhs range for calls only.
+    scan_calls(toks, eq + 1, stop, barriers, f);
+    resume
+}
+
+/// Record calls/macros/field-inits inside `toks[start..end]` (used for
+/// `let` right-hand sides whose statement walk was consumed by parse_let).
+fn scan_calls(toks: &[Token], start: usize, end: usize, barriers: &BTreeSet<String>, f: &mut FnIr) {
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = t.text.as_str();
+        let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
+        let next_brace = toks.get(i + 1).is_some_and(|n| n.is_punct("{"));
+        if next_paren && !EXPR_KEYWORDS.contains(&name) {
+            record_call(toks, i, i + 1, false, barriers, f);
+        } else if next_bang {
+            let d = i + 2;
+            let (open, close) = match toks.get(d) {
+                Some(t) if t.is_punct("(") => ("(", ")"),
+                Some(t) if t.is_punct("[") => ("[", "]"),
+                Some(t) if t.is_punct("{") => ("{", "}"),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            record_macro(toks, i, d, open, close, barriers, f);
+        } else if next_brace && is_upper(name) && struct_literal_position(toks, i) {
+            parse_field_inits(toks, i, barriers, f);
+        }
+        i += 1;
+    }
+}
+
+/// Walk back a `::`-separated path ending just before `name_idx`.
+fn path_before(toks: &[Token], name_idx: usize) -> Vec<String> {
+    let mut path = Vec::new();
+    let mut k = name_idx;
+    while k >= 2
+        && toks[k - 1].is_punct(":")
+        && toks[k - 2].is_punct(":")
+        && k >= 3
+        && toks[k - 3].kind == TokenKind::Ident
+    {
+        path.push(toks[k - 3].text.clone());
+        k -= 3;
+    }
+    path.reverse();
+    path
+}
+
+fn record_call(
+    toks: &[Token],
+    name_idx: usize,
+    open_idx: usize,
+    is_macro: bool,
+    barriers: &BTreeSet<String>,
+    f: &mut FnIr,
+) {
+    let close = skip_group(toks, open_idx, "(", ")");
+    let args = split_top_commas(toks, open_idx + 1, close.saturating_sub(1))
+        .into_iter()
+        .map(|(s, e)| collect_expr(toks, s, e, barriers))
+        .collect();
+    let receiver = if name_idx >= 2 && toks[name_idx - 1].is_punct(".") {
+        match &toks[name_idx - 2] {
+            t if t.kind == TokenKind::Ident => Some(t.text.clone()),
+            _ => None,
+        }
+    } else {
+        None
+    };
+    f.calls.push(Call {
+        name: toks[name_idx].text.clone(),
+        path: path_before(toks, name_idx),
+        receiver,
+        is_macro,
+        line: toks[name_idx].line,
+        args,
+    });
+}
+
+fn record_macro(
+    toks: &[Token],
+    name_idx: usize,
+    open_idx: usize,
+    open: &str,
+    close: &str,
+    barriers: &BTreeSet<String>,
+    f: &mut FnIr,
+) {
+    let end = skip_group(toks, open_idx, open, close);
+    let args = split_top_commas(toks, open_idx + 1, end.saturating_sub(1))
+        .into_iter()
+        .map(|(s, e)| collect_expr(toks, s, e, barriers))
+        .collect();
+    f.calls.push(Call {
+        name: toks[name_idx].text.clone(),
+        path: path_before(toks, name_idx),
+        receiver: None,
+        is_macro: true,
+        line: toks[name_idx].line,
+        args,
+    });
+}
+
+/// Parse `Type { field: expr, .. }` field initialisations at `toks[i]`.
+fn parse_field_inits(toks: &[Token], i: usize, barriers: &BTreeSet<String>, f: &mut FnIr) {
+    let type_name = toks[i].text.clone();
+    let open = i + 1;
+    let close = skip_group(toks, open, "{", "}");
+    for (s, e) in split_top_commas(toks, open + 1, close.saturating_sub(1)) {
+        if s >= e {
+            continue;
+        }
+        // `..base` spread — skip.
+        if toks[s].is_punct(".") {
+            continue;
+        }
+        let field_tok = &toks[s];
+        if field_tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let value = if toks.get(s + 1).is_some_and(|t| t.is_punct(":")) {
+            collect_expr(toks, s + 2, e, barriers)
+        } else if e == s + 1 {
+            // Shorthand `Type { field }` — the local of the same name.
+            ExprInfo {
+                idents: vec![field_tok.text.clone()],
+                ..Default::default()
+            }
+        } else {
+            continue;
+        };
+        f.field_inits.push(FieldInit {
+            type_name: type_name.clone(),
+            field: field_tok.text.clone(),
+            value,
+        });
+    }
+}

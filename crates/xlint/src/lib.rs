@@ -11,6 +11,18 @@
 //! | XL004 | config-hygiene           | config struct fields never read outside their declaration |
 //! | XL005 | forbid-unsafe            | crate roots missing `#![forbid(unsafe_code)]`        |
 //! | XL006 | hot-path-alloc           | `.clone()` / `.to_vec()` / `format!` inside the engine's event-dispatch and frame-delivery functions |
+//! | XL007 | secret-flow              | `Debug`/`Display` on `[secrets]` types; any taint path from secret-typed data into a trace/obs/format/CSV sink not routed through a `[secrets].redact` / `.declassify` boundary |
+//! | XL008 | nondeterminism-flow      | interprocedural upgrade of XL001: `Instant`/`SystemTime`/thread-id taint reaching simulation state, trace output or results artifacts |
+//!
+//! XL007/XL008 run on a workspace-level dataflow engine (see [`ir`],
+//! [`callgraph`], [`taint`]): every crate's items are lowered to a
+//! lightweight IR, a name-resolved cross-crate call graph is built, and a
+//! forward may-taint propagation carries secret / host-nondeterministic
+//! values through lets, call arguments, returns and struct fields until
+//! they reach a sink. Secret types and the sanctioned redaction /
+//! declassification boundaries are declared in the `[secrets]` section of
+//! `xlint.toml`; stale `[secrets]` entries are reported via XL000 exactly
+//! like stale `[[allow]]` entries.
 //!
 //! Findings carry `file:line` plus a rule ID; legitimate sites are
 //! suppressed through the TOML allowlist (`xlint.toml` at the workspace
@@ -18,6 +30,10 @@
 //! are exempt from the token rules.
 
 #![forbid(unsafe_code)]
+
+pub mod callgraph;
+pub mod ir;
+pub mod taint;
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -122,6 +138,10 @@ pub enum RuleId {
     Xl005,
     /// Per-event allocation in a hot-path function body.
     Xl006,
+    /// Secret-typed data flowing into an operator-visible sink.
+    Xl007,
+    /// Host-nondeterministic value flowing into deterministic output.
+    Xl008,
 }
 
 impl RuleId {
@@ -134,6 +154,8 @@ impl RuleId {
             RuleId::Xl004 => "XL004",
             RuleId::Xl005 => "XL005",
             RuleId::Xl006 => "XL006",
+            RuleId::Xl007 => "XL007",
+            RuleId::Xl008 => "XL008",
         }
     }
 }
@@ -210,6 +232,54 @@ pub fn parse_allowlist(src: &str) -> Result<Vec<AllowEntry>, String> {
         });
     }
     Ok(entries)
+}
+
+/// The `[secrets]` section of `xlint.toml`: the secret-type universe and
+/// the sanctioned taint barriers for XL007.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Secrets {
+    /// Type names whose values are key material / shares (taint sources).
+    pub types: Vec<String>,
+    /// Redaction functions: outputs derived through them are sanctioned.
+    pub redact: Vec<String>,
+    /// Declassification boundaries: protocol-public derivations of secret
+    /// inputs (wire encodings, recovered aggregates, scheme statistics).
+    pub declassify: Vec<String>,
+}
+
+/// Full parsed `xlint.toml`: `[[allow]]` entries plus `[secrets]`.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    pub allow: Vec<AllowEntry>,
+    pub secrets: Secrets,
+}
+
+/// Parse the complete `xlint.toml` (allowlist + `[secrets]`).
+pub fn parse_config(src: &str) -> Result<LintConfig, String> {
+    let allow = parse_allowlist(src)?;
+    let table = toml::from_str(src).map_err(|e| e.to_string())?;
+    let mut secrets = Secrets::default();
+    if let Some(s) = table.get("secrets") {
+        let list = |key: &str| -> Result<Vec<String>, String> {
+            match s.get(key) {
+                None => Ok(Vec::new()),
+                Some(v) => v
+                    .as_array()
+                    .ok_or_else(|| format!("`secrets.{key}` must be an array of strings"))?
+                    .iter()
+                    .map(|x| {
+                        x.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| format!("`secrets.{key}` must contain strings"))
+                    })
+                    .collect(),
+            }
+        };
+        secrets.types = list("types")?;
+        secrets.redact = list("redact")?;
+        secrets.declassify = list("declassify")?;
+    }
+    Ok(LintConfig { allow, secrets })
 }
 
 /// A lexed + lightly-parsed source file ready for rule checks.
@@ -317,11 +387,17 @@ fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
 }
 
 /// XL001: nondeterministic collections, clocks and RNGs.
-pub fn check_determinism(file: &ScannedFile) -> Vec<Diagnostic> {
+///
+/// With `include_clocks = false` (the bench harness, whose whole purpose
+/// is host timing), `Instant`/`SystemTime` are exempt from the blanket
+/// ban — XL008's flow analysis proves instead that their values never
+/// reach deterministic output.
+pub fn check_determinism(file: &ScannedFile, include_clocks: bool) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for tok in &file.tokens {
         if tok.kind == TokenKind::Ident
             && NONDETERMINISTIC_IDENTS.contains(&tok.text.as_str())
+            && (include_clocks || !matches!(tok.text.as_str(), "Instant" | "SystemTime"))
             && !file.is_test_line(tok.line)
         {
             out.push(Diagnostic {
@@ -706,6 +782,135 @@ pub fn check_config_hygiene(def: &ScannedFile, corpus: &[&ScannedFile]) -> Vec<D
     out
 }
 
+/// XL007 sinks: functions that record into traces, obs exports, results
+/// artifacts or rendered tables — anywhere an operator could read a value.
+const XL007_SINK_FNS: [&str; 14] = [
+    "record",
+    "trace_note",
+    "row",
+    "write_csv",
+    "write_svg",
+    "write_dir",
+    "spans_jsonl",
+    "metrics_jsonl",
+    "span_start",
+    "span_end",
+    "observe",
+    "inc",
+    "add",
+    "gauge_set",
+];
+
+/// XL007 sinks: every string-formatting macro (secret in a string is a
+/// secret in a log line or error display).
+const XL007_SINK_MACROS: [&str; 7] = [
+    "format", "write", "writeln", "print", "println", "eprint", "eprintln",
+];
+
+/// XL008 sinks: simulation state, trace output and the byte-compared
+/// deterministic artifacts (results CSVs/SVGs, obs JSONL, figure stdout).
+/// `eprintln`/`format` are deliberately absent — stderr and string
+/// building are operator channels, not determinism-gated outputs.
+const XL008_SINK_FNS: [&str; 16] = [
+    "record",
+    "trace_note",
+    "schedule",
+    "set_timer",
+    "row",
+    "write_csv",
+    "write_svg",
+    "write_dir",
+    "spans_jsonl",
+    "metrics_jsonl",
+    "span_start",
+    "span_end",
+    "observe",
+    "inc",
+    "add",
+    "gauge_set",
+];
+
+/// XL008 sinks: figure stdout is byte-compared across thread counts.
+const XL008_SINK_MACROS: [&str; 2] = ["print", "println"];
+
+/// XL008 sources: host clocks and thread identity.
+const XL008_SOURCE_TYPES: [&str; 3] = ["Instant", "SystemTime", "ThreadId"];
+
+/// Build the dataflow IR for `files` and run the XL007/XL008 taint rules
+/// plus the XL007 declaration checks. Exposed for the fixture suite.
+pub fn dataflow_diagnostics(files: &[&ScannedFile], secrets: &Secrets) -> Vec<Diagnostic> {
+    let barriers: BTreeSet<String> = secrets
+        .redact
+        .iter()
+        .chain(secrets.declassify.iter())
+        .cloned()
+        .collect();
+    let ws_ir = ir::build(files, &barriers);
+    let cg = callgraph::CallGraph::build(&ws_ir);
+    let mut out = Vec::new();
+    if !secrets.types.is_empty() {
+        let secret_types: BTreeSet<String> = secrets.types.iter().cloned().collect();
+        out.extend(taint::check_secret_decls(&ws_ir, &secret_types));
+        let spec = taint::TaintSpec {
+            rule: RuleId::Xl007,
+            label: "secret-typed data",
+            source_types: secret_types.clone(),
+            sink_fns: XL007_SINK_FNS.iter().map(|s| s.to_string()).collect(),
+            sink_macros: XL007_SINK_MACROS.iter().map(|s| s.to_string()).collect(),
+            barriers: barriers.clone(),
+            self_tainted_owners: secret_types,
+            remedy: "route it through a `[secrets].redact` function or a \
+                     declared declassification boundary",
+        };
+        out.extend(taint::analyze(&ws_ir, &cg, &spec));
+    }
+    let spec = taint::TaintSpec {
+        rule: RuleId::Xl008,
+        label: "host-nondeterministic value (clock / thread identity)",
+        source_types: XL008_SOURCE_TYPES.iter().map(|s| s.to_string()).collect(),
+        sink_fns: XL008_SINK_FNS.iter().map(|s| s.to_string()).collect(),
+        sink_macros: XL008_SINK_MACROS.iter().map(|s| s.to_string()).collect(),
+        barriers: barriers.clone(),
+        self_tainted_owners: BTreeSet::new(),
+        remedy: "deterministic outputs must derive only from the seeded \
+                 simulation clock/RNG; keep host timings in BENCH_*.json \
+                 or stderr",
+    };
+    out.extend(taint::analyze(&ws_ir, &cg, &spec));
+    // Stale `[secrets]` entries: every declared type / barrier must still
+    // exist somewhere in the scanned set.
+    for t in &secrets.types {
+        if !ws_ir.types.iter().any(|ty| &ty.name == t) {
+            out.push(stale_secret("types", t));
+        }
+    }
+    for (key, names) in [
+        ("redact", &secrets.redact),
+        ("declassify", &secrets.declassify),
+    ] {
+        for n in names {
+            if !ws_ir.fns.iter().any(|f| &f.name == n) {
+                out.push(stale_secret(key, n));
+            }
+        }
+    }
+    out
+}
+
+fn stale_secret(key: &str, name: &str) -> Diagnostic {
+    Diagnostic {
+        rule: RuleId::Xl000,
+        path: "xlint.toml".to_string(),
+        line: 0,
+        ident: format!("secrets.{key}:{name}"),
+        message: format!(
+            "stale `[secrets].{key}` entry `{name}` names no existing \
+             {} — remove it or fix the name",
+            if key == "types" { "type" } else { "function" }
+        ),
+    }
+}
+
 /// Everything a full run produces.
 pub struct LintReport {
     pub diagnostics: Vec<Diagnostic>,
@@ -736,8 +941,9 @@ fn collect_rs_files(root: &Path, rel_dir: &str, out: &mut BTreeSet<String>) {
 }
 
 /// Run every rule over the workspace rooted at `root`, applying the
-/// allowlist. `allowlist` is the parsed content of `xlint.toml`.
-pub fn lint_workspace(root: &Path, allowlist: &[AllowEntry]) -> Result<LintReport, String> {
+/// allowlist. `config` is the parsed content of `xlint.toml`.
+pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<LintReport, String> {
+    let allowlist = &config.allow;
     // Discover and parse every in-scope file once.
     let mut rels = BTreeSet::new();
     for dir in DETERMINISM_SCOPE {
@@ -763,7 +969,11 @@ pub fn lint_workspace(root: &Path, allowlist: &[AllowEntry]) -> Result<LintRepor
     let mut raw = Vec::new();
     for file in &files {
         if in_scope(&DETERMINISM_SCOPE, &file.rel) {
-            raw.extend(check_determinism(file));
+            // The bench harness is exempt from the blanket clock ban:
+            // XL008 proves at flow level that host time never reaches
+            // deterministic output there.
+            let include_clocks = !file.rel.starts_with("crates/bench/src");
+            raw.extend(check_determinism(file, include_clocks));
         }
         if in_scope(&PANIC_SCOPE, &file.rel) {
             raw.extend(check_panic_policy(file));
@@ -784,6 +994,7 @@ pub fn lint_workspace(root: &Path, allowlist: &[AllowEntry]) -> Result<LintRepor
         return Err(format!("config definitions not found at {CONFIG_DEF}"));
     }
     raw.extend(check_error_variants(&corpus));
+    raw.extend(dataflow_diagnostics(&corpus, &config.secrets));
     for (rel, fns) in HOT_PATHS {
         match by_rel(rel) {
             Some(file) => raw.extend(check_hot_path_alloc(file, fns)),

@@ -7,7 +7,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xlint::{find_workspace_root, lint_workspace, parse_allowlist, to_json};
+use xlint::{find_workspace_root, lint_workspace, parse_config, to_json, LintConfig};
 
 enum Format {
     Text,
@@ -51,8 +51,11 @@ fn main() -> ExitCode {
                      \n\
                      Lints the iCPDA workspace for determinism (XL001), panic-policy\n\
                      (XL002), protocol-exhaustiveness (XL003), config-hygiene (XL004),\n\
-                     forbid(unsafe_code) (XL005) and hot-path allocation (XL006)\n\
-                     violations. Allowlist: xlint.toml at the workspace root.\n\
+                     forbid(unsafe_code) (XL005), hot-path allocation (XL006),\n\
+                     secret-flow (XL007) and nondeterminism-flow (XL008) violations.\n\
+                     XL007/XL008 run a workspace-level taint analysis; secret types\n\
+                     and redaction/declassification boundaries come from the\n\
+                     [secrets] section of xlint.toml at the workspace root.\n\
                      Exit codes: 0 clean, 1 findings, 2 error."
                 );
                 return ExitCode::SUCCESS;
@@ -77,10 +80,10 @@ fn main() -> ExitCode {
     };
 
     let allowlist_path = allowlist_arg.unwrap_or_else(|| root.join("xlint.toml"));
-    let allowlist = if allowlist_path.is_file() {
+    let config = if allowlist_path.is_file() {
         match std::fs::read_to_string(&allowlist_path) {
-            Ok(text) => match parse_allowlist(&text) {
-                Ok(entries) => entries,
+            Ok(text) => match parse_config(&text) {
+                Ok(config) => config,
                 Err(e) => {
                     eprintln!("xlint: {}: {e}", allowlist_path.display());
                     return ExitCode::from(2);
@@ -92,10 +95,10 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        Vec::new()
+        LintConfig::default()
     };
 
-    let report = match lint_workspace(&root, &allowlist) {
+    let report = match lint_workspace(&root, &config) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("xlint: {e}");

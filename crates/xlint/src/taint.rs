@@ -1,0 +1,318 @@
+//! Forward may-taint propagation over the [`crate::ir`] / call graph,
+//! powering XL007 (secret-flow) and XL008 (nondeterminism-flow).
+//!
+//! Sources are *types*: a parameter, local or return slot whose type
+//! mentions a source type name is tainted, as is any expression that
+//! mentions the type name itself (`Instant::now()`, `LinkKey(seed)`).
+//! Taint spreads through `let` bindings (token order approximates flow
+//! order), through call arguments into callee parameters, out of callees
+//! via tainted returns, through struct-literal field initialisations into
+//! a global field-name taint set, and from tainted arguments back into a
+//! method receiver (`samples.push(t)` taints `samples`).
+//!
+//! Barrier functions (`[secrets].redact` / `[secrets].declassify`) are
+//! erased at IR-build time — their argument contents never reach any
+//! expression bag — and calls to them are skipped here, so a value routed
+//! through a barrier stops being tainted and a barrier's tainted internals
+//! never flow back out through its return value.
+//!
+//! A finding is emitted when a tainted expression reaches a *sink*
+//! argument: trace/obs recording, CSV/SVG/report writers, or (for XL007)
+//! any string-formatting macro.
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::CallGraph;
+use crate::ir::{ExprInfo, Ir};
+use crate::{Diagnostic, RuleId};
+
+/// One rule family's source/sink/barrier configuration.
+pub struct TaintSpec {
+    pub rule: RuleId,
+    /// Human label for messages ("secret", "host-nondeterministic value").
+    pub label: &'static str,
+    /// Type names whose values are taint sources.
+    pub source_types: BTreeSet<String>,
+    /// Function names that are sinks when a tainted arg reaches them.
+    pub sink_fns: BTreeSet<String>,
+    /// Macro names that are sinks when a tainted arg reaches them.
+    pub sink_macros: BTreeSet<String>,
+    /// Call names that stop propagation (already erased at IR build).
+    pub barriers: BTreeSet<String>,
+    /// `self` is tainted inside impls of these types.
+    pub self_tainted_owners: BTreeSet<String>,
+    /// Guidance appended to every flow finding.
+    pub remedy: &'static str,
+}
+
+/// True when any identifier-shaped word of `ty` is in `set`.
+fn ty_mentions(ty: &str, set: &BTreeSet<String>) -> bool {
+    ty.split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .any(|w| !w.is_empty() && set.contains(w))
+}
+
+struct Analysis<'a> {
+    ir: &'a Ir,
+    cg: &'a CallGraph,
+    spec: &'a TaintSpec,
+    param_taint: Vec<Vec<bool>>,
+    returns_taint: Vec<bool>,
+    field_taint: BTreeSet<String>,
+}
+
+impl<'a> Analysis<'a> {
+    fn new(ir: &'a Ir, cg: &'a CallGraph, spec: &'a TaintSpec) -> Self {
+        let param_taint = ir
+            .fns
+            .iter()
+            .map(|f| {
+                f.params
+                    .iter()
+                    .map(|p| ty_mentions(&p.ty, &spec.source_types))
+                    .collect()
+            })
+            .collect();
+        let returns_taint = ir
+            .fns
+            .iter()
+            .map(|f| {
+                f.ret_ty
+                    .as_deref()
+                    .is_some_and(|t| ty_mentions(t, &spec.source_types))
+            })
+            .collect();
+        Analysis {
+            ir,
+            cg,
+            spec,
+            param_taint,
+            returns_taint,
+            field_taint: BTreeSet::new(),
+        }
+    }
+
+    fn expr_tainted(&self, e: &ExprInfo, local: &BTreeSet<String>) -> bool {
+        e.idents
+            .iter()
+            .any(|id| local.contains(id) || self.spec.source_types.contains(id))
+            || e.field_reads.iter().any(|fr| self.field_taint.contains(fr))
+            || e.calls.iter().any(|c| {
+                !self.spec.barriers.contains(&c.name)
+                    && self
+                        .cg
+                        .resolve_expr_call(self.ir, c)
+                        .iter()
+                        .any(|&t| self.returns_taint[t])
+            })
+    }
+
+    /// Local fixpoint: the set of tainted binding names in `fns[i]`.
+    fn local_taint(&self, i: usize) -> BTreeSet<String> {
+        let f = &self.ir.fns[i];
+        let mut tainted: BTreeSet<String> = f
+            .params
+            .iter()
+            .zip(&self.param_taint[i])
+            .filter(|(_, &t)| t)
+            .map(|(p, _)| p.name.clone())
+            .collect();
+        if f.owner
+            .as_deref()
+            .is_some_and(|o| self.spec.self_tainted_owners.contains(o))
+        {
+            tainted.insert("self".to_string());
+        }
+        for _ in 0..10 {
+            let before = tainted.len();
+            for l in &f.lets {
+                let src_typed =
+                    l.ty.as_deref()
+                        .is_some_and(|t| ty_mentions(t, &self.spec.source_types));
+                if src_typed || self.expr_tainted(&l.rhs, &tainted) {
+                    tainted.extend(l.names.iter().cloned());
+                }
+            }
+            // Receiver mutation: `recv.push(tainted)` taints `recv`.
+            for c in &f.calls {
+                if self.spec.barriers.contains(&c.name) {
+                    continue;
+                }
+                if let Some(r) = &c.receiver {
+                    if c.args.iter().any(|a| self.expr_tainted(a, &tainted)) {
+                        tainted.insert(r.clone());
+                    }
+                }
+            }
+            if tainted.len() == before {
+                break;
+            }
+        }
+        tainted
+    }
+
+    /// One global propagation sweep; returns true if anything changed.
+    fn sweep(&mut self) -> bool {
+        let mut changed = false;
+        for i in 0..self.ir.fns.len() {
+            let f = &self.ir.fns[i];
+            // A barrier's own body is sanctioned: whatever it derives from
+            // secret inputs is, by declaration, safe to emit, and nothing
+            // it stores or returns carries taint outward.
+            if f.is_test || self.spec.barriers.contains(&f.name) {
+                continue;
+            }
+            let local = self.local_taint(i);
+            // Args → callee params.
+            for c in &f.calls {
+                if c.is_macro || self.spec.barriers.contains(&c.name) {
+                    continue;
+                }
+                let targets: Vec<usize> = self.cg.resolve_call(self.ir, c);
+                for (p, arg) in c.args.iter().enumerate() {
+                    if !self.expr_tainted(arg, &local) {
+                        continue;
+                    }
+                    for &t in &targets {
+                        if let Some(slot) = self.param_taint[t].get_mut(p) {
+                            if !*slot {
+                                *slot = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            // Tainted returns.
+            if !self.returns_taint[i] && f.returns.iter().any(|r| self.expr_tainted(r, &local)) {
+                self.returns_taint[i] = true;
+                changed = true;
+            }
+            // Struct-literal field inits → global field-name taint.
+            for fi in &f.field_inits {
+                if self.expr_tainted(&fi.value, &local) && self.field_taint.insert(fi.field.clone())
+                {
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    fn findings(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let mut seen = BTreeSet::new();
+        for i in 0..self.ir.fns.len() {
+            let f = &self.ir.fns[i];
+            if f.is_test || self.spec.barriers.contains(&f.name) {
+                continue;
+            }
+            let local = self.local_taint(i);
+            for c in &f.calls {
+                let is_sink = if c.is_macro {
+                    self.spec.sink_macros.contains(&c.name)
+                } else {
+                    self.spec.sink_fns.contains(&c.name)
+                };
+                if !is_sink || self.spec.barriers.contains(&c.name) {
+                    continue;
+                }
+                if !c.args.iter().any(|a| self.expr_tainted(a, &local)) {
+                    continue;
+                }
+                if !seen.insert((f.rel.clone(), c.line, c.name.clone())) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: self.spec.rule,
+                    path: f.rel.clone(),
+                    line: c.line,
+                    ident: c.name.clone(),
+                    message: format!(
+                        "{} reaches sink `{}` in fn `{}`; {}",
+                        self.spec.label, c.name, f.name, self.spec.remedy
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Run one rule family's taint analysis over the workspace IR.
+pub fn analyze(ir: &Ir, cg: &CallGraph, spec: &TaintSpec) -> Vec<Diagnostic> {
+    let mut a = Analysis::new(ir, cg, spec);
+    for _ in 0..30 {
+        if !a.sweep() {
+            break;
+        }
+    }
+    if std::env::var_os("XLINT_TAINT_DEBUG").is_some() {
+        eprintln!("== {} taint state ==", spec.rule.as_str());
+        eprintln!("tainted fields: {:?}", a.field_taint);
+        for (i, f) in ir.fns.iter().enumerate() {
+            let ps: Vec<&str> = f
+                .params
+                .iter()
+                .zip(&a.param_taint[i])
+                .filter(|(_, &t)| t)
+                .map(|(p, _)| p.name.as_str())
+                .collect();
+            if a.returns_taint[i] || !ps.is_empty() {
+                eprintln!(
+                    "{}:{} fn {} params{:?} ret={}",
+                    f.rel, f.line, f.name, ps, a.returns_taint[i]
+                );
+            }
+        }
+    }
+    a.findings()
+}
+
+/// XL007 declaration checks: secret types must not derive `Debug`/`Display`
+/// and any manual `Debug`/`Display` impl on them must emit a fixed redacted
+/// form (i.e. never read through `self`).
+pub fn check_secret_decls(ir: &Ir, secret_types: &BTreeSet<String>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for t in &ir.types {
+        if !secret_types.contains(&t.name) {
+            continue;
+        }
+        for d in &t.derives {
+            if d == "Debug" || d == "Display" {
+                out.push(Diagnostic {
+                    rule: RuleId::Xl007,
+                    path: t.rel.clone(),
+                    line: t.line,
+                    ident: t.name.clone(),
+                    message: format!(
+                        "secret type `{}` derives `{d}` — key material would print \
+                         verbatim; write a manual impl that emits `{}(<redacted>)`",
+                        t.name, t.name
+                    ),
+                });
+            }
+        }
+    }
+    for imp in &ir.impls {
+        if imp.is_test || !secret_types.contains(&imp.type_name) {
+            continue;
+        }
+        let fmt_trait = matches!(imp.trait_name.as_deref(), Some("Debug") | Some("Display"));
+        if fmt_trait && imp.reads_self {
+            out.push(Diagnostic {
+                rule: RuleId::Xl007,
+                path: imp.rel.clone(),
+                line: imp.line,
+                ident: imp.type_name.clone(),
+                message: format!(
+                    "manual `{}` impl on secret type `{}` reads through `self` — it \
+                     must emit a fixed redacted form (`{}(<redacted>)`) only",
+                    imp.trait_name.as_deref().unwrap_or("Debug"),
+                    imp.type_name,
+                    imp.type_name
+                ),
+            });
+        }
+    }
+    out
+}

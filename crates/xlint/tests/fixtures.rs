@@ -42,7 +42,7 @@ fn idents(diags: &[Diagnostic]) -> Vec<&str> {
 #[test]
 fn determinism_rule_fires_on_every_banned_ident() {
     let file = fixture("bad_determinism.rs");
-    let diags = check_determinism(&file);
+    let diags = check_determinism(&file, true);
     assert!(diags.iter().all(|d| d.rule == RuleId::Xl001));
     assert_eq!(
         idents(&diags),
@@ -54,6 +54,13 @@ fn determinism_rule_fires_on_every_banned_ident() {
             "SystemTime",
             "thread_rng"
         ]
+    );
+    // With clocks delegated to XL008 (bench sources), the syntactic rule
+    // must still flag collections and entropy.
+    let no_clocks = check_determinism(&file, false);
+    assert_eq!(
+        idents(&no_clocks),
+        ["HashMap", "HashSet", "OsRng", "thread_rng"]
     );
     let cutoff = first_test_line("bad_determinism.rs");
     assert!(
@@ -162,7 +169,7 @@ fn hot_path_alloc_rule_flags_only_hot_function_bodies() {
 #[test]
 fn diagnostics_render_file_line_and_rule_id() {
     let file = fixture("bad_determinism.rs");
-    let diag = &check_determinism(&file)[0];
+    let diag = &check_determinism(&file, true)[0];
     let rendered = diag.to_string();
     assert!(
         rendered.starts_with(&format!("bad_determinism.rs:{}:", diag.line)),

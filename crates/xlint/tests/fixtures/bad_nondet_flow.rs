@@ -1,0 +1,60 @@
+//! XL008 fixture: host-clock values flowing into deterministic
+//! artifacts. The taint test pins the *exact* finding set:
+//!
+//! 1. `stamp` records a value derived from `Instant` two calls away
+//!    (`now_millis` return-taint through a local, into the `record`
+//!    sink);
+//! 2. `banner` prints a `SystemTime` to stdout (`println!` macro sink).
+//!
+//! Negative shapes: seeded simulation time reaching the same sink,
+//! host timings on stderr (`eprintln!` is an operator channel, not a
+//! sink), and `#[cfg(test)]` code.
+
+pub struct Trace {
+    rows: Vec<String>,
+}
+
+impl Trace {
+    pub fn record(&mut self, line: String) {
+        self.rows.push(line);
+    }
+}
+
+pub fn now_millis() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis()
+}
+
+pub fn stamp(tr: &mut Trace) {
+    let ms = now_millis();
+    tr.record(format!("t={ms}"));
+}
+
+pub fn banner() {
+    let started = std::time::SystemTime::now();
+    println!("run at {started:?}");
+}
+
+/// NEGATIVE: seeded simulation time is deterministic and may reach any
+/// sink.
+pub fn sim_stamp(tr: &mut Trace, sim_now_ms: u64) {
+    tr.record(format!("t={sim_now_ms}"));
+}
+
+/// NEGATIVE: stderr is the sanctioned operator channel for host facts.
+pub fn progress() {
+    let t = std::time::Instant::now();
+    eprintln!("elapsed {:?}", t.elapsed());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_in_tests_is_fine() {
+        let mut tr = Trace { rows: Vec::new() };
+        tr.record(format!("t={}", now_millis()));
+        assert_eq!(tr.rows.len(), 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! XL007 fixture: secret-typed values flowing into operator-visible
+//! sinks. The taint test pins the *exact* finding set:
+//!
+//! 1. `SecretKey` derives `Debug` (declaration check);
+//! 2. the manual `Display` impl reads through `self` (declaration check);
+//! 3. `describe` formats a secret-typed parameter (`format!` macro sink);
+//! 4. `audit` passes a value returned by `derive_key` to the `record`
+//!    sink (interprocedural return-taint).
+//!
+//! Everything else is a documented-negative shape: redaction via
+//! `fingerprint`, declassification via `wire_encode`, and `#[cfg(test)]`
+//! code are all sanctioned.
+
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    bits: u64,
+}
+
+impl std::fmt::Display for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.bits.to_string())
+    }
+}
+
+pub fn derive_key(seed: u64) -> SecretKey {
+    SecretKey { bits: seed ^ 0xA5A5 }
+}
+
+pub fn describe(k: &SecretKey) -> String {
+    format!("key={k:?}")
+}
+
+pub fn audit(log: &mut Vec<String>, seed: u64) {
+    let k = derive_key(seed);
+    record(log, &k);
+}
+
+pub fn record(log: &mut Vec<String>, k: &SecretKey) {
+    log.push(describe(k));
+}
+
+/// NEGATIVE: the secret is routed through the `fingerprint` redaction
+/// barrier, so nothing tainted reaches the `format!` sink.
+pub fn summary(k: &SecretKey) -> String {
+    format!("key={}", fingerprint(k))
+}
+
+/// NEGATIVE: `wire_encode` is a declared declassification boundary.
+pub fn publish(k: &SecretKey) -> String {
+    format!("{}", wire_encode(k))
+}
+
+/// Redaction barrier (named in the test's `[secrets].redact`): its own
+/// body is sanctioned, so the `format!` here is not a finding.
+pub fn fingerprint(k: &SecretKey) -> String {
+    format!("#{:02x}", k.bits & 0xff)
+}
+
+/// Declassification boundary (named in the test's `[secrets].declassify`).
+pub fn wire_encode(k: &SecretKey) -> u64 {
+    k.bits.rotate_left(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_in_tests_is_fine() {
+        let k = derive_key(7);
+        assert!(!format!("{k:?}").is_empty());
+    }
+}

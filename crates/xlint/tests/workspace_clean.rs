@@ -1,9 +1,10 @@
 //! The real workspace must lint clean: every determinism, panic-policy,
-//! exhaustiveness, config-hygiene and forbid-unsafe invariant holds, and
-//! the `xlint.toml` allowlist carries no stale entries.
+//! exhaustiveness, config-hygiene, forbid-unsafe and dataflow (secret /
+//! nondeterminism flow) invariant holds, and the `xlint.toml` allowlist
+//! and `[secrets]` section carry no stale entries.
 
 use std::path::Path;
-use xlint::{lint_workspace, parse_allowlist};
+use xlint::{lint_workspace, parse_config, LintConfig};
 
 fn workspace_root() -> &'static Path {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -12,17 +13,24 @@ fn workspace_root() -> &'static Path {
         .expect("crate lives two levels under the workspace root")
 }
 
+fn checked_in_config() -> LintConfig {
+    let src = std::fs::read_to_string(workspace_root().join("xlint.toml"))
+        .expect("xlint.toml at workspace root");
+    parse_config(&src).expect("config parses")
+}
+
 #[test]
-fn workspace_lints_clean_under_the_checked_in_allowlist() {
-    let root = workspace_root();
-    let allowlist_src =
-        std::fs::read_to_string(root.join("xlint.toml")).expect("xlint.toml at workspace root");
-    let allowlist = parse_allowlist(&allowlist_src).expect("allowlist parses");
+fn workspace_lints_clean_under_the_checked_in_config() {
+    let config = checked_in_config();
     assert!(
-        !allowlist.is_empty(),
+        !config.allow.is_empty(),
         "allowlist should document the known legitimate sites"
     );
-    let report = lint_workspace(root, &allowlist).expect("lint run succeeds");
+    assert!(
+        !config.secrets.types.is_empty(),
+        "[secrets] should name the key-material types"
+    );
+    let report = lint_workspace(workspace_root(), &config).expect("lint run succeeds");
     assert!(
         report.files_scanned > 50,
         "workspace discovery looks broken: only {} files",
@@ -42,12 +50,24 @@ fn workspace_lints_clean_under_the_checked_in_allowlist() {
 
 #[test]
 fn a_seeded_violation_is_caught_without_the_allowlist() {
-    // Belt-and-braces for the CI negative smoke: with an EMPTY allowlist
-    // the same tree must produce findings (the documented Instant/panic
-    // sites), proving the gate actually bites.
-    let report = lint_workspace(workspace_root(), &[]).expect("lint run succeeds");
+    // Belt-and-braces for the CI negative smoke: with the allowlist
+    // emptied (but [secrets] kept, so the flow rules run with their real
+    // sources) the same tree must produce findings, proving the gate
+    // actually bites.
+    let config = LintConfig {
+        allow: Vec::new(),
+        secrets: checked_in_config().secrets,
+    };
+    let report = lint_workspace(workspace_root(), &config).expect("lint run succeeds");
     assert!(
-        report.diagnostics.iter().any(|d| d.ident == "Instant"),
-        "expected the bench wall-clock site to surface without its allowlist entry"
+        report.diagnostics.iter().any(|d| d.ident == "panic"),
+        "expected the documented panic sites to surface without their allowlist entries"
+    );
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == xlint::RuleId::Xl008 && d.ident == "row"),
+        "expected the bench wall-clock flow into the report table to surface (XL008)"
     );
 }
