@@ -352,6 +352,38 @@ pub fn run_tag_with_faults(
     seed: u64,
     plan: &FaultPlan,
 ) -> TagRunOutcome {
+    run_tag_with_channel(
+        deployment,
+        sim_config,
+        tag_config,
+        readings,
+        seed,
+        plan,
+        &ChannelPlan::none(),
+    )
+}
+
+/// [`run_tag_with_faults`] under channel impairments as well: `channel`'s
+/// bursty loss, corruption, duplication and reordering are enforced by
+/// the simulator. TAG's tree is as fragile against a bursty channel as
+/// against churn — a burst across a relay's reporting slot silently
+/// drops its whole subtree — which is the iCPDA-vs-TAG contrast the
+/// reliability experiment (fig20) measures. An empty plan is a strict
+/// no-op.
+///
+/// # Panics
+///
+/// Panics if `readings.len() != deployment.len()` (entry 0 is ignored).
+#[must_use]
+pub fn run_tag_with_channel(
+    deployment: Deployment,
+    sim_config: SimConfig,
+    tag_config: TagConfig,
+    readings: &[u64],
+    seed: u64,
+    plan: &FaultPlan,
+    channel: &ChannelPlan,
+) -> TagRunOutcome {
     assert_eq!(
         readings.len(),
         deployment.len(),
@@ -372,6 +404,9 @@ pub fn run_tag_with_faults(
     });
     if !plan.is_empty() {
         sim.set_fault_plan(plan.clone());
+    }
+    if !channel.is_empty() {
+        sim.set_channel_plan(channel.clone());
     }
     let deadline = SimTime::ZERO + tag_config.finish_time() + SimDuration::from_secs(1);
     sim.run_until(deadline);
@@ -534,6 +569,83 @@ mod tests {
             (out.value.to_bits(), out.total_bytes, out.participants)
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn empty_channel_plan_is_a_no_op() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let dep = Deployment::connected_uniform_random_with_central_bs(
+            100,
+            Region::paper_default(),
+            50.0,
+            &mut rng,
+        );
+        let readings = vec![1u64; 100];
+        let run = |channel: &ChannelPlan| {
+            let out = run_tag_with_channel(
+                dep.clone(),
+                SimConfig::paper_default(),
+                TagConfig::paper_default(AggFunction::Count),
+                &readings,
+                6,
+                &FaultPlan::none(),
+                channel,
+            );
+            (out.value.to_bits(), out.total_bytes, out.participants)
+        };
+        assert_eq!(run(&ChannelPlan::none()), run(&ChannelPlan::none()));
+        let faults = run_tag_with_faults(
+            dep.clone(),
+            SimConfig::paper_default(),
+            TagConfig::paper_default(AggFunction::Count),
+            &readings,
+            6,
+            &FaultPlan::none(),
+        );
+        assert_eq!(
+            run(&ChannelPlan::none()),
+            (
+                faults.value.to_bits(),
+                faults.total_bytes,
+                faults.participants
+            )
+        );
+    }
+
+    #[test]
+    fn bursty_channel_starves_the_tree() {
+        // TAG has no retransmission: a bursty channel across reporting
+        // slots silently severs subtrees, so participation drops.
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let dep = Deployment::connected_uniform_random_with_central_bs(
+            100,
+            Region::paper_default(),
+            50.0,
+            &mut rng,
+        );
+        let readings = vec![1u64; 100];
+        let clean = run_tag(
+            dep.clone(),
+            SimConfig::paper_default(),
+            TagConfig::paper_default(AggFunction::Count),
+            &readings,
+            8,
+        );
+        let lossy = run_tag_with_channel(
+            dep,
+            SimConfig::paper_default(),
+            TagConfig::paper_default(AggFunction::Count),
+            &readings,
+            8,
+            &FaultPlan::none(),
+            &ChannelPlan::bursty(0.3, 0.8).unwrap(),
+        );
+        assert!(
+            lossy.participants < clean.participants,
+            "bursty loss must cost participants: {} vs {}",
+            lossy.participants,
+            clean.participants
+        );
     }
 
     #[test]

@@ -1,0 +1,6 @@
+//! Regenerates the "fig20_reliability" evaluation artefact. See
+//! `icpda_bench::experiments::fig20_reliability`.
+
+fn main() -> std::process::ExitCode {
+    icpda_bench::run_main(icpda_bench::experiments::fig20_reliability::run)
+}

@@ -11,6 +11,7 @@ pub mod fig16_rounds;
 pub mod fig17_synergy;
 pub mod fig18_churn;
 pub mod fig19_adversary;
+pub mod fig20_reliability;
 pub mod fig2_overhead;
 pub mod fig3_accuracy;
 pub mod fig4_privacy;
@@ -74,5 +75,6 @@ pub fn run_all() -> std::io::Result<()> {
     fig16_rounds::run()?;
     fig17_synergy::run()?;
     fig18_churn::run()?;
-    fig19_adversary::run()
+    fig19_adversary::run()?;
+    fig20_reliability::run()
 }

@@ -43,24 +43,57 @@ fn parse_config(args: &Args) -> Result<IcpdaConfig, ParseArgsError> {
     Ok(config)
 }
 
-fn parse_sim_config(args: &Args) -> Result<SimConfig, ParseArgsError> {
+/// Parses the link-quality flags into the stochastic loss model and the
+/// channel-impairment plan. `--loss P` alone is i.i.d. loss; adding
+/// `--burst B` moves the same target rate into a Gilbert–Elliott bursty
+/// channel (the i.i.d. model stays off so loss is not applied twice);
+/// `--edge-loss E` (optionally with `--loss-alpha A`) is the
+/// distance-dependent gray zone.
+fn parse_sim_config(args: &Args) -> Result<(SimConfig, ChannelPlan), ParseArgsError> {
     let mut sim = SimConfig::paper_default();
     let loss: f64 = args.get_or("loss", 0.0)?;
     let edge: f64 = args.get_or("edge-loss", 0.0)?;
+    let burst: f64 = args.get_or("burst", 0.0)?;
+    let alpha: f64 = args.get_or("loss-alpha", 4.0)?;
     if loss > 0.0 && edge > 0.0 {
         return Err(ParseArgsError(
             "--loss and --edge-loss are mutually exclusive".into(),
         ));
     }
-    if loss > 0.0 {
-        sim.loss = LossModel::Iid(loss);
-    } else if edge > 0.0 {
-        sim.loss = LossModel::DistanceDependent {
-            alpha: 4.0,
-            edge_loss: edge,
-        };
+    if args.get("loss-alpha").is_some() && edge == 0.0 {
+        return Err(ParseArgsError(
+            "--loss-alpha only applies together with --edge-loss".into(),
+        ));
     }
-    Ok(sim)
+    if burst > 0.0 && loss == 0.0 {
+        return Err(ParseArgsError(
+            "--burst needs --loss to set the target rate".into(),
+        ));
+    }
+    let mut channel = ChannelPlan::none();
+    if burst > 0.0 {
+        channel = ChannelPlan::bursty(loss, burst)
+            .map_err(|e| ParseArgsError(format!("--loss/--burst: {e}")))?;
+    } else if loss > 0.0 {
+        sim.loss = LossModel::iid(loss).map_err(|e| ParseArgsError(format!("--loss: {e}")))?;
+    } else if edge > 0.0 {
+        sim.loss = LossModel::distance_dependent(alpha, edge)
+            .map_err(|e| ParseArgsError(format!("--edge-loss: {e}")))?;
+    }
+    Ok((sim, channel))
+}
+
+/// Parses `--arq on|off` into a retry policy (absent = paper default:
+/// one blind repeat per critical message).
+fn parse_reliability(args: &Args) -> Result<icpda::ReliabilityConfig, ParseArgsError> {
+    match args.get("arq") {
+        None => Ok(icpda::ReliabilityConfig::paper_default()),
+        Some("on") => Ok(icpda::ReliabilityConfig::aggressive()),
+        Some("off") => Ok(icpda::ReliabilityConfig::off()),
+        Some(other) => Err(ParseArgsError(format!(
+            "--arq: expected on|off, got '{other}'"
+        ))),
+    }
 }
 
 /// Applies the `--threads N` override for the parallel trial layer
@@ -101,6 +134,9 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
             "integrity",
             "loss",
             "edge-loss",
+            "loss-alpha",
+            "burst",
+            "arq",
             "rounds",
             "churn",
             "adversary",
@@ -112,7 +148,8 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
     let seed: u64 = args.get_or("seed", 7)?;
     let mut config = parse_config(args)?;
     config.rounds = args.get_or("rounds", 1)?;
-    let mut sim = parse_sim_config(args)?;
+    config.reliability = parse_reliability(args)?;
+    let (mut sim, channel) = parse_sim_config(args)?;
     let obs_out = args.get("obs-out").map(std::path::PathBuf::from);
     if obs_out.is_some() {
         sim.obs_level = ObsLevel::Full;
@@ -168,9 +205,17 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
             args.get("adversary-mode").unwrap_or("pollute"),
         );
     }
+    if let Some(ge) = channel.gilbert_elliott() {
+        println!(
+            "channel       : bursty loss, mean rate {:.3} (retry budget {})",
+            ge.mean_loss(),
+            config.reliability.max_retries
+        );
+    }
     let out = IcpdaRun::new(dep, config, readings, seed)
         .with_sim_config(sim)
         .with_fault_plan(plan.clone())
+        .with_channel_plan(channel)
         .with_adversary_plan(adversary_plan)
         .run();
     println!("accepted      : {}", out.accepted);
@@ -190,6 +235,25 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
         out.total_frames, out.total_bytes, out.energy_mj
     );
     println!("collisions    : {}", out.collisions);
+    let counter = |name: &str| {
+        out.user_counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    println!(
+        "reliability   : {} timeouts, {} retransmits, {} budgets exhausted, {} duplicates dropped",
+        counter("icpda_rel_timeout"),
+        counter("icpda_rel_retransmit"),
+        counter("icpda_rel_exhausted"),
+        counter("icpda_rel_duplicate"),
+    );
+    if out.degraded {
+        println!(
+            "degraded      : partial aggregate ({} of {} eligible sensors)",
+            out.participants, out.eligible
+        );
+    }
     if !plan.is_empty() {
         println!(
             "coverage      : {:.3} ({} of {} eligible sensors reported)",
@@ -262,6 +326,14 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
                 (
                     "edge-loss".to_string(),
                     args.get("edge-loss").unwrap_or("0").to_string(),
+                ),
+                (
+                    "burst".to_string(),
+                    args.get("burst").unwrap_or("0").to_string(),
+                ),
+                (
+                    "arq".to_string(),
+                    args.get("arq").unwrap_or("default").to_string(),
                 ),
                 ("rounds".to_string(), config.rounds.to_string()),
                 ("churn".to_string(), churn.to_string()),
@@ -555,11 +627,53 @@ mod tests {
     #[test]
     fn sim_config_loss_flags_are_exclusive() {
         assert!(parse_sim_config(&args(&["run", "--loss", "0.1", "--edge-loss", "0.2"])).is_err());
-        let c = parse_sim_config(&args(&["run", "--edge-loss", "0.2"])).unwrap();
+        let (c, plan) = parse_sim_config(&args(&["run", "--edge-loss", "0.2"])).unwrap();
         assert!(matches!(
             c.loss,
             wsn_sim::LossModel::DistanceDependent { .. }
         ));
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn loss_flags_go_through_the_validated_constructors() {
+        // Out-of-range probabilities are typed errors, not silent panics
+        // deep in the radio model.
+        let err = parse_sim_config(&args(&["run", "--loss", "1.5"])).unwrap_err();
+        assert!(err.0.contains("--loss"), "{}", err.0);
+        assert!(err.0.contains("1.5"), "{}", err.0);
+        let err = parse_sim_config(&args(&["run", "--edge-loss", "0.2", "--loss-alpha", "-1"]))
+            .unwrap_err();
+        assert!(err.0.contains("--edge-loss"), "{}", err.0);
+        // --loss-alpha without --edge-loss is meaningless.
+        assert!(parse_sim_config(&args(&["run", "--loss-alpha", "2"])).is_err());
+    }
+
+    #[test]
+    fn burst_flag_builds_a_bursty_channel_plan() {
+        let (c, plan) =
+            parse_sim_config(&args(&["run", "--loss", "0.2", "--burst", "0.7"])).unwrap();
+        // The channel plan owns the loss; the i.i.d. model must stay off.
+        assert!(matches!(c.loss, wsn_sim::LossModel::None));
+        let ge = plan.gilbert_elliott().expect("bursty plan");
+        assert!((ge.mean_loss() - 0.2).abs() < 1e-12);
+        // --burst without --loss has no rate to target.
+        assert!(parse_sim_config(&args(&["run", "--burst", "0.5"])).is_err());
+        // Invalid burstiness surfaces the typed channel-plan error.
+        let err = parse_sim_config(&args(&["run", "--loss", "0.2", "--burst", "1.5"])).unwrap_err();
+        assert!(err.0.contains("--loss/--burst"), "{}", err.0);
+    }
+
+    #[test]
+    fn arq_flag_selects_the_retry_budget() {
+        let off = parse_reliability(&args(&["run", "--arq", "off"])).unwrap();
+        assert!(!off.arq);
+        assert_eq!(off.max_retries, 0);
+        let on = parse_reliability(&args(&["run", "--arq", "on"])).unwrap();
+        assert_eq!(on.max_retries, 3);
+        let default = parse_reliability(&args(&["run"])).unwrap();
+        assert_eq!(default, icpda::ReliabilityConfig::paper_default());
+        assert!(parse_reliability(&args(&["run", "--arq", "maybe"])).is_err());
     }
 
     #[test]
@@ -582,6 +696,14 @@ mod tests {
         // Exercise the `run` command itself on a very small network.
         let a = args(&["run", "--nodes", "40", "--seed", "1"]);
         run(&a).expect("run succeeds");
+    }
+
+    #[test]
+    fn tiny_bursty_arq_run_succeeds() {
+        let a = args(&[
+            "run", "--nodes", "40", "--seed", "1", "--loss", "0.2", "--burst", "0.6", "--arq", "on",
+        ]);
+        run(&a).expect("bursty ARQ run succeeds");
     }
 
     #[test]

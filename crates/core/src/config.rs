@@ -117,6 +117,23 @@ pub struct PhaseSchedule {
     pub max_depth: u16,
     /// Slack after the upstream epoch before the base station decides.
     pub decision_slack: SimDuration,
+    /// Base delay before a head's blind roster repeat (the deterministic
+    /// part of retry 0; grows per [`crate::ReliabilityConfig`]).
+    pub roster_repeat_after: SimDuration,
+    /// Upper bound of the uniform jitter added to each roster repeat.
+    pub roster_repeat_jitter: SimDuration,
+    /// Base delay before an upstream report's blind repeat.
+    pub upstream_repeat_after: SimDuration,
+    /// Upper bound of the uniform jitter added to each upstream repeat.
+    pub upstream_repeat_jitter: SimDuration,
+    /// Offset of the second share-repair NACK round after the first.
+    pub repair2_offset: SimDuration,
+    /// Upper bound of the random jitter applied to query/round flood
+    /// relays (the broadcast-storm de-synchroniser).
+    pub flood_relay_jitter: SimDuration,
+    /// Slack added to two upstream slots when arming the crash-recovery
+    /// parent-liveness deadline.
+    pub parent_check_slack: SimDuration,
 }
 
 impl PhaseSchedule {
@@ -142,6 +159,13 @@ impl PhaseSchedule {
             upstream_epoch: SimDuration::from_secs(10),
             max_depth: 20,
             decision_slack: SimDuration::from_secs(2),
+            roster_repeat_after: SimDuration::from_millis(200),
+            roster_repeat_jitter: SimDuration::from_millis(200),
+            upstream_repeat_after: SimDuration::from_millis(150),
+            upstream_repeat_jitter: SimDuration::from_millis(100),
+            repair2_offset: SimDuration::from_millis(300),
+            flood_relay_jitter: SimDuration::from_millis(100),
+            parent_check_slack: SimDuration::from_millis(300),
         }
     }
 
@@ -196,6 +220,9 @@ pub struct IcpdaConfig {
     pub rounds: u16,
     /// Phase timing.
     pub schedule: PhaseSchedule,
+    /// Retry budgets and backoff for the blind-retransmission (ARQ)
+    /// layer; see [`crate::reliability`].
+    pub reliability: crate::reliability::ReliabilityConfig,
     /// Master secret for pairwise link keys.
     pub key_master: u64,
     /// Crash-recovery switch: when on, members watch their head's
@@ -225,6 +252,7 @@ impl IcpdaConfig {
             threshold: 0,
             rounds: 1,
             schedule: PhaseSchedule::paper_default(),
+            reliability: crate::reliability::ReliabilityConfig::paper_default(),
             key_master: 0x1C9D_A5EC_u64,
             crash_recovery: false,
         }
@@ -253,6 +281,10 @@ impl IcpdaConfig {
         assert!(
             self.threshold <= crate::monitor::MAX_MEANINGFUL_THRESHOLD,
             "threshold beyond (p-1)/2 disables monitoring entirely"
+        );
+        assert!(
+            self.reliability.backoff >= 1,
+            "backoff multiplier must be at least 1"
         );
     }
 }
@@ -319,6 +351,14 @@ mod tests {
     fn absurd_threshold_rejected() {
         let mut c = IcpdaConfig::paper_default(AggFunction::Sum);
         c.threshold = crate::monitor::MAX_MEANINGFUL_THRESHOLD + 1;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff multiplier")]
+    fn zero_backoff_rejected() {
+        let mut c = IcpdaConfig::paper_default(AggFunction::Sum);
+        c.reliability.backoff = 0;
         c.validate();
     }
 

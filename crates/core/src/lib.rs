@@ -47,6 +47,7 @@ pub mod monitor;
 pub mod msg;
 pub mod node;
 pub mod privacy;
+pub mod reliability;
 pub mod runner;
 pub mod session;
 pub mod shares;
@@ -61,5 +62,6 @@ pub use monitor::{CachedAggregate, CheckOutcome, MonitorCache};
 pub use msg::{IcpdaMsg, MergedRef};
 pub use node::{BsDecision, IcpdaNode, Role};
 pub use privacy::{evaluate_disclosure, evaluate_disclosure_with_keys, DisclosureReport};
+pub use reliability::{ReliabilityConfig, RetryState};
 pub use runner::{IcpdaOutcome, IcpdaRun};
 pub use session::{run_session, run_session_with_slander, SessionOutcome};

@@ -21,6 +21,7 @@ use crate::cluster::Roster;
 use crate::config::{IcpdaConfig, IntegrityMode, PrivacyMode};
 use crate::monitor::{CachedAggregate, CheckOutcome, MonitorCache, ViolationKind};
 use crate::msg::{IcpdaMsg, InputClaim, MergedRef};
+use crate::reliability::RetryState;
 use crate::shares::{
     assemble, generate_shares, generate_shares_t, recover_sum, recover_sum_at, share_from_bytes,
     share_to_bytes, ShareVector,
@@ -55,6 +56,10 @@ const TIMER_SHARE_DRAIN: TimerToken = 17;
 const TIMER_HEAD_CHECK: TimerToken = 18;
 const TIMER_PARENT_CHECK: TimerToken = 19;
 const TIMER_BEACON: TimerToken = 20;
+const TIMER_ANNOUNCE_REPEAT: TimerToken = 21;
+const TIMER_JOIN_REPEAT: TimerToken = 22;
+const TIMER_SHARES_REPEAT: TimerToken = 23;
+const TIMER_FSUM_REPEAT: TimerToken = 24;
 
 // Protocol-phase span names (see DESIGN §12). Spans are recorded per
 // node at `ObsLevel::Phases` and bracket the protocol's observable
@@ -175,6 +180,15 @@ pub struct IcpdaNode {
     upstream_sent: bool,
     late_upstream: u32,
 
+    // Reliability: per-message retry budgets (see `crate::reliability`).
+    roster_retry: RetryState,
+    upstream_retry: RetryState,
+    // Cluster-phase budgets, only armed under `cluster_arq`.
+    announce_retry: RetryState,
+    join_retry: RetryState,
+    share_retry: RetryState,
+    fsum_retry: RetryState,
+
     // Integrity.
     monitor: MonitorCache,
     alarms_raised: BTreeSet<NodeId>,
@@ -262,6 +276,12 @@ impl IcpdaNode {
             pending_upstream: None,
             upstream_sent: false,
             late_upstream: 0,
+            roster_retry: RetryState::new(),
+            upstream_retry: RetryState::new(),
+            announce_retry: RetryState::new(),
+            join_retry: RetryState::new(),
+            share_retry: RetryState::new(),
+            fsum_retry: RetryState::new(),
             monitor: MonitorCache::new(),
             alarms_raised: BTreeSet::new(),
             alarms_forwarded: BTreeSet::new(),
@@ -525,9 +545,12 @@ impl IcpdaNode {
         self.pending_flood = Some(SharedPayload::new(IcpdaMsg::Query {
             level: level.saturating_add(1),
         }));
-        let relay_jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..100_000_000));
-        ctx.set_timer(relay_jitter, TIMER_FLOOD_RELAY);
         let s = self.config.schedule;
+        let relay_jitter = SimDuration::from_nanos(
+            ctx.rng()
+                .gen_range(0..s.flood_relay_jitter.as_nanos().max(1)),
+        );
+        ctx.set_timer(relay_jitter, TIMER_FLOOD_RELAY);
         let elect_jitter =
             SimDuration::from_nanos(ctx.rng().gen_range(0..s.elect_after.as_nanos().max(2) / 2));
         ctx.set_timer(s.elect_after + elect_jitter, TIMER_ELECT);
@@ -549,6 +572,20 @@ impl IcpdaNode {
         if is_head {
             self.role = Role::Head;
             ctx.broadcast(IcpdaMsg::HeadAnnounce);
+            if self.config.reliability.cluster_arq {
+                // A lost announce means nearby members never even consider
+                // this cluster; repeat it on the budget (members dedup via
+                // `heads_heard`).
+                self.announce_retry = RetryState::new();
+                if let Some(repeat) = self.announce_retry.next_delay(
+                    &self.config.reliability,
+                    s.upstream_repeat_after,
+                    s.upstream_repeat_jitter,
+                    ctx.rng(),
+                ) {
+                    ctx.set_timer(repeat, TIMER_ANNOUNCE_REPEAT);
+                }
+            }
             // Dispersed so concurrent heads' roster broadcasts (the single
             // point of failure for a whole cluster) do not collide.
             ctx.set_timer(s.resign_after, TIMER_RESIGN);
@@ -587,8 +624,74 @@ impl IcpdaNode {
         let head = self.heads_heard[pick];
         self.role = Role::Member(head);
         ctx.send(head, IcpdaMsg::Join { head });
+        self.arm_join_repeat(ctx);
         if self.config.crash_recovery {
             self.schedule_head_check(ctx);
+        }
+    }
+
+    /// Under `cluster_arq`, blindly repeats the join unicast on the retry
+    /// budget: a lost join silently shrinks the roster (the head never
+    /// learns the member exists), which no later repair round can undo.
+    fn arm_join_repeat(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        if !self.config.reliability.cluster_arq {
+            return;
+        }
+        let s = self.config.schedule;
+        self.join_retry = RetryState::new();
+        if let Some(repeat) = self.join_retry.next_delay(
+            &self.config.reliability,
+            s.upstream_repeat_after,
+            s.upstream_repeat_jitter,
+            ctx.rng(),
+        ) {
+            ctx.set_timer(repeat, TIMER_JOIN_REPEAT);
+        }
+    }
+
+    fn handle_join_repeat(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        let Role::Member(head) = self.role else {
+            return;
+        };
+        // The roster doubles as the join's implicit acknowledgement.
+        if self.roster.is_some() || self.resigned_heads.contains(&head) {
+            return;
+        }
+        ctx.metrics().bump("icpda_rel_timeout");
+        ctx.send(head, IcpdaMsg::Join { head });
+        ctx.metrics().bump("icpda_rel_retransmit");
+        let rel = self.config.reliability;
+        let s = self.config.schedule;
+        if let Some(repeat) = self.join_retry.next_delay(
+            &rel,
+            s.upstream_repeat_after,
+            s.upstream_repeat_jitter,
+            ctx.rng(),
+        ) {
+            ctx.set_timer(repeat, TIMER_JOIN_REPEAT);
+        } else {
+            ctx.metrics().bump("icpda_rel_exhausted");
+        }
+    }
+
+    fn handle_announce_repeat(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        if self.role != Role::Head || self.has_resigned {
+            return;
+        }
+        ctx.metrics().bump("icpda_rel_timeout");
+        ctx.broadcast(IcpdaMsg::HeadAnnounce);
+        ctx.metrics().bump("icpda_rel_retransmit");
+        let rel = self.config.reliability;
+        let s = self.config.schedule;
+        if let Some(repeat) = self.announce_retry.next_delay(
+            &rel,
+            s.upstream_repeat_after,
+            s.upstream_repeat_jitter,
+            ctx.rng(),
+        ) {
+            ctx.set_timer(repeat, TIMER_ANNOUNCE_REPEAT);
+        } else {
+            ctx.metrics().bump("icpda_rel_exhausted");
         }
     }
 
@@ -667,6 +770,7 @@ impl IcpdaNode {
         let head = candidates[ctx.rng().gen_range(0..candidates.len())];
         self.role = Role::Member(head);
         ctx.send(head, IcpdaMsg::Join { head });
+        self.arm_join_repeat(ctx);
         ctx.metrics().bump("icpda_rejoined");
         if self.config.crash_recovery {
             self.schedule_head_check(ctx);
@@ -701,10 +805,18 @@ impl IcpdaNode {
         self.roster = Some(roster);
         if participates {
             // Losing the roster kills the whole cluster, so the head
-            // repeats it once (receivers are idempotent).
-            let repeat = SimDuration::from_millis(200)
-                + SimDuration::from_nanos(ctx.rng().gen_range(0..200_000_000));
-            ctx.set_timer(repeat, TIMER_ROSTER_REPEAT);
+            // blindly repeats it on its retry budget (receivers are
+            // idempotent).
+            let s = self.config.schedule;
+            self.roster_retry = RetryState::new();
+            if let Some(repeat) = self.roster_retry.next_delay(
+                &self.config.reliability,
+                s.roster_repeat_after,
+                s.roster_repeat_jitter,
+                ctx.rng(),
+            ) {
+                ctx.set_timer(repeat, TIMER_ROSTER_REPEAT);
+            }
             self.schedule_share_phases(ctx, stagger_ms);
         } else {
             ctx.metrics().bump("icpda_cluster_too_small");
@@ -713,11 +825,25 @@ impl IcpdaNode {
 
     fn handle_roster_repeat(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
         if let Some(roster) = self.roster.clone() {
+            // Without ACKs the deadline itself is the timeout signal.
+            ctx.metrics().bump("icpda_rel_timeout");
             ctx.broadcast(IcpdaMsg::ClusterInfo {
                 head: ctx.id(),
                 members: roster.members().to_vec(),
                 stagger_ms: self.my_stagger_ms,
             });
+            ctx.metrics().bump("icpda_rel_retransmit");
+            let s = self.config.schedule;
+            if let Some(repeat) = self.roster_retry.next_delay(
+                &self.config.reliability,
+                s.roster_repeat_after,
+                s.roster_repeat_jitter,
+                ctx.rng(),
+            ) {
+                ctx.set_timer(repeat, TIMER_ROSTER_REPEAT);
+            } else {
+                ctx.metrics().bump("icpda_rel_exhausted");
+            }
         }
     }
 
@@ -744,7 +870,7 @@ impl IcpdaNode {
             let nack2_jitter =
                 SimDuration::from_nanos(ctx.rng().gen_range(0..s.nack_jitter.as_nanos().max(1)));
             ctx.set_timer(
-                stagger + s.repair_after + SimDuration::from_millis(300) + nack2_jitter,
+                stagger + s.repair_after + s.repair2_offset + nack2_jitter,
                 TIMER_REPAIR2,
             );
         }
@@ -815,6 +941,10 @@ impl IcpdaNode {
         self.absorbed_inputs.clear();
         self.upstream_sent = false;
         self.pending_upstream = None;
+        self.upstream_retry = RetryState::new();
+        self.roster_retry = RetryState::new();
+        self.share_retry = RetryState::new();
+        self.fsum_retry = RetryState::new();
         self.alarms_raised.clear();
         self.alarms_forwarded.clear();
         self.parent_forwarded = false;
@@ -851,7 +981,10 @@ impl IcpdaNode {
         self.begin_round(ctx, round);
         // Flood the round marker onward with the usual jitter.
         self.pending_flood = Some(SharedPayload::new(IcpdaMsg::NewRound { round }));
-        let relay_jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..100_000_000));
+        let relay_jitter = SimDuration::from_nanos(
+            ctx.rng()
+                .gen_range(0..self.config.schedule.flood_relay_jitter.as_nanos().max(1)),
+        );
         ctx.set_timer(relay_jitter, TIMER_FLOOD_RELAY);
     }
 
@@ -929,6 +1062,61 @@ impl IcpdaNode {
         }
         // LIFO drain order doesn't matter; what matters is the spacing.
         self.drain_one_share(ctx);
+        if self.config.reliability.cluster_arq {
+            // Blind full re-sends on the retry budget: share unicasts have
+            // no broadcast redundancy, and the NACK repair rounds
+            // themselves ride the same lossy channel. Receivers
+            // overwrite-insert, so duplicates are free.
+            self.share_retry = RetryState::new();
+            self.arm_shares_repeat(ctx);
+        }
+    }
+
+    /// The base delay between blind share re-sends: a sixth of the
+    /// share→repair gap, so the whole budget (with exponential backoff)
+    /// still lands around the NACK repair rounds, before assembly.
+    fn shares_repeat_base(&self) -> SimDuration {
+        let s = self.config.schedule;
+        s.repair_after.saturating_sub(s.shares_after) / 6
+    }
+
+    fn arm_shares_repeat(&mut self, ctx: &mut Context<'_, IcpdaMsg>) -> bool {
+        let base = self.shares_repeat_base();
+        let jitter = self.config.schedule.nack_jitter;
+        let rel = self.config.reliability;
+        if let Some(repeat) = self.share_retry.next_delay(&rel, base, jitter, ctx.rng()) {
+            ctx.set_timer(repeat, TIMER_SHARES_REPEAT);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A blind share re-send (`cluster_arq` only): re-queues every
+    /// outgoing share through the drain spacing.
+    fn handle_shares_repeat(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        if self.config.privacy == PrivacyMode::Off || !self.shared {
+            return;
+        }
+        if self.participating_roster().is_none() || self.outgoing_shares.is_empty() {
+            return;
+        }
+        ctx.metrics().bump("icpda_rel_timeout");
+        let resend: Vec<(NodeId, ShareVector)> = self
+            .outgoing_shares
+            .iter()
+            .map(|(member, share)| (*member, share.clone()))
+            .collect();
+        ctx.metrics()
+            .add("icpda_rel_retransmit", resend.len() as u64);
+        let idle = self.share_sendq.is_empty();
+        self.share_sendq.extend(resend);
+        if idle {
+            self.drain_one_share(ctx);
+        }
+        if !self.arm_shares_repeat(ctx) {
+            ctx.metrics().bump("icpda_rel_exhausted");
+        }
     }
 
     /// Sends the next queued share and, if any remain, re-arms the drain
@@ -1105,6 +1293,14 @@ impl IcpdaNode {
         }
         if let Some(roster) = self.roster.as_ref() {
             if roster.contains(origin) && roster.contains(to) {
+                // The cache doubles as the seen-set: a byte-identical
+                // sealed share is a channel-level duplicate of a relay
+                // already forwarded (ARQ re-sends carry fresh nonces, so
+                // they pass this check and are forwarded again).
+                if self.relay_cache.get(&(origin, to)) == Some(&sealed) {
+                    ctx.metrics().bump("icpda_rel_duplicate");
+                    return;
+                }
                 ctx.metrics().bump("icpda_relay_forwarded");
                 self.relay_cache.insert((origin, to), sealed.clone());
                 ctx.send(
@@ -1149,6 +1345,55 @@ impl IcpdaNode {
             values: assembly.iter().map(|f| f.to_u64()).collect(),
             contributors,
         });
+        if self.config.reliability.cluster_arq {
+            // Losing an assembly broadcast costs the cluster a solve input;
+            // repeat it on the budget (receivers store by position, so
+            // duplicates are idempotent).
+            let s = self.config.schedule;
+            self.fsum_retry = RetryState::new();
+            if let Some(repeat) = self.fsum_retry.next_delay(
+                &self.config.reliability,
+                s.upstream_repeat_after,
+                s.upstream_repeat_jitter,
+                ctx.rng(),
+            ) {
+                ctx.set_timer(repeat, TIMER_FSUM_REPEAT);
+            }
+        }
+    }
+
+    fn handle_fsum_repeat(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
+        if self.config.privacy == PrivacyMode::Off {
+            return;
+        }
+        let Some(roster) = self.participating_roster().cloned() else {
+            return;
+        };
+        let Some(my_pos) = roster.position(ctx.id()) else {
+            return;
+        };
+        let Some((assembly, contributors)) = self.fsums.get(&my_pos).cloned() else {
+            return;
+        };
+        ctx.metrics().bump("icpda_rel_timeout");
+        ctx.broadcast(IcpdaMsg::FSum {
+            cluster: roster.head(),
+            values: assembly.iter().map(|f| f.to_u64()).collect(),
+            contributors,
+        });
+        ctx.metrics().bump("icpda_rel_retransmit");
+        let rel = self.config.reliability;
+        let s = self.config.schedule;
+        if let Some(repeat) = self.fsum_retry.next_delay(
+            &rel,
+            s.upstream_repeat_after,
+            s.upstream_repeat_jitter,
+            ctx.rng(),
+        ) {
+            ctx.set_timer(repeat, TIMER_FSUM_REPEAT);
+        } else {
+            ctx.metrics().bump("icpda_rel_exhausted");
+        }
     }
 
     fn handle_fsum_repair_timer(&mut self, ctx: &mut Context<'_, IcpdaMsg>) {
@@ -1498,15 +1743,24 @@ impl IcpdaNode {
         });
         ctx.send_shared(parent, &msg);
         // A single collision at the parent would silently drop a whole
-        // subtree, so every report is transmitted twice; receivers
-        // deduplicate on (sender, msg_id).
+        // subtree, so every report is retransmitted on its retry budget;
+        // receivers deduplicate on (sender, msg_id).
         self.pending_upstream = Some(msg);
         self.upstream_target = Some(parent);
-        let jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..100_000_000));
-        ctx.set_timer(
-            SimDuration::from_millis(150) + jitter,
-            TIMER_UPSTREAM_REPEAT,
-        );
+        self.upstream_retry = RetryState::new();
+        let rel = self.config.reliability;
+        let s = self.config.schedule;
+        if let Some(repeat) = self.upstream_retry.next_delay(
+            &rel,
+            s.upstream_repeat_after,
+            s.upstream_repeat_jitter,
+            ctx.rng(),
+        ) {
+            ctx.set_timer(repeat, TIMER_UPSTREAM_REPEAT);
+        } else {
+            // ARQ off: nothing will fire to close the verify span.
+            obs_phase_end(ctx, PHASE_ASCENT_VERIFY);
+        }
         if self.config.crash_recovery {
             // Parent-liveness deadline: two upstream slots past our own
             // send, the parent's slot has certainly passed — a parent
@@ -1515,7 +1769,10 @@ impl IcpdaNode {
             // to the base station (node 0 never faults), so they skip it.
             if self.level.is_some_and(|l| l > 1) {
                 let slot = self.config.schedule.upstream_slot();
-                ctx.set_timer(slot * 2 + SimDuration::from_millis(300), TIMER_PARENT_CHECK);
+                ctx.set_timer(
+                    slot * 2 + self.config.schedule.parent_check_slack,
+                    TIMER_PARENT_CHECK,
+                );
             }
         }
         ctx.metrics().bump("icpda_upstream_sent");
@@ -1728,6 +1985,7 @@ impl IcpdaNode {
         let totals: Vec<Fp> = totals_raw.iter().map(|&v| Fp::new(v)).collect();
         if !self.seen_upstream.insert((from, msg_id)) {
             ctx.metrics().bump("icpda_upstream_duplicate");
+            ctx.metrics().bump("icpda_rel_duplicate");
             return;
         }
         // Byzantine hook (ascent): a SelectiveForward node black-holes
@@ -1890,15 +2148,25 @@ impl Application for IcpdaNode {
             IcpdaMsg::Query { level } => self.handle_query(ctx, from, *level),
             IcpdaMsg::HeadAnnounce => {
                 if !self.is_base_station {
-                    self.heads_heard.push(from);
+                    // Duplicate-safe: a retransmitted or channel-duplicated
+                    // announce must not skew the head-pick distribution.
+                    if self.heads_heard.contains(&from) {
+                        ctx.metrics().bump("icpda_rel_duplicate");
+                    } else {
+                        self.heads_heard.push(from);
+                    }
                 }
             }
             IcpdaMsg::Resign { head } => {
-                // Only the head itself may resign its cluster.
+                // Only the head itself may resign its cluster. Duplicate
+                // deliveries must not re-schedule (or re-draw) anything.
                 if from == *head {
-                    self.resigned_heads.insert(*head);
-                    if self.role == Role::Member(*head) {
-                        self.schedule_rejoin(ctx);
+                    if self.resigned_heads.insert(*head) {
+                        if self.role == Role::Member(*head) {
+                            self.schedule_rejoin(ctx);
+                        }
+                    } else {
+                        ctx.metrics().bump("icpda_rel_duplicate");
                     }
                 }
             }
@@ -1908,7 +2176,13 @@ impl Application for IcpdaNode {
                     && !self.has_resigned
                     && self.roster.is_none()
                 {
-                    self.joiners.push(from);
+                    // Duplicate-safe: one roster slot per joiner no matter
+                    // how many copies of the Join arrive.
+                    if self.joiners.contains(&from) {
+                        ctx.metrics().bump("icpda_rel_duplicate");
+                    } else {
+                        self.joiners.push(from);
+                    }
                 }
             }
             IcpdaMsg::ClusterInfo {
@@ -2051,12 +2325,35 @@ impl Application for IcpdaNode {
                 self.handle_upstream_timer(ctx);
             }
             TIMER_UPSTREAM_REPEAT => {
-                if let (Some(msg), Some(parent)) =
+                let resent = if let (Some(msg), Some(parent)) =
                     (self.pending_upstream.as_ref(), self.flood_parent)
                 {
+                    ctx.metrics().bump("icpda_rel_timeout");
                     ctx.send_shared(parent, msg);
+                    ctx.metrics().bump("icpda_rel_retransmit");
+                    true
+                } else {
+                    false
+                };
+                let mut next = None;
+                if resent {
+                    let rel = self.config.reliability;
+                    let s = self.config.schedule;
+                    next = self.upstream_retry.next_delay(
+                        &rel,
+                        s.upstream_repeat_after,
+                        s.upstream_repeat_jitter,
+                        ctx.rng(),
+                    );
                 }
-                obs_phase_end(ctx, PHASE_ASCENT_VERIFY);
+                if let Some(repeat) = next {
+                    ctx.set_timer(repeat, TIMER_UPSTREAM_REPEAT);
+                } else {
+                    if resent {
+                        ctx.metrics().bump("icpda_rel_exhausted");
+                    }
+                    obs_phase_end(ctx, PHASE_ASCENT_VERIFY);
+                }
             }
             TIMER_DECISION => {
                 // The base station's verification window closes with the
@@ -2067,6 +2364,10 @@ impl Application for IcpdaNode {
             TIMER_HEAD_CHECK => self.handle_head_check(ctx),
             TIMER_PARENT_CHECK => self.handle_parent_check(ctx),
             TIMER_BEACON => self.handle_beacon_timer(ctx),
+            TIMER_ANNOUNCE_REPEAT => self.handle_announce_repeat(ctx),
+            TIMER_JOIN_REPEAT => self.handle_join_repeat(ctx),
+            TIMER_SHARES_REPEAT => self.handle_shares_repeat(ctx),
+            TIMER_FSUM_REPEAT => self.handle_fsum_repeat(ctx),
             _ => {}
         }
     }

@@ -1,0 +1,262 @@
+//! The reliability layer: retry budgets with jittered exponential
+//! backoff, and the counters that make loss recovery visible.
+//!
+//! iCPDA has no link-layer ACKs (broadcast-heavy traffic makes them
+//! expensive), so every repeated transmission in the protocol is a
+//! *blind* retransmission: the sender re-sends on a timer and receivers
+//! deduplicate (rosters are idempotent, upstream reports carry
+//! `(sender, msg_id)`). Before this module those repeats were scattered
+//! one-shot literals; [`ReliabilityConfig`] centralises the budget
+//! (how many repeats) and the growth law (exponential backoff with
+//! uniform jitter), and [`RetryState`] tracks one message's progress
+//! through that budget.
+//!
+//! Four protocol counters expose the layer's activity (folded into the
+//! observability registry at the end of a run, see `icpda obs report`):
+//!
+//! * `icpda_rel_timeout` — a repeat timer fired (no confirmation is
+//!   possible without ACKs, so every armed repeat that survives to its
+//!   deadline counts as a timeout).
+//! * `icpda_rel_retransmit` — a retransmission actually went on the air.
+//! * `icpda_rel_exhausted` — a retry budget ran to completion.
+//! * `icpda_rel_duplicate` — a receiver suppressed a duplicate delivery
+//!   (retransmission or channel-level duplication).
+//!
+//! Determinism: the only RNG use is the per-retry jitter draw, taken
+//! from the node's own deterministic stream, and the default
+//! configuration reproduces the pre-refactor draw sequence exactly —
+//! fault-free runs are byte-identical to the scattered-literal era.
+
+use rand::Rng;
+use wsn_sim::SimDuration;
+
+/// Retry policy for blind retransmissions.
+///
+/// The delay before retry `k` (zero-based) is
+/// `base * backoff^k + U(0, jitter)`, with the deterministic part capped
+/// at [`ReliabilityConfig::max_delay`]. `base` and `jitter` are supplied
+/// per call site (rosters and upstream reports use different timings,
+/// see [`crate::PhaseSchedule`]); the budget and growth law live here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReliabilityConfig {
+    /// Whether the ARQ layer is active at all. With `arq = false` no
+    /// repeat timers are armed: every message is sent exactly once.
+    pub arq: bool,
+    /// Retransmissions allowed per message (on top of the first send).
+    pub max_retries: u32,
+    /// Extends the retry budgets to the cluster-formation and share
+    /// phases (`HeadAnnounce`, `Join`, the share queue, `FSum`). Off in
+    /// the paper default — those messages historically relied on their
+    /// NACK repair rounds alone — so fault-free default runs stay
+    /// byte-identical; on under the deep budget, where a bursty channel
+    /// would otherwise sever whole clusters before the upstream ARQ gets
+    /// anything to protect.
+    pub cluster_arq: bool,
+    /// Multiplier applied to the deterministic delay per retry.
+    pub backoff: u32,
+    /// Cap on the deterministic part of the delay — keeps late retries
+    /// inside the phase window that scheduled them.
+    pub max_delay: SimDuration,
+}
+
+impl ReliabilityConfig {
+    /// The paper-era default: one blind repeat per critical message
+    /// (roster, upstream report), exactly what the protocol did before
+    /// the reliability layer existed. Byte-identical to that behaviour.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ReliabilityConfig {
+            arq: true,
+            max_retries: 1,
+            cluster_arq: false,
+            backoff: 2,
+            max_delay: SimDuration::from_secs(2),
+        }
+    }
+
+    /// ARQ disabled: single transmission, no repeats (`--arq off`).
+    #[must_use]
+    pub fn off() -> Self {
+        ReliabilityConfig {
+            arq: false,
+            max_retries: 0,
+            cluster_arq: false,
+            backoff: 2,
+            max_delay: SimDuration::from_secs(2),
+        }
+    }
+
+    /// A deeper budget for lossy channels (`--arq on`): three repeats
+    /// with exponential spacing, extended to the cluster phases.
+    #[must_use]
+    pub fn aggressive() -> Self {
+        ReliabilityConfig {
+            arq: true,
+            max_retries: 3,
+            cluster_arq: true,
+            backoff: 2,
+            max_delay: SimDuration::from_secs(2),
+        }
+    }
+
+    /// The deterministic part of retry `attempt`'s delay:
+    /// `base * backoff^attempt`, saturating, capped at `max_delay`.
+    #[must_use]
+    pub fn backoff_delay(&self, attempt: u32, base: SimDuration) -> SimDuration {
+        let factor = u64::from(self.backoff).saturating_pow(attempt);
+        let nanos = base.as_nanos().saturating_mul(factor);
+        SimDuration::from_nanos(nanos.min(self.max_delay.as_nanos()))
+    }
+}
+
+/// One message's progress through a retry budget.
+///
+/// Created fresh when the message is first sent; each call to
+/// [`RetryState::next_delay`] consumes one retry from the budget and
+/// yields the delay to the next retransmission, or `None` once the
+/// budget is spent (the caller bumps `icpda_rel_exhausted` and stops
+/// re-arming its timer).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryState {
+    attempt: u32,
+}
+
+impl RetryState {
+    /// A fresh budget (no retries consumed yet).
+    #[must_use]
+    pub fn new() -> Self {
+        RetryState { attempt: 0 }
+    }
+
+    /// Retries consumed so far.
+    #[must_use]
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Consumes one retry: returns the jittered backoff delay before the
+    /// next retransmission, or `None` when the budget is exhausted (or
+    /// ARQ is off). The jitter is one `gen_range` draw over
+    /// `[0, jitter)` nanoseconds — the same single draw per repeat the
+    /// pre-refactor literals made, preserving RNG-stream identity.
+    pub fn next_delay<R: Rng + ?Sized>(
+        &mut self,
+        config: &ReliabilityConfig,
+        base: SimDuration,
+        jitter: SimDuration,
+        rng: &mut R,
+    ) -> Option<SimDuration> {
+        if !config.arq || self.attempt >= config.max_retries {
+            return None;
+        }
+        let fixed = config.backoff_delay(self.attempt, base);
+        self.attempt += 1;
+        let jitter = SimDuration::from_nanos(rng.gen_range(0..jitter.as_nanos().max(1)));
+        Some(fixed + jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn default_budget_is_one_repeat() {
+        let cfg = ReliabilityConfig::paper_default();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut state = RetryState::new();
+        let base = SimDuration::from_millis(150);
+        let jitter = SimDuration::from_millis(100);
+        let first = state
+            .next_delay(&cfg, base, jitter, &mut rng)
+            .expect("one retry in the budget");
+        assert!(first >= base && first < base + jitter);
+        assert_eq!(state.attempt(), 1);
+        assert_eq!(state.next_delay(&cfg, base, jitter, &mut rng), None);
+    }
+
+    #[test]
+    fn default_first_retry_reproduces_the_legacy_draw() {
+        // The pre-refactor code did `150ms + gen_range(0..100_000_000)`;
+        // the default config must make the identical single draw.
+        let cfg = ReliabilityConfig::paper_default();
+        let base = SimDuration::from_millis(150);
+        let jitter = SimDuration::from_millis(100);
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let delay = RetryState::new()
+            .next_delay(&cfg, base, jitter, &mut rng)
+            .unwrap();
+        let mut legacy_rng = ChaCha8Rng::seed_from_u64(99);
+        let legacy = SimDuration::from_millis(150)
+            + SimDuration::from_nanos(legacy_rng.gen_range(0..100_000_000));
+        assert_eq!(delay, legacy);
+    }
+
+    #[test]
+    fn off_never_retries() {
+        let cfg = ReliabilityConfig::off();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut state = RetryState::new();
+        assert_eq!(
+            state.next_delay(
+                &cfg,
+                SimDuration::from_millis(100),
+                SimDuration::from_millis(10),
+                &mut rng
+            ),
+            None
+        );
+        assert_eq!(state.attempt(), 0);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_until_the_cap() {
+        let cfg = ReliabilityConfig {
+            arq: true,
+            max_retries: 10,
+            cluster_arq: false,
+            backoff: 2,
+            max_delay: SimDuration::from_millis(800),
+        };
+        let base = SimDuration::from_millis(100);
+        assert_eq!(cfg.backoff_delay(0, base), SimDuration::from_millis(100));
+        assert_eq!(cfg.backoff_delay(1, base), SimDuration::from_millis(200));
+        assert_eq!(cfg.backoff_delay(2, base), SimDuration::from_millis(400));
+        assert_eq!(cfg.backoff_delay(3, base), SimDuration::from_millis(800));
+        // Capped from here on.
+        assert_eq!(cfg.backoff_delay(4, base), SimDuration::from_millis(800));
+        assert_eq!(cfg.backoff_delay(63, base), SimDuration::from_millis(800));
+    }
+
+    #[test]
+    fn aggressive_budget_spaces_retries_out() {
+        let cfg = ReliabilityConfig::aggressive();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut state = RetryState::new();
+        let base = SimDuration::from_millis(100);
+        let jitter = SimDuration::from_nanos(1); // effectively no jitter
+        let delays: Vec<SimDuration> =
+            std::iter::from_fn(|| state.next_delay(&cfg, base, jitter, &mut rng)).collect();
+        assert_eq!(delays.len(), 3);
+        assert!(delays[0] < delays[1] && delays[1] < delays[2]);
+    }
+
+    #[test]
+    fn each_retry_draws_exactly_once() {
+        // Stream identity: two RNGs, one driven through next_delay, one
+        // through a bare gen_range, stay in lockstep.
+        let cfg = ReliabilityConfig::aggressive();
+        let base = SimDuration::from_millis(100);
+        let jitter = SimDuration::from_millis(50);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(7);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(7);
+        let mut state = RetryState::new();
+        for _ in 0..3 {
+            state.next_delay(&cfg, base, jitter, &mut rng_a).unwrap();
+            let _: u64 = rng_b.gen_range(0..jitter.as_nanos().max(1));
+        }
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+}

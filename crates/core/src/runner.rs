@@ -48,6 +48,7 @@ pub struct IcpdaRun {
     slanderers: Vec<(NodeId, NodeId)>,
     reading_schedule: Vec<Vec<u64>>,
     fault_plan: FaultPlan,
+    channel_plan: ChannelPlan,
     adversary_plan: AdversaryPlan,
 }
 
@@ -76,6 +77,7 @@ impl IcpdaRun {
             slanderers: Vec::new(),
             reading_schedule: Vec::new(),
             fault_plan: FaultPlan::none(),
+            channel_plan: ChannelPlan::none(),
             adversary_plan: AdversaryPlan::none(),
         }
     }
@@ -99,6 +101,16 @@ impl IcpdaRun {
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Installs a channel-impairment plan (bursty loss, corruption,
+    /// duplication, reordering, link windows — see
+    /// [`wsn_sim::ChannelPlan`]). An empty plan is a strict no-op: the
+    /// run is byte-identical to one configured without it.
+    #[must_use]
+    pub fn with_channel_plan(mut self, plan: ChannelPlan) -> Self {
+        self.channel_plan = plan;
         self
     }
 
@@ -201,6 +213,9 @@ impl IcpdaRun {
         if !self.fault_plan.is_empty() {
             sim.set_fault_plan(self.fault_plan.clone());
         }
+        if !self.channel_plan.is_empty() {
+            sim.set_channel_plan(self.channel_plan.clone());
+        }
         for (node, pollution) in &self.attackers {
             sim.app_mut(*node).set_pollution(*pollution);
         }
@@ -249,6 +264,18 @@ impl IcpdaRun {
                 obs.add(name, value);
             }
             obs.gauge_set("sim.min_alive", sim.metrics().min_alive() as i64);
+            // Per-cause loss totals, for the `icpda obs report` loss
+            // breakdown table.
+            let m = sim.metrics();
+            obs.add("sim_lost_collision", m.total_lost(LossCause::Collision));
+            obs.add("sim_lost_stochastic", m.total_lost(LossCause::Stochastic));
+            obs.add("sim_lost_half_duplex", m.total_lost(LossCause::HalfDuplex));
+            obs.add("sim_lost_mac_drop", m.total_lost(LossCause::MacDrop));
+            obs.add(
+                "sim_lost_receiver_down",
+                m.total_lost(LossCause::ReceiverDown),
+            );
+            obs.add("sim_lost_corrupt", m.total_lost(LossCause::Corrupt));
             if !self.adversary_plan.is_empty() {
                 obs.gauge_set(
                     "icpda.adversaries",
@@ -324,6 +351,7 @@ impl IcpdaRun {
             value: decision.value,
             participants: decision.participants,
             accepted: decision.accepted,
+            degraded: (decision.participants as usize) < eligible,
             alarms: decision.alarms.clone(),
             decision,
             decisions,
@@ -373,6 +401,11 @@ pub struct IcpdaOutcome {
     pub participants: u32,
     /// Whether the round was accepted (no alarms).
     pub accepted: bool,
+    /// Whether the final round completed *degraded*: the retry budgets
+    /// ran out before every eligible sensor's reading reached the base
+    /// station, so the accepted aggregate is partial (coverage < 1).
+    /// Graceful degradation, not failure — the round still decides.
+    pub degraded: bool,
     /// Alarms delivered to the base station.
     pub alarms: Vec<(NodeId, NodeId)>,
     /// Self-elected cluster heads.

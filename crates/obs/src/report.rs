@@ -268,6 +268,10 @@ pub fn render_report(run: &ObsRun) -> String {
             name, st.spans, nodes, st.mean_ms, st.max_ms, st.messages, st.bytes, st.energy_mj
         );
     }
+    if let Some(table) = render_loss_breakdown(run) {
+        let _ = writeln!(out);
+        out.push_str(&table);
+    }
     let counters: Vec<(&String, &u64)> = run
         .metrics
         .iter()
@@ -302,6 +306,48 @@ pub fn render_report(run: &ObsRun) -> String {
         }
     }
     out
+}
+
+/// The `sim_lost_*` counters the runner folds in, with display labels,
+/// in severity-of-surprise order (channel causes last).
+const LOSS_CAUSES: [(&str, &str); 6] = [
+    ("sim_lost_collision", "Collision"),
+    ("sim_lost_half_duplex", "HalfDuplex"),
+    ("sim_lost_mac_drop", "MacDrop"),
+    ("sim_lost_receiver_down", "ReceiverDown"),
+    ("sim_lost_stochastic", "Stochastic"),
+    ("sim_lost_corrupt", "Corrupt"),
+];
+
+/// Renders the loss-cause breakdown table, or `None` for runs captured
+/// before the simulator exported per-cause loss counters.
+fn render_loss_breakdown(run: &ObsRun) -> Option<String> {
+    let lookup = |key: &str| {
+        run.metrics.iter().find_map(|m| match m {
+            MetricRow::Counter { name, value } if name == key => Some(*value),
+            _ => None,
+        })
+    };
+    let causes: Vec<(&str, u64)> = LOSS_CAUSES
+        .iter()
+        .filter_map(|&(key, label)| lookup(key).map(|v| (label, v)))
+        .collect();
+    if causes.is_empty() {
+        return None;
+    }
+    let total: u64 = causes.iter().map(|(_, v)| v).sum();
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<20} {:>12} {:>8}", "loss cause", "frames", "share");
+    for (label, value) in &causes {
+        let share = if total > 0 {
+            *value as f64 / total as f64 * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "{label:<20} {value:>12} {share:>7.1}%");
+    }
+    let _ = writeln!(out, "{:<20} {:>12} {:>8}", "total lost", total, "");
+    Some(out)
 }
 
 fn pct(before: f64, after: f64) -> Option<f64> {
@@ -438,6 +484,35 @@ mod tests {
         assert!(text.contains("phase.aggregation"), "{text}");
         assert!(text.contains("2/4"), "coverage cell missing:\n{text}");
         assert!(text.contains("icpda_solved"), "{text}");
+        // No sim_lost_* counters captured: the breakdown is omitted, not
+        // rendered as a table of zeros.
+        assert!(!text.contains("loss cause"), "{text}");
+    }
+
+    #[test]
+    fn report_renders_loss_cause_breakdown() {
+        let mut run = run_with(4);
+        run.metrics.extend([
+            MetricRow::Counter {
+                name: "sim_lost_collision".into(),
+                value: 30,
+            },
+            MetricRow::Counter {
+                name: "sim_lost_stochastic".into(),
+                value: 60,
+            },
+            MetricRow::Counter {
+                name: "sim_lost_corrupt".into(),
+                value: 10,
+            },
+        ]);
+        let text = render_report(&run);
+        assert!(text.contains("loss cause"), "{text}");
+        assert!(text.contains("Collision"), "{text}");
+        assert!(text.contains("Corrupt"), "{text}");
+        assert!(text.contains("60.0%"), "stochastic share missing:\n{text}");
+        assert!(text.contains("total lost"), "{text}");
+        assert!(text.contains("100"), "{text}");
     }
 
     #[test]

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 pub mod app;
+pub mod channel;
 pub mod fault;
 pub mod frame;
 pub mod geometry;
@@ -44,6 +45,7 @@ pub mod topology;
 pub mod trace;
 
 pub use app::{Application, Context, TimerId, TimerToken};
+pub use channel::{ChannelPlan, ChannelPlanError, GilbertElliott, LinkWindow};
 pub use fault::{FaultPlan, FaultPlanError};
 pub use frame::{Destination, Frame, WireSize};
 pub use ids::NodeId;
@@ -61,6 +63,7 @@ pub use icpda_obs::{Obs, ObsLevel, Span, SpanSnapshot};
 /// Convenient glob-import of the common simulator types.
 pub mod prelude {
     pub use crate::app::{Application, Context, SharedPayload, TimerId, TimerToken};
+    pub use crate::channel::{ChannelPlan, ChannelPlanError, GilbertElliott, LinkWindow};
     pub use crate::fault::{FaultPlan, FaultPlanError};
     pub use crate::frame::{Destination, Frame, WireSize};
     pub use crate::geometry::{Point, Region};

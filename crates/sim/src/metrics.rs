@@ -54,6 +54,9 @@ pub enum LossCause {
     /// The receiver was down (crashed or in an outage window) when the
     /// frame would have arrived.
     ReceiverDown,
+    /// The frame arrived with flipped bits; the checksum mismatch was
+    /// detected and the frame discarded (channel-plan corruption).
+    Corrupt,
 }
 
 /// Per-node counters.
@@ -77,6 +80,9 @@ pub struct NodeMetrics {
     pub lost_half_duplex: u64,
     /// Receptions missed because the node was down (fault injection).
     pub lost_receiver_down: u64,
+    /// Receptions discarded on a checksum mismatch (channel-plan
+    /// corruption).
+    pub lost_corrupt: u64,
     /// Frames dropped by this node's MAC after too many busy channels.
     pub mac_drops: u64,
     /// Energy spent transmitting, nanojoules.
@@ -163,6 +169,7 @@ impl Metrics {
                 LossCause::HalfDuplex => m.lost_half_duplex,
                 LossCause::MacDrop => m.mac_drops,
                 LossCause::ReceiverDown => m.lost_receiver_down,
+                LossCause::Corrupt => m.lost_corrupt,
             })
             .sum()
     }
@@ -242,11 +249,13 @@ mod tests {
         m.node_mut(NodeId::new(1)).lost_half_duplex = 5;
         m.node_mut(NodeId::new(0)).mac_drops = 6;
         m.node_mut(NodeId::new(1)).lost_receiver_down = 7;
+        m.node_mut(NodeId::new(0)).lost_corrupt = 8;
         assert_eq!(m.total_lost(LossCause::Collision), 3);
         assert_eq!(m.total_lost(LossCause::Stochastic), 4);
         assert_eq!(m.total_lost(LossCause::HalfDuplex), 5);
         assert_eq!(m.total_lost(LossCause::MacDrop), 6);
         assert_eq!(m.total_lost(LossCause::ReceiverDown), 7);
+        assert_eq!(m.total_lost(LossCause::Corrupt), 8);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //!   as [`Application::on_overhear`] otherwise.
 
 use crate::app::{Application, Command, Context, TimerId, TimerToken};
+use crate::channel::{corrupted_checksum, frame_checksum, ChannelPlan};
 use crate::fault::FaultPlan;
 use crate::frame::{Destination, Frame};
 use crate::ids::NodeId;
@@ -107,6 +108,13 @@ enum EventKind<M> {
     /// A fault-plan transition edge for `node`; the handler re-evaluates
     /// the plan at the current time, so stale edges are harmless.
     FaultEdge {
+        node: NodeId,
+    },
+    /// A reception the channel plan held back for reordering: the frame
+    /// already survived the loss gauntlet at its original delivery time
+    /// and is dispatched to `node` when this event fires.
+    Redelivery {
+        frame: Frame<M>,
         node: NodeId,
     },
 }
@@ -229,6 +237,13 @@ pub struct Simulator<A: Application> {
     started: bool,
     fault_plan: FaultPlan,
     down: Vec<bool>,
+    channel_plan: ChannelPlan,
+    /// Per-receiver Gilbert–Elliott state (true = bad/bursty state).
+    ge_bad: Vec<bool>,
+    /// Dedicated RNG stream for channel-plan draws, so impairments never
+    /// perturb the per-node application/MAC streams. An empty plan draws
+    /// nothing from it.
+    channel_rng: ChaCha8Rng,
 }
 
 impl<A: Application> Simulator<A> {
@@ -268,6 +283,11 @@ impl<A: Application> Simulator<A> {
             started: false,
             fault_plan: FaultPlan::none(),
             down,
+            channel_plan: ChannelPlan::none(),
+            ge_bad: vec![false; n],
+            channel_rng: ChaCha8Rng::seed_from_u64(
+                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC4A2_2E10_5EED_0002,
+            ),
         }
     }
 
@@ -291,6 +311,29 @@ impl<A: Application> Simulator<A> {
     #[must_use]
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.fault_plan
+    }
+
+    /// Installs a channel-impairment plan before the simulation starts.
+    /// An empty plan is a strict no-op: the engine's channel hooks are
+    /// skipped entirely and the dedicated channel RNG is never drawn
+    /// from, so the run is byte-identical to one without impairments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started.
+    pub fn set_channel_plan(&mut self, plan: ChannelPlan) {
+        assert!(
+            !self.started,
+            "channel plan must be installed before the simulation starts"
+        );
+        self.channel_plan = plan;
+    }
+
+    /// The installed channel plan (empty unless
+    /// [`Simulator::set_channel_plan`] was called).
+    #[must_use]
+    pub fn channel_plan(&self) -> &ChannelPlan {
+        &self.channel_plan
     }
 
     /// Whether `node` is currently down under the fault plan.
@@ -753,6 +796,66 @@ impl<A: Application> Simulator<A> {
             }
             return;
         }
+        // Channel-plan loss gauntlet: link windows, the bursty chain and
+        // corruption, strictly skipped for the empty plan so
+        // impairment-free runs never touch the channel RNG. The draw
+        // order is fixed (link, burst, corruption) for determinism.
+        if !self.channel_plan.is_empty() {
+            let link = self.channel_plan.link_loss(frame.src, node, self.now);
+            if link > 0.0 && self.channel_rng.gen::<f64>() < link {
+                self.metrics.node_mut(node).lost_stochastic += 1;
+                if self.trace.wants(TraceLevel::Full) {
+                    self.trace.record(
+                        self.now,
+                        TraceKind::FrameLost {
+                            node,
+                            seq: frame.seq,
+                            cause: crate::metrics::LossCause::Stochastic,
+                        },
+                    );
+                }
+                return;
+            }
+            if self.channel_plan.gilbert_elliott().is_some()
+                && self
+                    .channel_plan
+                    .ge_drops(&mut self.channel_rng, &mut self.ge_bad[node.index()])
+            {
+                self.metrics.node_mut(node).lost_stochastic += 1;
+                if self.trace.wants(TraceLevel::Full) {
+                    self.trace.record(
+                        self.now,
+                        TraceKind::FrameLost {
+                            node,
+                            seq: frame.seq,
+                            cause: crate::metrics::LossCause::Stochastic,
+                        },
+                    );
+                }
+                return;
+            }
+            let corrupt = self.channel_plan.corruption();
+            if corrupt > 0.0 && self.channel_rng.gen::<f64>() < corrupt {
+                // The frame arrived damaged: the recomputed checksum no
+                // longer matches the received one (any non-zero error
+                // syndrome is detectable), so the link layer drops it.
+                let stored = frame_checksum(frame.seq, frame.src.as_u32(), frame.size_bytes);
+                let syndrome = self.channel_rng.gen::<u32>() | 1;
+                debug_assert_ne!(corrupted_checksum(stored, syndrome), stored);
+                self.metrics.node_mut(node).lost_corrupt += 1;
+                if self.trace.wants(TraceLevel::Full) {
+                    self.trace.record(
+                        self.now,
+                        TraceKind::FrameLost {
+                            node,
+                            seq: frame.seq,
+                            cause: crate::metrics::LossCause::Corrupt,
+                        },
+                    );
+                }
+                return;
+            }
+        }
         let distance_ratio = self
             .deployment
             .position(node)
@@ -776,6 +879,50 @@ impl<A: Application> Simulator<A> {
             }
             return;
         }
+        // Delivery mutations: a surviving reception can be held back
+        // (bounded reordering) or delivered twice (duplication).
+        if !self.channel_plan.is_empty() {
+            let reorder = self.channel_plan.reordering();
+            if reorder > 0.0 && self.channel_rng.gen::<f64>() < reorder {
+                let window = self.channel_plan.reorder_window().as_nanos();
+                let delay = SimDuration::from_nanos(self.channel_rng.gen_range(1..=window));
+                let held = Frame {
+                    seq: frame.seq,
+                    src: frame.src,
+                    dest: frame.dest,
+                    payload: std::sync::Arc::clone(&frame.payload),
+                    size_bytes: frame.size_bytes,
+                };
+                if self.obs.wants(ObsLevel::Full) {
+                    self.obs.inc("engine.channel_reordered");
+                }
+                self.schedule(
+                    self.now + delay,
+                    EventKind::Redelivery { frame: held, node },
+                );
+                return;
+            }
+            let duplicate = self.channel_plan.duplication();
+            if duplicate > 0.0 && self.channel_rng.gen::<f64>() < duplicate {
+                if self.obs.wants(ObsLevel::Full) {
+                    self.obs.inc("engine.channel_duplicated");
+                }
+                self.dispatch_frame(node, frame, on_air, rx_energy);
+            }
+        }
+        self.dispatch_frame(node, frame, on_air, rx_energy);
+    }
+
+    /// Hands one surviving reception to the application, with metrics and
+    /// trace accounting. Split out of [`Simulator::deliver_frame`] so
+    /// duplicated and reordered receptions share the exact same path.
+    fn dispatch_frame(
+        &mut self,
+        node: NodeId,
+        frame: &Frame<A::Message>,
+        on_air: u64,
+        rx_energy: f64,
+    ) {
         let addressed = frame.addressed_to(node);
         {
             let nm = self.metrics.node_mut(node);
@@ -803,6 +950,29 @@ impl<A: Application> Simulator<A> {
         } else {
             self.with_ctx(node, |app, ctx| app.on_overhear(ctx, frame));
         }
+    }
+
+    /// Dispatches a reception the channel plan held back for reordering.
+    /// The frame passed the loss gauntlet when it originally arrived;
+    /// only the receiver dying in the meantime can still lose it.
+    fn handle_redelivery(&mut self, node: NodeId, frame: &Frame<A::Message>) {
+        if self.down[node.index()] {
+            self.metrics.node_mut(node).lost_receiver_down += 1;
+            if self.trace.wants(TraceLevel::Full) {
+                self.trace.record(
+                    self.now,
+                    TraceKind::FrameLost {
+                        node,
+                        seq: frame.seq,
+                        cause: crate::metrics::LossCause::ReceiverDown,
+                    },
+                );
+            }
+            return;
+        }
+        let on_air = self.config.radio.on_air_bytes(frame.size_bytes) as u64;
+        let rx_energy = on_air as f64 * self.config.energy.rx_nj_per_byte;
+        self.dispatch_frame(node, frame, on_air, rx_energy);
     }
 
     fn execute(&mut self, kind: EventKind<A::Message>) {
@@ -835,6 +1005,7 @@ impl<A: Application> Simulator<A> {
             EventKind::TxEnd { node } => self.handle_tx_end(node),
             EventKind::Delivery { frame, receivers } => self.handle_delivery(&frame, &receivers),
             EventKind::FaultEdge { node } => self.handle_fault_edge(node),
+            EventKind::Redelivery { frame, node } => self.handle_redelivery(node, &frame),
         }
     }
 
