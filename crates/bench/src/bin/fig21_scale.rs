@@ -1,0 +1,47 @@
+//! Regenerates the "fig21_scale" evaluation artefact. See
+//! `icpda_bench::experiments::fig21_scale`.
+//!
+//! ```text
+//! fig21_scale [--threads N] [--quick] [--shards K]
+//! ```
+//!
+//! * `--quick`    drop the 50k point and run one trial per size (CI)
+//! * `--shards K` run every engine with K event-loop shards — the
+//!   output is byte-identical for any K, which is what the scale-smoke
+//!   CI job verifies on this CSV
+
+use icpda_bench::experiments::fig21_scale::{self, ScaleOptions};
+
+fn parse_opts() -> Result<ScaleOptions, String> {
+    let mut opts = ScaleOptions::default();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--shards" => {
+                let raw = iter.next().ok_or("--shards needs a value")?;
+                opts.shards = raw
+                    .parse()
+                    .map_err(|_| format!("--shards: cannot parse '{raw}'"))?;
+            }
+            // `--threads N` is consumed by `run_main` below.
+            "--threads" => {
+                let _ = iter.next();
+            }
+            other if other.starts_with("--threads=") => {}
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> std::process::ExitCode {
+    let opts = match parse_opts() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    icpda_bench::run_main(move || fig21_scale::run_with(opts))
+}

@@ -12,6 +12,7 @@ pub mod fig17_synergy;
 pub mod fig18_churn;
 pub mod fig19_adversary;
 pub mod fig20_reliability;
+pub mod fig21_scale;
 pub mod fig2_overhead;
 pub mod fig3_accuracy;
 pub mod fig4_privacy;
@@ -76,5 +77,6 @@ pub fn run_all() -> std::io::Result<()> {
     fig17_synergy::run()?;
     fig18_churn::run()?;
     fig19_adversary::run()?;
-    fig20_reliability::run()
+    fig20_reliability::run()?;
+    fig21_scale::run()
 }

@@ -41,6 +41,28 @@ pub fn paper_deployment(n: usize, seed: u64) -> Deployment {
     Deployment::uniform_random_with_central_bs(n, Region::paper_default(), RADIO_RANGE, &mut rng)
 }
 
+/// The paper's node density: 600 nodes on 400 m × 400 m.
+pub const PAPER_DENSITY: f64 = 600.0 / (400.0 * 400.0);
+
+/// The square region that keeps [`PAPER_DENSITY`] at `n` nodes. At
+/// `n = 600` this is exactly the paper's 400 m field; larger networks
+/// grow the field instead of the degree, so MAC contention and cluster
+/// sizes stay in the regime the paper evaluates while hop depth — the
+/// quantity that actually scales — grows as `sqrt(n)`.
+#[must_use]
+pub fn scaled_region(n: usize) -> Region {
+    let side = (n.max(1) as f64 / PAPER_DENSITY).sqrt();
+    Region::new(side, side)
+}
+
+/// A density-constant deployment for the scale experiments: uniform
+/// over [`scaled_region`], central base station, paper radio range.
+#[must_use]
+pub fn scaled_deployment(n: usize, seed: u64) -> Deployment {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Deployment::uniform_random_with_central_bs(n, scaled_region(n), RADIO_RANGE, &mut rng)
+}
+
 /// Arithmetic mean (0 for an empty slice).
 #[must_use]
 pub fn mean(xs: &[f64]) -> f64 {

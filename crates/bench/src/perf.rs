@@ -123,6 +123,19 @@ impl PerfConfig {
         }
     }
 
+    /// Density-constant sizes (scaled region, see
+    /// [`crate::scaled_deployment`]): the scale axis this matrix tracks
+    /// from PR 9 on. Quick keeps the 10k point so CI sees a real
+    /// large-network number on every run; the 50k point is full-matrix
+    /// only.
+    fn engine_scaled_sizes(self) -> &'static [usize] {
+        if self.quick {
+            &[10_000]
+        } else {
+            &[10_000, 50_000]
+        }
+    }
+
     fn e2e_sizes(self) -> &'static [usize] {
         if self.quick {
             &[200]
@@ -208,6 +221,31 @@ fn engine_events_run(n: usize) -> u64 {
     sim.events_processed()
 }
 
+/// The same beacon load over a *density-constant* deployment (the
+/// paper's 400 m field at `n = 600` would pack degree ~2400 at 50k
+/// nodes — a different workload entirely; the scaled region keeps the
+/// per-node neighborhood at paper size while the event population
+/// grows with `n`).
+fn engine_events_scaled_run(n: usize) -> u64 {
+    let until = SimTime::from_secs(3);
+    let dep = crate::scaled_deployment(n, 11);
+    let mut sim = Simulator::new(dep, SimConfig::paper_default(), 23, |_| BeaconLoad {
+        period: SimDuration::from_millis(250),
+        until,
+    });
+    sim.run_until(until + SimDuration::from_secs(1));
+    sim.events_processed()
+}
+
+/// Adjacency-build throughput: constructs the full 50k-node scaled
+/// deployment (positions + flat-grid unit-disk adjacency) and returns
+/// the node count as the op unit.
+fn neighbor_build_run(n: usize) -> u64 {
+    let dep = crate::scaled_deployment(n, 11);
+    std::hint::black_box(dep.average_degree());
+    n as u64
+}
+
 /// A one-transmitter broadcast storm over a dense clique: every frame
 /// is delivered to every other node, isolating the per-receiver
 /// delivery cost (the inner loop the payload-sharing optimisation
@@ -277,6 +315,29 @@ pub fn run_matrix(label: &str, config: PerfConfig) -> BenchReport {
             move || engine_events_run(n),
         ));
         eprintln!("  measured engine_events_n{n}");
+    }
+    for &n in config.engine_scaled_sizes() {
+        let name = format!("engine_events_n{}k", n / 1000);
+        results.push(measure(
+            &name,
+            "micro",
+            samples,
+            warmup,
+            Throughput::EventsPerSec,
+            move || engine_events_scaled_run(n),
+        ));
+        eprintln!("  measured {name}");
+    }
+    if !config.quick {
+        results.push(measure(
+            "neighbor_build_n50k",
+            "micro",
+            samples,
+            warmup,
+            Throughput::OpsPerSec,
+            move || neighbor_build_run(50_000),
+        ));
+        eprintln!("  measured neighbor_build_n50k");
     }
     let fanout_frames: u32 = if config.quick { 100 } else { 400 };
     results.push(measure(
@@ -377,6 +438,19 @@ pub fn capture_obs(dir: &std::path::Path) -> Result<(), String> {
     };
     icpda_obs::export::write_dir(dir, &manifest, &out.obs)
         .map_err(|e| format!("{}: {e}", dir.display()))
+}
+
+/// Host peak resident-set size (`VmHWM`) in bytes, read from
+/// `/proc/self/status`; `None` on platforms without procfs. This is a
+/// **host** fact like wall time: report it on stderr or in
+/// `BENCH_*.json`, never in a deterministic artefact (CSV/stdout) —
+/// the discipline the XL008 lint enforces.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 /// Short git revision of the working tree, or `"unknown"` outside a

@@ -128,6 +128,7 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
         args,
         &[
             "nodes",
+            "n",
             "seed",
             "function",
             "pc",
@@ -141,15 +142,28 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
             "churn",
             "adversary",
             "adversary-mode",
+            "shards",
             "obs-out",
         ],
     )?;
-    let n: usize = args.get_or("nodes", 400)?;
+    if args.get("n").is_some() && args.get("nodes").is_some() {
+        return Err(ParseArgsError(
+            "--n is an alias of --nodes; give only one".into(),
+        ));
+    }
+    let n: usize = if args.get("n").is_some() {
+        args.get_or("n", 400)?
+    } else {
+        args.get_or("nodes", 400)?
+    };
     let seed: u64 = args.get_or("seed", 7)?;
     let mut config = parse_config(args)?;
     config.rounds = args.get_or("rounds", 1)?;
     config.reliability = parse_reliability(args)?;
     let (mut sim, channel) = parse_sim_config(args)?;
+    // Event-loop shards (0/1 = single shard). Any count produces
+    // byte-identical output; the flag exists for the scale experiments.
+    sim.shards = args.get_or("shards", 0)?;
     let obs_out = args.get("obs-out").map(std::path::PathBuf::from);
     if obs_out.is_some() {
         sim.obs_level = ObsLevel::Full;

@@ -239,6 +239,10 @@ impl IcpdaRun {
                 + config.schedule.decision_time() * u64::from(round)
                 + SimDuration::from_millis(50);
             sim.run_until(boundary);
+            // Round boundary: let the engine recycle its frame arena back
+            // to the previous round's high-water mark (allocator hint
+            // only — observable behaviour is unchanged).
+            sim.begin_frame_epoch();
             if let Some(new_readings) = self.reading_schedule.get(usize::from(round) - 1) {
                 for (i, &r) in new_readings.iter().enumerate().skip(1) {
                     sim.app_mut(NodeId::new(i as u32)).set_reading(r);

@@ -1,0 +1,95 @@
+//! Sharded event loop regression (DESIGN §13): `shards = k` must
+//! reproduce the single-shard engine *byte for byte* — same trace, same
+//! metrics, same virtual clock — because the k-way merge pops events in
+//! the same global `(time, seq)` order the single calendar queue does.
+//! Sharding is a cache-locality lever, never a semantics lever.
+//!
+//! The deployment deliberately uses the fig21 scale geometry (paper
+//! density continued to N = 2000, a ~730 m field) so the run crosses
+//! shard boundaries thousands of times: every multi-hop relay chain
+//! walks across the vertical strips the engine shards by.
+
+use agg::AggFunction;
+use icpda::{IcpdaConfig, IcpdaNode};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+use wsn_sim::geometry::Region;
+use wsn_sim::prelude::*;
+use wsn_sim::topology::Deployment;
+
+const N: usize = 2_000;
+const SEED: u64 = 17;
+
+/// One full iCPDA round under `shards` event-loop shards, rendered into
+/// the same deterministic text document the golden-trace test uses.
+fn render(shards: usize) -> String {
+    // Paper density (600 nodes per 400 m × 400 m) continued to N.
+    let side = (N as f64 / (600.0 / (400.0 * 400.0))).sqrt();
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let dep =
+        Deployment::uniform_random_with_central_bs(N, Region::new(side, side), 50.0, &mut rng);
+    let config = IcpdaConfig::paper_default(AggFunction::Count);
+    let readings = agg::readings::count_readings(N);
+    let mut sim_config = SimConfig::paper_default();
+    sim_config.trace_capacity = 1 << 22;
+    sim_config.shards = shards;
+    let mut sim = Simulator::new(dep, sim_config, SEED, |id| {
+        IcpdaNode::new(config, id == NodeId::new(0), readings[id.index()])
+    });
+    let deadline = SimTime::ZERO + config.schedule.decision_time() + SimDuration::from_secs(1);
+    sim.run_until(deadline);
+    assert_eq!(sim.trace().evicted(), 0, "trace must be complete");
+
+    let mut out = String::new();
+    let _ = writeln!(out, "now_ns={}", sim.now().as_nanos());
+    let _ = writeln!(out, "events_processed={}", sim.events_processed());
+    for entry in sim.trace().iter() {
+        let _ = writeln!(out, "{} {:?}", entry.time.as_nanos(), entry.kind);
+    }
+    let m = sim.metrics();
+    let _ = writeln!(
+        out,
+        "totals frames={} bytes={} energy_uj={}",
+        m.total_frames_sent(),
+        m.total_bytes_sent(),
+        (m.total_energy_mj() * 1000.0).round() as i64,
+    );
+    for (id, nm) in m.iter() {
+        let _ = writeln!(
+            out,
+            "node {} tx={}/{} rx={}/{} oh={} lost={},{},{},{} drops={}",
+            id.as_u32(),
+            nm.frames_sent,
+            nm.bytes_sent,
+            nm.frames_received,
+            nm.bytes_received,
+            nm.frames_overheard,
+            nm.lost_collision,
+            nm.lost_stochastic,
+            nm.lost_half_duplex,
+            nm.lost_receiver_down,
+            nm.mac_drops,
+        );
+    }
+    out
+}
+
+#[test]
+fn four_shards_reproduce_the_single_shard_run() {
+    let single = render(1);
+    let sharded = render(4);
+    if single != sharded {
+        let mismatch = single
+            .lines()
+            .zip(sharded.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| single.lines().count().min(sharded.lines().count()));
+        let a = single.lines().nth(mismatch).unwrap_or("<end>");
+        let b = sharded.lines().nth(mismatch).unwrap_or("<end>");
+        panic!(
+            "shards=4 diverged from shards=1 at line {}:\n  shards=1: {a}\n  shards=4: {b}",
+            mismatch + 1
+        );
+    }
+}

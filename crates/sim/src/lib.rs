@@ -31,6 +31,8 @@
 #![forbid(unsafe_code)]
 
 pub mod app;
+pub mod arena;
+pub mod calendar;
 pub mod channel;
 pub mod fault;
 pub mod frame;
@@ -45,6 +47,8 @@ pub mod topology;
 pub mod trace;
 
 pub use app::{Application, Context, TimerId, TimerToken};
+pub use arena::{ArenaStats, FrameArena};
+pub use calendar::CalendarQueue;
 pub use channel::{ChannelPlan, ChannelPlanError, GilbertElliott, LinkWindow};
 pub use fault::{FaultPlan, FaultPlanError};
 pub use frame::{Destination, Frame, WireSize};

@@ -20,6 +20,8 @@
 //!   as [`Application::on_overhear`] otherwise.
 
 use crate::app::{Application, Command, Context, TimerId, TimerToken};
+use crate::arena::{ArenaStats, FrameArena};
+use crate::calendar::CalendarQueue;
 use crate::channel::{corrupted_checksum, frame_checksum, ChannelPlan};
 use crate::fault::FaultPlan;
 use crate::frame::{Destination, Frame};
@@ -33,8 +35,7 @@ use crate::trace::{Trace, TraceKind, TraceLevel};
 use icpda_obs::{Obs, ObsLevel, SpanSnapshot};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// Engine-level configuration: radio, MAC, loss and energy models.
 #[derive(Clone, Copy, Debug, Default)]
@@ -57,6 +58,14 @@ pub struct SimConfig {
     /// [`ObsLevel`]; `Off` by default — one branch per instrumentation
     /// point, no allocation, byte-identical engine behavior).
     pub obs_level: ObsLevel,
+    /// Spatial shards of the event loop: the deployment region is cut
+    /// into this many vertical strips, each with its own calendar queue,
+    /// merged in strict `(time, seq)` order. `0` and `1` both mean a
+    /// single shard. Any shard count produces **byte-identical** traces,
+    /// metrics and results — the merge is the same total event order the
+    /// single queue yields (see DESIGN §13 for the conservative-lookahead
+    /// argument this partitioning is built for).
+    pub shards: usize,
 }
 
 impl SimConfig {
@@ -117,29 +126,6 @@ enum EventKind<M> {
         frame: Frame<M>,
         node: NodeId,
     },
-}
-
-struct EventEntry<M> {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for EventEntry<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for EventEntry<M> {}
-impl<M> PartialOrd for EventEntry<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for EventEntry<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
 }
 
 #[derive(Debug)]
@@ -214,7 +200,12 @@ pub struct Simulator<A: Application> {
     deployment: Deployment,
     config: SimConfig,
     now: SimTime,
-    heap: BinaryHeap<Reverse<EventEntry<A::Message>>>,
+    /// One calendar queue per spatial shard; `next_event` merges them in
+    /// strict `(time, seq)` order, so the executed event sequence is
+    /// independent of the shard count.
+    queues: Vec<CalendarQueue<EventKind<A::Message>>>,
+    /// Shard index per node (all zeros for a single shard).
+    shard_of: Vec<u32>,
     event_seq: u64,
     frame_seq: u64,
     next_timer_id: u64,
@@ -228,7 +219,16 @@ pub struct Simulator<A: Application> {
     /// callback), so the dispatch hot path allocates nothing per event.
     command_buf: Vec<Command<A::Message>>,
     apps: Vec<A>,
-    rngs: Vec<ChaCha8Rng>,
+    /// Per-node RNG streams, materialised lazily: deriving 50k ChaCha8
+    /// states up front dominates `Simulator::new` at scale, and most
+    /// streams are first drawn from well after start. The derivation in
+    /// [`node_rng`] is untouched, so the draws are byte-identical to the
+    /// eager build.
+    rngs: Vec<Option<ChaCha8Rng>>,
+    /// The run seed, kept for lazy RNG derivation.
+    seed: u64,
+    /// Recycled receiver-list buffers for batched deliveries.
+    arena: FrameArena,
     mac: Vec<MacState<A::Message>>,
     metrics: Metrics,
     trace: Trace,
@@ -258,11 +258,28 @@ impl<A: Application> Simulator<A> {
     ) -> Self {
         let n = deployment.len();
         let apps: Vec<A> = (0..n as u32).map(|i| build(NodeId::new(i))).collect();
-        let rngs = (0..n as u64)
-            .map(|i| ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i + 1)))
-            .collect();
+        let rngs = vec![None; n];
         let mac = (0..n).map(|_| MacState::default()).collect();
         let down = vec![false; n];
+        let shards = config.shards.clamp(1, n.max(1));
+        let shard_of = if shards == 1 {
+            vec![0u32; n]
+        } else {
+            // Vertical strips of equal width: radio range bounds how fast
+            // events propagate between strips, which is the conservative
+            // lookahead window DESIGN §13 builds on. The cut only affects
+            // which queue holds an event, never its execution order.
+            let width = deployment.region().width.max(f64::MIN_POSITIVE);
+            (0..n)
+                .map(|i| {
+                    let x = deployment.position(NodeId::new(i as u32)).x;
+                    (((x / width) * shards as f64) as usize).min(shards - 1) as u32
+                })
+                .collect()
+        };
+        let queues = (0..shards)
+            .map(|_| CalendarQueue::for_nodes(n / shards + 1))
+            .collect();
         Simulator {
             metrics: Metrics::new(n),
             trace: Trace::with_level(config.trace_capacity, config.trace_level),
@@ -270,7 +287,8 @@ impl<A: Application> Simulator<A> {
             deployment,
             config,
             now: SimTime::ZERO,
-            heap: BinaryHeap::new(),
+            queues,
+            shard_of,
             event_seq: 0,
             frame_seq: 0,
             next_timer_id: 0,
@@ -278,6 +296,8 @@ impl<A: Application> Simulator<A> {
             command_buf: Vec::new(),
             apps,
             rngs,
+            seed,
+            arena: FrameArena::new(),
             mac,
             events_processed: 0,
             started: false,
@@ -370,6 +390,21 @@ impl<A: Application> Simulator<A> {
         self.events_processed
     }
 
+    /// Marks a frame-arena epoch boundary (typically a protocol round):
+    /// the delivery-buffer pool is trimmed to the finished epoch's peak
+    /// demand, so a one-off burst does not pin its buffers for the rest
+    /// of a long multi-round session. Purely an allocator hint — calling
+    /// it (or not) never changes simulation behavior.
+    pub fn begin_frame_epoch(&mut self) {
+        self.arena.begin_epoch();
+    }
+
+    /// Allocation counters of the delivery-buffer arena.
+    #[must_use]
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
     /// Immutable access to a node's application state.
     ///
     /// # Panics
@@ -425,11 +460,30 @@ impl<A: Application> Simulator<A> {
         std::mem::take(&mut self.obs)
     }
 
+    /// Shard owning `kind`: the shard of the node the event acts on
+    /// (a delivery belongs to its transmitter's shard — the receivers'
+    /// in-flight records were already written at transmission start).
+    fn shard_of_kind(&self, kind: &EventKind<A::Message>) -> usize {
+        if self.queues.len() == 1 {
+            return 0;
+        }
+        let node = match kind {
+            EventKind::Timer { node, .. }
+            | EventKind::MacAttempt { node }
+            | EventKind::TxEnd { node }
+            | EventKind::FaultEdge { node }
+            | EventKind::Redelivery { node, .. } => *node,
+            EventKind::Delivery { frame, .. } => frame.src,
+        };
+        self.shard_of[node.index()] as usize
+    }
+
     fn schedule(&mut self, time: SimTime, kind: EventKind<A::Message>) {
         debug_assert!(time >= self.now, "scheduling into the past");
         let seq = self.event_seq;
         self.event_seq += 1;
-        self.heap.push(Reverse(EventEntry { time, seq, kind }));
+        let shard = self.shard_of_kind(&kind);
+        self.queues[shard].push(time, seq, kind);
     }
 
     /// Runs `on_start` on every node (idempotent; run_* call it lazily).
@@ -520,11 +574,12 @@ impl<A: Application> Simulator<A> {
     fn with_ctx(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut Context<'_, A::Message>)) {
         let mut commands = std::mem::take(&mut self.command_buf);
         {
+            let rng = rng_at(&mut self.rngs, self.seed, node.index());
             let ctx = &mut Context {
                 now: self.now,
                 node,
                 neighbors: self.deployment.neighbors(node),
-                rng: &mut self.rngs[node.index()],
+                rng,
                 metrics: &mut self.metrics,
                 obs: &mut self.obs,
                 commands: &mut commands,
@@ -583,7 +638,10 @@ impl<A: Application> Simulator<A> {
         if !st.active {
             st.active = true;
             st.attempts = 0;
-            let jitter = sample_jitter(&mut self.rngs[src.index()], self.config.mac.initial_jitter);
+            let jitter = sample_jitter(
+                rng_at(&mut self.rngs, self.seed, src.index()),
+                self.config.mac.initial_jitter,
+            );
             self.schedule(self.now + jitter, EventKind::MacAttempt { node: src });
         }
     }
@@ -628,7 +686,7 @@ impl<A: Application> Simulator<A> {
                 self.obs.inc("engine.mac_defers");
             }
             let window = mac_cfg.backoff_window(st.attempts);
-            let slots = self.rngs[node.index()].gen_range(0..window);
+            let slots = rng_at(&mut self.rngs, self.seed, node.index()).gen_range(0..window);
             let retry_at = self.mac[node.index()].medium_busy_until + mac_cfg.slot * slots;
             self.schedule(retry_at, EventKind::MacAttempt { node });
             return;
@@ -664,7 +722,7 @@ impl<A: Application> Simulator<A> {
         // iteration keeps the receiver admission pass allocation-free
         // while the MAC/metrics state is mutated.
         let neighbor_count = self.deployment.neighbors(node).len();
-        let mut receivers: Vec<NodeId> = Vec::with_capacity(neighbor_count);
+        let mut receivers: Vec<NodeId> = self.arena.take(neighbor_count);
         for i in 0..neighbor_count {
             let r = self.deployment.neighbors(node)[i];
             if self.down[r.index()] {
@@ -715,7 +773,9 @@ impl<A: Application> Simulator<A> {
             });
             receivers.push(r);
         }
-        if !receivers.is_empty() {
+        if receivers.is_empty() {
+            self.arena.recycle(receivers);
+        } else {
             self.schedule(end, EventKind::Delivery { frame, receivers });
         }
         self.schedule(end, EventKind::TxEnd { node });
@@ -726,8 +786,10 @@ impl<A: Application> Simulator<A> {
         if st.queue.is_empty() {
             st.active = false;
         } else {
-            let jitter =
-                sample_jitter(&mut self.rngs[node.index()], self.config.mac.initial_jitter);
+            let jitter = sample_jitter(
+                rng_at(&mut self.rngs, self.seed, node.index()),
+                self.config.mac.initial_jitter,
+            );
             self.schedule(self.now + jitter, EventKind::MacAttempt { node });
         }
     }
@@ -861,11 +923,10 @@ impl<A: Application> Simulator<A> {
             .position(node)
             .distance_to(self.deployment.position(frame.src))
             / self.deployment.radio_range();
-        if self
-            .config
-            .loss
-            .drops(&mut self.rngs[node.index()], distance_ratio)
-        {
+        if self.config.loss.drops(
+            rng_at(&mut self.rngs, self.seed, node.index()),
+            distance_ratio,
+        ) {
             self.metrics.node_mut(node).lost_stochastic += 1;
             if self.trace.wants(TraceLevel::Full) {
                 self.trace.record(
@@ -1003,28 +1064,43 @@ impl<A: Application> Simulator<A> {
             }
             EventKind::MacAttempt { node } => self.handle_mac_attempt(node),
             EventKind::TxEnd { node } => self.handle_tx_end(node),
-            EventKind::Delivery { frame, receivers } => self.handle_delivery(&frame, &receivers),
+            EventKind::Delivery { frame, receivers } => {
+                self.handle_delivery(&frame, &receivers);
+                self.arena.recycle(receivers);
+            }
             EventKind::FaultEdge { node } => self.handle_fault_edge(node),
             EventKind::Redelivery { frame, node } => self.handle_redelivery(node, &frame),
         }
     }
 
     /// Pops and executes the next due event, if any is due at or before
-    /// `deadline`. Returns `false` when the queue is empty or the next
-    /// event lies beyond the deadline. This is the single heap-pop site
-    /// shared by [`Simulator::step`], [`Simulator::run_until`] and
-    /// [`Simulator::run_to_quiescence`].
+    /// `deadline`. Returns `false` when the queues are empty or the next
+    /// event lies beyond the deadline. This is the single pop site shared
+    /// by [`Simulator::step`], [`Simulator::run_until`] and
+    /// [`Simulator::run_to_quiescence`]. With multiple shards this is the
+    /// k-way merge: the argmin over per-shard heads on `(time, seq)` keys
+    /// reproduces the exact total order a single queue would yield.
     fn next_event(&mut self, deadline: SimTime) -> bool {
-        match self.heap.peek() {
-            Some(Reverse(entry)) if entry.time <= deadline => {}
-            _ => return false,
+        let mut best: Option<((SimTime, u64), usize)> = None;
+        for s in 0..self.queues.len() {
+            if let Some(key) = self.queues[s].peek_key() {
+                if best.is_none_or(|(bk, _)| key < bk) {
+                    best = Some((key, s));
+                }
+            }
         }
-        let Some(Reverse(entry)) = self.heap.pop() else {
+        let Some(((time, _), shard)) = best else {
             return false;
         };
-        debug_assert!(entry.time >= self.now, "event time went backwards");
-        self.now = entry.time;
-        self.execute(entry.kind);
+        if time > deadline {
+            return false;
+        }
+        let Some((time, _seq, kind)) = self.queues[shard].pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.now, "event time went backwards");
+        self.now = time;
+        self.execute(kind);
         true
     }
 
@@ -1072,6 +1148,19 @@ fn obs_snap(metrics: &Metrics, node: NodeId) -> SpanSnapshot {
         bytes: nm.bytes_sent + nm.bytes_received,
         energy_nj: nm.energy_total_nj() as u64,
     }
+}
+
+/// Derives node `i`'s RNG stream from the run seed. This is the exact
+/// derivation the eager constructor used, so lazily materialised streams
+/// draw byte-identical sequences.
+fn node_rng(seed: u64, i: usize) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64 + 1))
+}
+
+/// Node `i`'s RNG, materialising it on first use. A free function (not a
+/// method) so callers can borrow it alongside other `Simulator` fields.
+fn rng_at(rngs: &mut [Option<ChaCha8Rng>], seed: u64, i: usize) -> &mut ChaCha8Rng {
+    rngs[i].get_or_insert_with(|| node_rng(seed, i))
 }
 
 fn sample_jitter(rng: &mut ChaCha8Rng, max: SimDuration) -> SimDuration {

@@ -69,12 +69,22 @@ impl Deployment {
         radio_range: f64,
         rng: &mut R,
     ) -> Self {
-        let mut dep = Deployment::uniform_random(n, region, radio_range, rng);
-        if let Some(bs) = dep.positions.first_mut() {
+        // Draw all positions first (the RNG consumption is exactly that of
+        // `uniform_random`), then overwrite the base station before the
+        // single adjacency build — rebuilding twice at 50k nodes doubles
+        // the dominant cost of deployment construction for nothing.
+        let mut positions: Vec<Point> = (0..n)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.0..=region.width),
+                    rng.gen_range(0.0..=region.height),
+                )
+            })
+            .collect();
+        if let Some(bs) = positions.first_mut() {
             *bs = region.center();
-            dep.rebuild_adjacency();
         }
-        dep
+        Deployment::from_positions(positions, region, radio_range)
     }
 
     /// Like [`Deployment::uniform_random_with_central_bs`] but rejection
@@ -209,40 +219,76 @@ impl Deployment {
 
     fn rebuild_adjacency(&mut self) {
         let n = self.positions.len();
+        if n == 0 {
+            self.neighbors = Vec::new();
+            return;
+        }
         let range_sq = self.radio_range * self.radio_range;
-        let mut neighbors = vec![Vec::new(); n];
         // Grid-bucket the nodes so adjacency is O(n · local density) rather
-        // than O(n²); matters for the 1000-node privacy experiments.
-        let cell = self.radio_range.max(1e-9);
-        let cols = (self.region.width / cell).floor() as i64 + 1;
-        let rows = (self.region.height / cell).floor() as i64 + 1;
-        let bucket_of = |p: Point| -> (i64, i64) {
+        // than O(n²). The grid is a flat `Vec` in CSR form (counting pass,
+        // prefix sum, fill pass) instead of a `BTreeMap<(i64,i64), Vec>`:
+        // no per-bucket allocation, no tree walks, and cell iteration order
+        // is the array order — deterministic by construction. The cell edge
+        // is at least the radio range (so the 3×3 neighborhood scan stays
+        // sufficient) but never so small that the grid outgrows the node
+        // count: ~sqrt(n) cells per axis caps the table at O(n) slots even
+        // when the range is tiny relative to the region.
+        let target = (n as f64).sqrt().ceil().max(1.0);
+        let cell = self
+            .radio_range
+            .max(self.region.width / target)
+            .max(self.region.height / target)
+            .max(1e-9);
+        let cols = (self.region.width / cell).floor() as usize + 1;
+        let rows = (self.region.height / cell).floor() as usize + 1;
+        let cell_of = |p: Point| -> (usize, usize) {
             (
-                ((p.x / cell).floor() as i64).clamp(0, cols - 1),
-                ((p.y / cell).floor() as i64).clamp(0, rows - 1),
+                ((p.x / cell).floor() as usize).min(cols - 1),
+                ((p.y / cell).floor() as usize).min(rows - 1),
             )
         };
-        // BTreeMap keeps bucket iteration order hasher-independent, so the
-        // adjacency lists (and everything downstream) are reproducible.
-        let mut buckets: std::collections::BTreeMap<(i64, i64), Vec<usize>> =
-            std::collections::BTreeMap::new();
-        for (i, p) in self.positions.iter().enumerate() {
-            buckets.entry(bucket_of(*p)).or_default().push(i);
+        // CSR build: `starts[c]..starts[c+1]` indexes `order`, which holds
+        // the nodes of cell `c` in ascending node order (the fill pass
+        // scans nodes in order and each cell's cursor advances in turn).
+        let ncells = cols * rows;
+        let mut starts = vec![0usize; ncells + 1];
+        for p in &self.positions {
+            let (cx, cy) = cell_of(*p);
+            starts[cy * cols + cx + 1] += 1;
         }
+        for c in 0..ncells {
+            starts[c + 1] += starts[c];
+        }
+        let mut cursor = starts.clone();
+        let mut order = vec![0usize; n];
         for (i, p) in self.positions.iter().enumerate() {
-            let (bx, by) = bucket_of(*p);
-            for dx in -1..=1 {
-                for dy in -1..=1 {
-                    if let Some(cands) = buckets.get(&(bx + dx, by + dy)) {
-                        for &j in cands {
-                            if j != i && p.distance_sq(self.positions[j]) <= range_sq {
-                                neighbors[i].push(NodeId::new(j as u32));
-                            }
+            let (cx, cy) = cell_of(*p);
+            let c = cy * cols + cx;
+            order[cursor[c]] = i;
+            cursor[c] += 1;
+        }
+        // Pre-reserve each list at the expected unit-disk degree (+slack):
+        // n·πr²/area neighbors land in range on average, so steady growth
+        // never reallocates mid-build.
+        let area = (self.region.width * self.region.height).max(f64::MIN_POSITIVE);
+        let expected = (n as f64 * std::f64::consts::PI * range_sq / area).ceil() as usize + 4;
+        let mut neighbors: Vec<Vec<NodeId>> = (0..n)
+            .map(|_| Vec::with_capacity(expected.min(n)))
+            .collect();
+        for (i, p) in self.positions.iter().enumerate() {
+            let (cx, cy) = cell_of(*p);
+            let list = &mut neighbors[i];
+            for dy in cy.saturating_sub(1)..=(cy + 1).min(rows - 1) {
+                for dx in cx.saturating_sub(1)..=(cx + 1).min(cols - 1) {
+                    let c = dy * cols + dx;
+                    for &j in &order[starts[c]..starts[c + 1]] {
+                        if j != i && p.distance_sq(self.positions[j]) <= range_sq {
+                            list.push(NodeId::new(j as u32));
                         }
                     }
                 }
             }
-            neighbors[i].sort_unstable();
+            list.sort_unstable();
         }
         self.neighbors = neighbors;
     }

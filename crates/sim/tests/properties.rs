@@ -101,6 +101,30 @@ proptest! {
         prop_assert_eq!(expected_receptions, accounted);
     }
 
+    /// The flat-grid adjacency build equals brute-force O(N²) adjacency
+    /// on arbitrary deployments: random positions, non-square regions and
+    /// ranges from nearly-degenerate-small through larger than the whole
+    /// region (one grid cell: the 3×3 scan must still see everything).
+    #[test]
+    fn grid_adjacency_matches_bruteforce(
+        positions in prop::collection::vec((0.0f64..280.0, 0.0f64..160.0), 0..80),
+        range_sel in 0usize..4,
+    ) {
+        let range = [0.5, 22.0, 65.0, 500.0][range_sel];
+        let pts: Vec<Point> = positions.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let dep = Deployment::from_positions(pts.clone(), Region::new(280.0, 160.0), range);
+        for (i, a) in pts.iter().enumerate() {
+            let mut expect: Vec<NodeId> = pts
+                .iter()
+                .enumerate()
+                .filter(|&(j, b)| i != j && a.distance_to(*b) <= range)
+                .map(|(j, _)| NodeId::new(j as u32))
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(dep.neighbors(NodeId::new(i as u32)), expect.as_slice());
+        }
+    }
+
     /// Determinism: identical seeds give identical event counts and
     /// byte totals.
     #[test]
@@ -115,5 +139,29 @@ proptest! {
             (sim.events_processed(), sim.metrics().total_bytes_sent())
         };
         prop_assert_eq!(run(), run());
+    }
+}
+
+#[test]
+fn zero_node_deployment_is_well_formed() {
+    let dep = Deployment::from_positions(Vec::new(), Region::new(100.0, 100.0), 50.0);
+    assert!(dep.is_empty());
+    assert_eq!(dep.average_degree(), 0.0);
+    assert!(dep.is_connected());
+}
+
+#[test]
+fn range_larger_than_region_is_a_clique() {
+    // Degenerate `range > region`: every pair is in range, the grid is a
+    // single cell, and each node must list all the others.
+    let pts = vec![
+        Point::new(0.0, 0.0),
+        Point::new(99.0, 3.0),
+        Point::new(40.0, 60.0),
+        Point::new(99.0, 60.0),
+    ];
+    let dep = Deployment::from_positions(pts, Region::new(100.0, 60.0), 1_000.0);
+    for a in dep.node_ids() {
+        assert_eq!(dep.degree(a), 3, "{a} should neighbor every other node");
     }
 }

@@ -100,20 +100,31 @@ const UNSAFE_ROOTS: [&str; 11] = [
 /// file, listing the function bodies XL006 scans. These run once per
 /// simulated event (or per receiver), so a single `.clone()` there
 /// multiplies into millions of allocations per experiment sweep.
-const HOT_PATHS: [(&str, &[&str]); 1] = [(
-    "crates/sim/src/sim.rs",
-    &[
-        "schedule",
-        "with_ctx",
-        "enqueue_frame",
-        "handle_mac_attempt",
-        "handle_tx_end",
-        "handle_delivery",
-        "deliver_frame",
-        "execute",
-        "next_event",
-    ],
-)];
+const HOT_PATHS: [(&str, &[&str]); 3] = [
+    (
+        "crates/sim/src/sim.rs",
+        &[
+            "schedule",
+            "with_ctx",
+            "enqueue_frame",
+            "handle_mac_attempt",
+            "handle_tx_end",
+            "handle_delivery",
+            "deliver_frame",
+            "dispatch_frame",
+            "handle_redelivery",
+            "execute",
+            "next_event",
+        ],
+    ),
+    // The calendar queue and frame arena exist precisely to keep the
+    // per-event path allocation-free; every method on them is hot.
+    (
+        "crates/sim/src/calendar.rs",
+        &["push", "pop", "peek_key", "maintain"],
+    ),
+    ("crates/sim/src/arena.rs", &["take", "recycle"]),
+];
 
 /// Where message enums are defined (exhaustiveness rule input).
 const MSG_DEF: &str = "crates/core/src/msg.rs";
