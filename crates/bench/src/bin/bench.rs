@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! bench [--label NAME] [--quick] [--baseline PATH] [--warn-factor X]
-//!       [--obs-out DIR]
+//!       [--obs-out DIR] [--obs-level phases|full]
 //! ```
 //!
 //! * `--label NAME`    output file name suffix (default `local`)
@@ -15,9 +15,15 @@
 //! * `--warn-factor X` slowdown factor that triggers a warning
 //!   (default 2.0)
 //! * `--obs-out DIR`   also run one instrumented end-to-end round and
-//!   write its observability capture to DIR (see `icpda obs report`)
+//!   stream its observability capture to DIR through the
+//!   bounded-memory exporter (see `icpda obs report`)
+//! * `--obs-level L`   capture detail for `--obs-out`: `phases` records
+//!   protocol spans only; `full` (default) adds engine internals, the
+//!   complete event trace and the engine self-profile
+//!   (see `icpda obs profile`)
 
 use icpda_bench::perf::{self, PerfConfig};
+use icpda_obs::ObsLevel;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -27,6 +33,7 @@ struct Args {
     baseline: Option<PathBuf>,
     warn_factor: f64,
     obs_out: Option<PathBuf>,
+    obs_level: ObsLevel,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         warn_factor: 2.0,
         obs_out: None,
+        obs_level: ObsLevel::Full,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -45,6 +53,10 @@ fn parse_args() -> Result<Args, String> {
             "--quick" => args.quick = true,
             "--baseline" => args.baseline = Some(PathBuf::from(value_of("--baseline")?)),
             "--obs-out" => args.obs_out = Some(PathBuf::from(value_of("--obs-out")?)),
+            "--obs-level" => {
+                let raw = value_of("--obs-level")?;
+                args.obs_level = ObsLevel::parse(&raw).map_err(|e| format!("--obs-level: {e}"))?;
+            }
             "--warn-factor" => {
                 let raw = value_of("--warn-factor")?;
                 args.warn_factor = raw
@@ -57,6 +69,9 @@ fn parse_args() -> Result<Args, String> {
                 ))
             }
         }
+    }
+    if args.obs_level == ObsLevel::Off && args.obs_out.is_some() {
+        return Err("--obs-level off leaves --obs-out nothing to capture".to_string());
     }
     if args.label.is_empty()
         || !args
@@ -115,7 +130,7 @@ fn main() -> ExitCode {
     eprintln!("(report written to {})", out.display());
     if let Some(dir) = &args.obs_out {
         eprintln!("capturing instrumented e2e round to {}...", dir.display());
-        if let Err(e) = perf::capture_obs(dir) {
+        if let Err(e) = perf::capture_obs(dir, args.obs_level) {
             eprintln!("error: --obs-out: {e}");
             return ExitCode::FAILURE;
         }

@@ -2,28 +2,50 @@
 //! `icpda_bench::experiments::fig21_scale`.
 //!
 //! ```text
-//! fig21_scale [--threads N] [--quick] [--shards K]
+//! fig21_scale [--threads N] [--quick] [--shards K] [--obs-stream DIR]
 //! ```
 //!
 //! * `--quick`    drop the 50k point and run one trial per size (CI)
 //! * `--shards K` run every engine with K event-loop shards — the
 //!   output is byte-identical for any K, which is what the scale-smoke
 //!   CI job verifies on this CSV
+//! * `--obs-stream DIR` additionally stream one fully instrumented run
+//!   at the largest configured size (spans + full event trace + engine
+//!   profile) through the bounded-memory exporter into DIR
+//! * `--capture-only` skip the sweep and run just the `--obs-stream`
+//!   capture — the process's peak RSS then measures the streaming
+//!   exporter alone, which is what the obs-stream-smoke CI gate checks
 
 use icpda_bench::experiments::fig21_scale::{self, ScaleOptions};
+use std::path::PathBuf;
 
-fn parse_opts() -> Result<ScaleOptions, String> {
-    let mut opts = ScaleOptions::default();
+struct BinOpts {
+    scale: ScaleOptions,
+    obs_stream: Option<PathBuf>,
+    capture_only: bool,
+}
+
+fn parse_opts() -> Result<BinOpts, String> {
+    let mut opts = BinOpts {
+        scale: ScaleOptions::default(),
+        obs_stream: None,
+        capture_only: false,
+    };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--quick" => opts.quick = true,
+            "--quick" => opts.scale.quick = true,
             "--shards" => {
                 let raw = iter.next().ok_or("--shards needs a value")?;
-                opts.shards = raw
+                opts.scale.shards = raw
                     .parse()
                     .map_err(|_| format!("--shards: cannot parse '{raw}'"))?;
             }
+            "--obs-stream" => {
+                let raw = iter.next().ok_or("--obs-stream needs a value")?;
+                opts.obs_stream = Some(PathBuf::from(raw));
+            }
+            "--capture-only" => opts.capture_only = true,
             // `--threads N` is consumed by `run_main` below.
             "--threads" => {
                 let _ = iter.next();
@@ -32,16 +54,27 @@ fn parse_opts() -> Result<ScaleOptions, String> {
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
+    if opts.capture_only && opts.obs_stream.is_none() {
+        return Err("--capture-only needs --obs-stream DIR".to_string());
+    }
     Ok(opts)
 }
 
 fn main() -> std::process::ExitCode {
     let opts = match parse_opts() {
-        Ok(opts) => opts,
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
             return std::process::ExitCode::FAILURE;
         }
     };
-    icpda_bench::run_main(move || fig21_scale::run_with(opts))
+    icpda_bench::run_main(move || {
+        if !opts.capture_only {
+            fig21_scale::run_with(opts.scale)?;
+        }
+        if let Some(dir) = &opts.obs_stream {
+            fig21_scale::capture_stream(opts.scale, dir).map_err(std::io::Error::other)?;
+        }
+        Ok(())
+    })
 }

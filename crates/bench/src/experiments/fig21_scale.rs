@@ -259,6 +259,77 @@ pub fn run_with(opts: ScaleOptions) -> std::io::Result<()> {
     table.emit("fig21_scale")
 }
 
+/// Streams one fully instrumented iCPDA run at the sweep's largest
+/// configured size (N=10k under `--quick`, N=50k otherwise) into `dir`:
+/// spans, metrics, the complete event trace and the engine self-profile
+/// all go through the bounded-memory exporter, so this is the capture
+/// that used to be memory-bound at 50k. The streaming summary and peak
+/// RSS go to stderr (host facts).
+///
+/// # Errors
+///
+/// Returns a description when the capture directory cannot be written
+/// or the exporter latches an I/O error mid-run.
+pub fn capture_stream(opts: ScaleOptions, dir: &std::path::Path) -> Result<(), String> {
+    let sizes: &[usize] = if opts.quick {
+        &QUICK_SIZES
+    } else {
+        &SCALE_SIZES
+    };
+    let n = *sizes.last().expect("non-empty size axis");
+    let seed = 0u64;
+    let run_seed = seed.wrapping_mul(31).wrapping_add(7);
+    let (dep, build_ns) = wsn_sim::profile::time_host(|| scaled_deployment(n, seed));
+    let depth = depth_for(&dep);
+    let mut sc = sim_config(opts.shards);
+    sc.obs_level = ObsLevel::Full;
+    sc.trace_level = wsn_sim::TraceLevel::Full;
+    sc.profile = true;
+    sc.flight_rounds = 4;
+    let manifest = icpda_obs::export::Manifest {
+        tool: "fig21_scale capture".to_string(),
+        seed: run_seed,
+        threads: crate::parallel::effective_threads(),
+        git_rev: crate::perf::git_rev(),
+        config: vec![
+            ("nodes".to_string(), n.to_string()),
+            ("shards".to_string(), opts.shards.to_string()),
+            ("depth".to_string(), depth.to_string()),
+        ],
+    };
+    let stream =
+        icpda_obs::stream::ObsStream::create(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    eprintln!(
+        "streaming full-trace capture of N={n} to {}...",
+        dir.display()
+    );
+    let out = IcpdaRun::new(
+        dep,
+        icpda_config_for(depth),
+        agg::readings::count_readings(n),
+        run_seed,
+    )
+    .with_sim_config(sc)
+    .with_obs_stream(stream, manifest)
+    .with_profile_section("setup.neighbor_build", 1, build_ns)
+    .run();
+    let stats = out.stream.as_ref().expect("stream outcome present");
+    eprintln!(
+        "captured {} spans / {} trace records ({} trace bytes) at N={n}",
+        stats.spans, stats.trace_records, stats.trace_bytes
+    );
+    if let Some(bytes) = peak_rss_bytes() {
+        eprintln!(
+            "peak-rss: {:.0} MB over the streamed capture (host fact, stderr only)",
+            bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+    match &stats.error {
+        Some(e) => Err(format!("{}: {e}", dir.display())),
+        None => Ok(()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -398,14 +398,16 @@ pub fn run_matrix(label: &str, config: PerfConfig) -> BenchReport {
 
 /// Runs one fully instrumented end-to-end iCPDA round (N=200 with node
 /// churn, so every protocol phase — crash recovery included — emits
-/// spans) and writes the observability capture (`manifest.json`,
-/// `spans.jsonl`, `metrics.jsonl`) to `dir`.
+/// spans) and streams the observability capture (`manifest.json`,
+/// `spans.jsonl`, `metrics.jsonl`; at [`ObsLevel::Full`] also
+/// `trace.jsonl` and `profile.jsonl`) to `dir` through the
+/// bounded-memory exporter.
 ///
 /// # Errors
 ///
 /// Returns a description when the fault plan cannot be built or the
 /// capture directory cannot be written.
-pub fn capture_obs(dir: &std::path::Path) -> Result<(), String> {
+pub fn capture_obs(dir: &std::path::Path, level: ObsLevel) -> Result<(), String> {
     let n = 200;
     let seed = 7;
     let churn = 0.15;
@@ -414,16 +416,12 @@ pub fn capture_obs(dir: &std::path::Path) -> Result<(), String> {
     let horizon = config.schedule.decision_time();
     let plan = FaultPlan::random_churn(n, churn, horizon, seed).map_err(|e| e.to_string())?;
     let mut sim_config = SimConfig::paper_default();
-    sim_config.obs_level = ObsLevel::Full;
-    let out = IcpdaRun::new(
-        paper_deployment(n, seed),
-        config,
-        agg::readings::count_readings(n),
-        seed,
-    )
-    .with_sim_config(sim_config)
-    .with_fault_plan(plan)
-    .run();
+    sim_config.obs_level = level;
+    if level == ObsLevel::Full {
+        sim_config.trace_level = wsn_sim::TraceLevel::Full;
+        sim_config.profile = true;
+        sim_config.flight_rounds = 4;
+    }
     let manifest = icpda_obs::export::Manifest {
         tool: "bench capture-obs".to_string(),
         seed,
@@ -436,21 +434,31 @@ pub fn capture_obs(dir: &std::path::Path) -> Result<(), String> {
             ("churn".to_string(), churn.to_string()),
         ],
     };
-    icpda_obs::export::write_dir(dir, &manifest, &out.obs)
-        .map_err(|e| format!("{}: {e}", dir.display()))
+    let stream =
+        icpda_obs::stream::ObsStream::create(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let (dep, build_ns) = wsn_sim::profile::time_host(|| paper_deployment(n, seed));
+    let out = IcpdaRun::new(dep, config, agg::readings::count_readings(n), seed)
+        .with_sim_config(sim_config)
+        .with_fault_plan(plan)
+        .with_obs_stream(stream, manifest)
+        .with_profile_section("setup.neighbor_build", 1, build_ns)
+        .run();
+    match out.stream.and_then(|s| s.error) {
+        Some(e) => Err(format!("{}: {e}", dir.display())),
+        None => Ok(()),
+    }
 }
 
 /// Host peak resident-set size (`VmHWM`) in bytes, read from
 /// `/proc/self/status`; `None` on platforms without procfs. This is a
 /// **host** fact like wall time: report it on stderr or in
 /// `BENCH_*.json`, never in a deterministic artefact (CSV/stdout) —
-/// the discipline the XL008 lint enforces.
+/// the discipline the XL008 lint enforces. Delegates to the sim-side
+/// reader so the engine profile and the bench reports agree on the
+/// measurement.
 #[must_use]
 pub fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb * 1024)
+    wsn_sim::profile::peak_rss_bytes()
 }
 
 /// Short git revision of the working tree, or `"unknown"` outside a

@@ -1,11 +1,21 @@
 //! The observability capture must be reproducible infrastructure:
-//! `spans.jsonl` and `metrics.jsonl` are byte-identical regardless of
-//! the worker-thread override, because the simulation is single-threaded
-//! and spans/metrics are emitted in deterministic order. Only
-//! `manifest.json` records the thread count.
+//! `spans.jsonl`, `metrics.jsonl` and (when streamed) `trace.jsonl` are
+//! byte-identical regardless of the worker-thread override or the
+//! event-loop shard count, because the simulation is single-threaded
+//! per run and all records are emitted in deterministic order. Only
+//! `manifest.json` records the thread count. The buffered in-memory
+//! exporter and the bounded-memory streaming exporter share one
+//! renderer per record kind, so their outputs must also agree byte for
+//! byte — that identity is asserted here and gated again in CI at
+//! N=10k (`obs-stream-smoke`).
 
+use agg::AggFunction;
+use icpda::{IcpdaConfig, IcpdaRun};
 use icpda_bench::json::{self, Json};
-use icpda_bench::{parallel, perf};
+use icpda_bench::{paper_deployment, parallel, perf};
+use icpda_obs::export::Manifest;
+use icpda_obs::stream::ObsStream;
+use icpda_obs::ObsLevel;
 use std::path::Path;
 
 fn manifest_threads(dir: &Path) -> f64 {
@@ -16,25 +26,101 @@ fn manifest_threads(dir: &Path) -> f64 {
         .expect("manifest has threads")
 }
 
+fn assert_same_files(a_dir: &Path, b_dir: &Path, files: &[&str], what: &str) {
+    for file in files {
+        let a = std::fs::read(a_dir.join(file)).expect("read first capture");
+        let b = std::fs::read(b_dir.join(file)).expect("read second capture");
+        assert_eq!(a, b, "{file} differs {what}");
+        assert!(!a.is_empty(), "{file} is empty");
+    }
+}
+
 #[test]
 fn obs_export_is_byte_identical_across_thread_counts() {
     let base = std::env::temp_dir().join(format!("icpda_obs_det_{}", std::process::id()));
     let one = base.join("t1");
     let eight = base.join("t8");
     parallel::set_threads(1);
-    perf::capture_obs(&one).expect("capture at 1 thread");
+    perf::capture_obs(&one, ObsLevel::Full).expect("capture at 1 thread");
     parallel::set_threads(8);
-    perf::capture_obs(&eight).expect("capture at 8 threads");
+    perf::capture_obs(&eight, ObsLevel::Full).expect("capture at 8 threads");
 
-    for file in ["spans.jsonl", "metrics.jsonl"] {
-        let a = std::fs::read(one.join(file)).expect("read 1-thread file");
-        let b = std::fs::read(eight.join(file)).expect("read 8-thread file");
-        assert_eq!(a, b, "{file} differs between thread counts");
-        assert!(!a.is_empty(), "{file} is empty");
-    }
+    // The capture now goes through the streaming exporter, so the full
+    // event trace is part of the identity contract too.
+    assert_same_files(
+        &one,
+        &eight,
+        &["spans.jsonl", "metrics.jsonl", "trace.jsonl"],
+        "between thread counts",
+    );
     // The manifest is where the environment difference belongs.
     assert_eq!(manifest_threads(&one), 1.0);
     assert_eq!(manifest_threads(&eight), 8.0);
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// One small instrumented run, streamed to `dir` with `shards` engine
+/// shards, or buffered in memory when `dir` is `None` (returning the
+/// rendered spans/metrics text instead).
+fn capture(shards: usize, dir: Option<&Path>) -> Option<(String, String)> {
+    let n = 120;
+    let seed = 5;
+    let config = IcpdaConfig::paper_default(AggFunction::Count);
+    let mut sc = wsn_sim::SimConfig::paper_default();
+    sc.shards = shards;
+    sc.obs_level = ObsLevel::Full;
+    sc.trace_level = wsn_sim::TraceLevel::Full;
+    let mut run = IcpdaRun::new(
+        paper_deployment(n, seed),
+        config,
+        agg::readings::count_readings(n),
+        seed,
+    )
+    .with_sim_config(sc);
+    if let Some(dir) = dir {
+        let manifest = Manifest {
+            tool: "obs_determinism test".to_string(),
+            seed,
+            threads: 1,
+            git_rev: "test".to_string(),
+            config: vec![],
+        };
+        let stream = ObsStream::create(dir).expect("create stream dir");
+        run = run.with_obs_stream(stream, manifest);
+    }
+    let out = run.run();
+    if let Some(stream) = &out.stream {
+        assert!(stream.error.is_none(), "stream error: {:?}", stream.error);
+        None
+    } else {
+        Some((
+            icpda_obs::export::spans_jsonl(&out.obs),
+            icpda_obs::export::metrics_jsonl(&out.obs),
+        ))
+    }
+}
+
+#[test]
+fn streamed_capture_is_shard_invariant_and_matches_buffered() {
+    let base = std::env::temp_dir().join(format!("icpda_obs_shards_{}", std::process::id()));
+    let s1 = base.join("s1");
+    let s4 = base.join("s4");
+    capture(1, Some(&s1));
+    capture(4, Some(&s4));
+    assert_same_files(
+        &s1,
+        &s4,
+        &["spans.jsonl", "metrics.jsonl", "trace.jsonl"],
+        "between 1 and 4 shards",
+    );
+    // Buffered twin of the single-shard run: the streaming exporter
+    // must reproduce the in-memory renderer byte for byte.
+    let (spans, metrics) = capture(1, None).expect("buffered capture");
+    let streamed_spans = std::fs::read_to_string(s1.join("spans.jsonl")).expect("spans");
+    let streamed_metrics = std::fs::read_to_string(s1.join("metrics.jsonl")).expect("metrics");
+    assert_eq!(spans, streamed_spans, "spans: streamed != buffered");
+    assert_eq!(metrics, streamed_metrics, "metrics: streamed != buffered");
 
     let _ = std::fs::remove_dir_all(&base);
 }

@@ -122,6 +122,86 @@ fn readings_for(function: AggFunction, n: usize, seed: u64) -> Vec<u64> {
     }
 }
 
+/// Builds the export manifest shared by the buffered (`--obs-out`) and
+/// streaming (`--obs-stream`) capture paths, so both directories carry
+/// the same provenance record.
+fn run_manifest(
+    args: &Args,
+    tool: &str,
+    n: usize,
+    seed: u64,
+    config: &IcpdaConfig,
+    churn: f64,
+    adversary: f64,
+) -> icpda_obs::export::Manifest {
+    let flag = |key: &str, default: &str| {
+        (
+            key.to_string(),
+            args.get(key).unwrap_or(default).to_string(),
+        )
+    };
+    icpda_obs::export::Manifest {
+        tool: tool.to_string(),
+        seed,
+        threads: icpda_bench::parallel::effective_threads(),
+        git_rev: icpda_bench::perf::git_rev(),
+        config: vec![
+            ("nodes".to_string(), n.to_string()),
+            ("seed".to_string(), seed.to_string()),
+            ("function".to_string(), config.function.to_string()),
+            flag("pc", "0.25"),
+            flag("integrity", "on"),
+            flag("loss", "0"),
+            flag("edge-loss", "0"),
+            flag("burst", "0"),
+            flag("arq", "default"),
+            ("rounds".to_string(), config.rounds.to_string()),
+            ("churn".to_string(), churn.to_string()),
+            ("adversary".to_string(), adversary.to_string()),
+            flag("adversary-mode", "pollute"),
+        ],
+    }
+}
+
+/// Prints the one-line summaries for a completed streaming capture and
+/// surfaces any latched export error as a command failure.
+fn report_stream(out: &icpda::StreamOutcome) -> Result<(), ParseArgsError> {
+    println!(
+        "obs stream    : {} spans / {} bytes -> {}",
+        out.spans,
+        out.span_bytes,
+        out.dir.join("spans.jsonl").display()
+    );
+    if out.trace_records > 0 {
+        println!(
+            "trace stream  : {} records / {} bytes -> {}",
+            out.trace_records,
+            out.trace_bytes,
+            out.dir.join("trace.jsonl").display()
+        );
+    }
+    if out.profile_written {
+        println!(
+            "profile       : {} (render with `icpda obs profile --dir {}`)",
+            out.dir.join("profile.jsonl").display(),
+            out.dir.display()
+        );
+    }
+    if out.flight_dumped {
+        println!(
+            "flight dump   : degraded/rejected round -> {}",
+            out.dir.join("flight.jsonl").display()
+        );
+    }
+    match &out.error {
+        Some(e) => Err(ParseArgsError(format!(
+            "--obs-stream {}: {e}",
+            out.dir.display()
+        ))),
+        None => Ok(()),
+    }
+}
+
 /// `icpda run`.
 pub fn run(args: &Args) -> Result<(), ParseArgsError> {
     check_flags(
@@ -144,6 +224,7 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
             "adversary-mode",
             "shards",
             "obs-out",
+            "obs-stream",
         ],
     )?;
     if args.get("n").is_some() && args.get("nodes").is_some() {
@@ -165,8 +246,24 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
     // byte-identical output; the flag exists for the scale experiments.
     sim.shards = args.get_or("shards", 0)?;
     let obs_out = args.get("obs-out").map(std::path::PathBuf::from);
+    let obs_stream = args.get("obs-stream").map(std::path::PathBuf::from);
+    if obs_out.is_some() && obs_stream.is_some() {
+        return Err(ParseArgsError(
+            "--obs-out (buffered) and --obs-stream (bounded-memory) are mutually exclusive".into(),
+        ));
+    }
     if obs_out.is_some() {
         sim.obs_level = ObsLevel::Full;
+    }
+    if obs_stream.is_some() {
+        // Streaming captures everything the buffered path can, plus the
+        // full event trace (streamed, so unbounded in length but not in
+        // memory), the engine self-profile, and a flight-recorder window
+        // for post-mortems on degraded rounds.
+        sim.obs_level = ObsLevel::Full;
+        sim.trace_level = wsn_sim::TraceLevel::Full;
+        sim.profile = true;
+        sim.flight_rounds = 4;
     }
     let churn: f64 = args.get_or("churn", 0.0)?;
     let plan = if churn > 0.0 {
@@ -198,7 +295,9 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
         AdversaryPlan::none()
     };
     let readings = readings_for(config.function, n, seed);
-    let dep = deployment(n, seed);
+    // Deployment construction includes the neighbor-grid build; its wall
+    // time is attributed to the engine profile when one is captured.
+    let (dep, build_ns) = wsn_sim::profile::time_host(|| deployment(n, seed));
     println!(
         "deploying {n} nodes (degree {:.1}), {} query...",
         dep.average_degree(),
@@ -226,12 +325,20 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
             config.reliability.max_retries
         );
     }
-    let out = IcpdaRun::new(dep, config, readings, seed)
+    let mut session = IcpdaRun::new(dep, config, readings, seed)
         .with_sim_config(sim)
         .with_fault_plan(plan.clone())
         .with_channel_plan(channel)
-        .with_adversary_plan(adversary_plan)
-        .run();
+        .with_adversary_plan(adversary_plan);
+    if let Some(dir) = &obs_stream {
+        let stream = icpda_obs::stream::ObsStream::create(dir)
+            .map_err(|e| ParseArgsError(format!("--obs-stream {}: {e}", dir.display())))?;
+        let manifest = run_manifest(args, "icpda run", n, seed, &config, churn, adversary);
+        session = session
+            .with_obs_stream(stream, manifest)
+            .with_profile_section("setup.neighbor_build", 1, build_ns);
+    }
+    let out = session.run();
     println!("accepted      : {}", out.accepted);
     println!("value         : {:.3}", out.value);
     println!("truth         : {:.3}", out.truth);
@@ -316,48 +423,7 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
         }
     }
     if let Some(dir) = &obs_out {
-        let manifest = icpda_obs::export::Manifest {
-            tool: "icpda run".to_string(),
-            seed,
-            threads: icpda_bench::parallel::effective_threads(),
-            git_rev: icpda_bench::perf::git_rev(),
-            config: vec![
-                ("nodes".to_string(), n.to_string()),
-                ("seed".to_string(), seed.to_string()),
-                ("function".to_string(), config.function.to_string()),
-                (
-                    "pc".to_string(),
-                    args.get("pc").unwrap_or("0.25").to_string(),
-                ),
-                (
-                    "integrity".to_string(),
-                    args.get("integrity").unwrap_or("on").to_string(),
-                ),
-                (
-                    "loss".to_string(),
-                    args.get("loss").unwrap_or("0").to_string(),
-                ),
-                (
-                    "edge-loss".to_string(),
-                    args.get("edge-loss").unwrap_or("0").to_string(),
-                ),
-                (
-                    "burst".to_string(),
-                    args.get("burst").unwrap_or("0").to_string(),
-                ),
-                (
-                    "arq".to_string(),
-                    args.get("arq").unwrap_or("default").to_string(),
-                ),
-                ("rounds".to_string(), config.rounds.to_string()),
-                ("churn".to_string(), churn.to_string()),
-                ("adversary".to_string(), adversary.to_string()),
-                (
-                    "adversary-mode".to_string(),
-                    args.get("adversary-mode").unwrap_or("pollute").to_string(),
-                ),
-            ],
-        };
+        let manifest = run_manifest(args, "icpda run", n, seed, &config, churn, adversary);
         icpda_obs::export::write_dir(dir, &manifest, &out.obs)
             .map_err(|e| ParseArgsError(format!("--obs-out {}: {e}", dir.display())))?;
         println!(
@@ -366,24 +432,27 @@ pub fn run(args: &Args) -> Result<(), ParseArgsError> {
             dir.display()
         );
     }
+    if let Some(stream) = &out.stream {
+        report_stream(stream)?;
+    }
     Ok(())
 }
 
 /// `icpda obs` — inspect captured observability output.
 pub fn obs(args: &Args) -> Result<(), ParseArgsError> {
     match args.action() {
-        Some("report") => {}
-        Some(other) => {
-            return Err(ParseArgsError(format!(
-                "obs: unknown action '{other}' (expected 'report')"
-            )))
-        }
-        None => {
-            return Err(ParseArgsError(
-                "obs: missing action (expected 'report')".into(),
-            ))
-        }
+        Some("report") => obs_report(args),
+        Some("profile") => obs_profile(args),
+        Some(other) => Err(ParseArgsError(format!(
+            "obs: unknown action '{other}' (expected 'report' or 'profile')"
+        ))),
+        None => Err(ParseArgsError(
+            "obs: missing action (expected 'report' or 'profile')".into(),
+        )),
     }
+}
+
+fn obs_report(args: &Args) -> Result<(), ParseArgsError> {
     check_flags(args, &["dir", "against", "warn-pct"])?;
     let dir = args
         .get("dir")
@@ -404,27 +473,71 @@ pub fn obs(args: &Args) -> Result<(), ParseArgsError> {
     Ok(())
 }
 
+/// `icpda obs profile` — render the engine self-profile written by a
+/// streaming capture (`icpda run --obs-stream DIR`).
+fn obs_profile(args: &Args) -> Result<(), ParseArgsError> {
+    check_flags(args, &["dir", "top"])?;
+    let dir = args
+        .get("dir")
+        .ok_or_else(|| ParseArgsError("obs profile: --dir is required".into()))?;
+    let top: usize = args.get_or("top", 10)?;
+    let path = std::path::Path::new(dir).join("profile.jsonl");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| ParseArgsError(format!("obs profile: {}: {e}", path.display())))?;
+    let run = icpda_obs::profile::parse_profile(&text)
+        .map_err(|e| ParseArgsError(format!("obs profile: {}: {e}", path.display())))?;
+    print!("{}", icpda_obs::profile::render_profile(&run, top));
+    Ok(())
+}
+
 /// `icpda sweep`.
 pub fn sweep(args: &Args) -> Result<(), ParseArgsError> {
-    check_flags(args, &["seeds", "function", "pc", "integrity", "threads"])?;
+    check_flags(
+        args,
+        &[
+            "seeds",
+            "function",
+            "pc",
+            "integrity",
+            "threads",
+            "obs-level",
+            "obs-stream",
+        ],
+    )?;
     apply_threads(args)?;
     let seeds: u64 = args.get_or("seeds", 5)?;
     let config = parse_config(args)?;
+    let obs_level = match args.get("obs-level") {
+        None => ObsLevel::Off,
+        Some(s) => ObsLevel::parse(s).map_err(|e| ParseArgsError(format!("--obs-level: {e}")))?,
+    };
+    let obs_stream = args.get("obs-stream").map(std::path::PathBuf::from);
+    if obs_stream.is_some() && obs_level == ObsLevel::Off {
+        return Err(ParseArgsError(
+            "--obs-stream needs --obs-level phases|full to have anything to capture".into(),
+        ));
+    }
+    let mut sim = SimConfig::paper_default();
+    sim.obs_level = obs_level;
     let sizes = [200usize, 300, 400, 500, 600];
     // Independent (n, seed) trials fan out across workers; results come
     // back in job order, so the table is identical to the serial loop.
     let per_size = icpda_bench::parallel::par_sweep("cli sweep", &sizes, seeds, |&n, seed| {
         let readings = readings_for(config.function, n, seed);
-        let out = IcpdaRun::new(deployment(n, seed), config, readings, seed).run();
+        let out = IcpdaRun::new(deployment(n, seed), config, readings, seed)
+            .with_sim_config(sim)
+            .run();
         (
             out.accuracy(),
             out.participation(),
             out.total_bytes as f64,
             out.energy_mj,
+            out.obs.spans_total(),
         )
     });
     println!("nodes | accuracy | participation | bytes    | mJ");
     println!("------+----------+---------------+----------+--------");
+    let mut spans_recorded: u64 = 0;
     for (n, trials) in sizes.iter().zip(per_size) {
         let k = seeds as f64;
         println!(
@@ -434,6 +547,33 @@ pub fn sweep(args: &Args) -> Result<(), ParseArgsError> {
             trials.iter().map(|t| t.2).sum::<f64>() / k,
             trials.iter().map(|t| t.3).sum::<f64>() / k,
         );
+        spans_recorded += trials.iter().map(|t| t.4).sum::<u64>();
+    }
+    if obs_level > ObsLevel::Off {
+        println!("obs           : {spans_recorded} spans recorded across trials");
+    }
+    // One representative instrumented capture (largest size, seed 0)
+    // streamed to disk; the sweep table above stays unchanged by it.
+    if let Some(dir) = &obs_stream {
+        let n = *sizes.last().expect("non-empty sizes");
+        let seed = 0u64;
+        let mut stream_sim = sim;
+        stream_sim.trace_level = wsn_sim::TraceLevel::Full;
+        stream_sim.profile = true;
+        stream_sim.flight_rounds = 4;
+        let stream = icpda_obs::stream::ObsStream::create(dir)
+            .map_err(|e| ParseArgsError(format!("--obs-stream {}: {e}", dir.display())))?;
+        let manifest = run_manifest(args, "icpda sweep", n, seed, &config, 0.0, 0.0);
+        let readings = readings_for(config.function, n, seed);
+        let (dep, build_ns) = wsn_sim::profile::time_host(|| deployment(n, seed));
+        let out = IcpdaRun::new(dep, config, readings, seed)
+            .with_sim_config(stream_sim)
+            .with_obs_stream(stream, manifest)
+            .with_profile_section("setup.neighbor_build", 1, build_ns)
+            .run();
+        if let Some(stream) = &out.stream {
+            report_stream(stream)?;
+        }
     }
     for timing in icpda_bench::parallel::drain_timings() {
         eprintln!("{}", timing.report());
@@ -710,6 +850,57 @@ mod tests {
         // Exercise the `run` command itself on a very small network.
         let a = args(&["run", "--nodes", "40", "--seed", "1"]);
         run(&a).expect("run succeeds");
+    }
+
+    #[test]
+    fn obs_out_and_obs_stream_are_mutually_exclusive() {
+        let a = args(&[
+            "run",
+            "--nodes",
+            "40",
+            "--obs-out",
+            "/tmp/a",
+            "--obs-stream",
+            "/tmp/b",
+        ]);
+        let err = run(&a).unwrap_err();
+        assert!(err.0.contains("mutually exclusive"), "{}", err.0);
+    }
+
+    #[test]
+    fn streamed_run_matches_buffered_run_and_renders_a_profile() {
+        let base = std::env::temp_dir().join(format!("icpda_cli_stream_{}", std::process::id()));
+        let buffered = base.join("buffered");
+        let streamed = base.join("streamed");
+        let common = ["--nodes", "60", "--seed", "3", "--loss", "0.05"];
+        let mut argv = vec!["run"];
+        argv.extend_from_slice(&common);
+        argv.extend_from_slice(&["--obs-out", buffered.to_str().unwrap()]);
+        run(&args(&argv)).expect("buffered run succeeds");
+        let mut argv = vec!["run"];
+        argv.extend_from_slice(&common);
+        argv.extend_from_slice(&["--obs-stream", streamed.to_str().unwrap()]);
+        run(&args(&argv)).expect("streamed run succeeds");
+        // The streaming exporter must be byte-identical to the buffered
+        // one on the shared artifacts (manifest.json carries environment
+        // facts and is compared structurally elsewhere).
+        for name in ["spans.jsonl", "metrics.jsonl"] {
+            let a = std::fs::read(buffered.join(name)).expect("buffered artifact");
+            let b = std::fs::read(streamed.join(name)).expect("streamed artifact");
+            assert_eq!(a, b, "{name} differs between buffered and streamed capture");
+        }
+        // Streaming-only artifacts exist and the profile renders.
+        assert!(
+            streamed.join("trace.jsonl").is_file(),
+            "trace.jsonl written"
+        );
+        assert!(
+            streamed.join("profile.jsonl").is_file(),
+            "profile.jsonl written"
+        );
+        let a = args(&["obs", "profile", "--dir", streamed.to_str().unwrap()]);
+        obs(&a).expect("obs profile renders");
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

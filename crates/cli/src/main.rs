@@ -3,12 +3,14 @@
 //! ```text
 //! icpda run     --nodes 400 --seed 7 --function count [--pc 0.25]
 //!               [--integrity on|off] [--loss 0.05] [--edge-loss 0.3]
-//!               [--churn 0.1] [--obs-out DIR]
+//!               [--churn 0.1] [--obs-out DIR | --obs-stream DIR]
 //! icpda sweep   --seeds 5 --function count [--threads 8]
+//!               [--obs-level off|phases|full] [--obs-stream DIR]
 //! icpda attack  --nodes 400 --seed 7 --mode naive|forge|phantom
 //!               --delta 1000 [--attackers 1] [--session] [--seeds 20]
 //! icpda privacy --nodes 600 --seed 1 --px 0.05 [--adversaries 30]
 //! icpda obs report --dir DIR [--against DIR] [--warn-pct 10]
+//! icpda obs profile --dir DIR [--top 10]
 //! ```
 
 #![forbid(unsafe_code)]
@@ -34,8 +36,13 @@ COMMANDS:
               enables crash recovery)
               --obs-out DIR (capture manifest.json, spans.jsonl and
               metrics.jsonl for the run; see `icpda obs report`)
+              --obs-stream DIR (bounded-memory streaming capture: spans,
+              full event trace, engine profile and flight-recorder dump;
+              see `icpda obs profile`)
     sweep     accuracy/overhead across the paper's size sweep
               --seeds K (5)    --function ... (count)  --threads T (cores)
+              --obs-level off|phases|full (off: instrument the trials)
+              --obs-stream DIR (stream one representative capture)
     attack    compromise cluster heads and watch the integrity layer
               --nodes N (400)  --seed S (7)  --mode naive|forge|phantom (naive)
               --delta D (1000) --attackers K (1)  --session true (off)
@@ -44,8 +51,11 @@ COMMANDS:
               --nodes N (600)  --seed S (1)  --px P (0.05)
               --adversaries K (30)
     obs       inspect captured observability output
-              report --dir DIR (per-phase latency/traffic/energy tables)
+              report --dir DIR (per-phase latency/traffic/energy tables
+              with p50/p95/p99 quantile columns)
               [--against DIR (diff two runs)] [--warn-pct P (10)]
+              profile --dir DIR [--top K (10)] (engine self-profile:
+              hot phases, per-shard imbalance, RSS high-water)
     help      this text
 ";
 

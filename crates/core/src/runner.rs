@@ -7,8 +7,12 @@ use crate::cluster::Roster;
 use crate::config::IcpdaConfig;
 use crate::node::{BsDecision, IcpdaNode, Role};
 use agg::accuracy::accuracy_ratio;
+use icpda_obs::export::Manifest;
+use icpda_obs::stream::ObsStream;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use wsn_sim::prelude::*;
+use wsn_sim::TraceLevel;
 
 /// A configured run, built with [`IcpdaRun::new`] and executed with
 /// [`IcpdaRun::run`].
@@ -50,6 +54,8 @@ pub struct IcpdaRun {
     fault_plan: FaultPlan,
     channel_plan: ChannelPlan,
     adversary_plan: AdversaryPlan,
+    obs_stream: Option<(ObsStream, Manifest)>,
+    profile_sections: Vec<(String, u64, u64)>,
 }
 
 impl IcpdaRun {
@@ -79,7 +85,38 @@ impl IcpdaRun {
             fault_plan: FaultPlan::none(),
             channel_plan: ChannelPlan::none(),
             adversary_plan: AdversaryPlan::none(),
+            obs_stream: None,
+            profile_sections: Vec::new(),
         }
+    }
+
+    /// Streams the run's obs artefacts into `stream`'s directory as the
+    /// simulation progresses instead of buffering them to the end:
+    /// completed spans drain into `spans.jsonl` at every round boundary,
+    /// the link-layer trace (when `trace_level` > `Off`) streams into
+    /// `trace.jsonl` through a fixed-size buffer, and `finish` writes
+    /// `manifest.json` + `metrics.jsonl` — all through the same renderers
+    /// as the buffered exporter, so the files are byte-identical to
+    /// [`icpda_obs::export::write_dir`]'s at any thread or shard count.
+    /// The outcome's [`IcpdaOutcome::stream`] summarises what was
+    /// written; I/O failures are reported there, never panicked on.
+    #[must_use]
+    pub fn with_obs_stream(mut self, stream: ObsStream, manifest: Manifest) -> Self {
+        self.obs_stream = Some((stream, manifest));
+        self
+    }
+
+    /// Attributes a host-side setup section (e.g. `setup.neighbor_build`)
+    /// to the engine profile written when [`SimConfig::profile`] is set.
+    #[must_use]
+    pub fn with_profile_section(
+        mut self,
+        name: impl Into<String>,
+        events: u64,
+        wall_ns: u64,
+    ) -> Self {
+        self.profile_sections.push((name.into(), events, wall_ns));
+        self
     }
 
     /// Installs a Byzantine adversary plan (per-node behaviours, see
@@ -177,7 +214,9 @@ impl IcpdaRun {
     /// [`crate::IcpdaConfig::rounds`] says otherwise) and collects the
     /// outcome.
     #[must_use]
-    pub fn run(self) -> IcpdaOutcome {
+    pub fn run(mut self) -> IcpdaOutcome {
+        let mut obs_stream = self.obs_stream.take();
+        let mut stream_error: Option<String> = None;
         let config = self.config;
         let readings = self.readings.clone();
         // Ground truth is taken over the *contributing* population: a
@@ -216,6 +255,19 @@ impl IcpdaRun {
         if !self.channel_plan.is_empty() {
             sim.set_channel_plan(self.channel_plan.clone());
         }
+        // Streaming: the link-layer trace goes straight to `trace.jsonl`
+        // (replacing the in-memory ring) whenever a trace level is set.
+        if let Some((stream, _)) = obs_stream.as_ref() {
+            if self.sim_config.trace_level > TraceLevel::Off {
+                match stream.trace_sink() {
+                    Ok(sink) => sim.set_trace_stream(sink),
+                    Err(e) => stream_error = Some(format!("trace.jsonl: {e}")),
+                }
+            }
+        }
+        for (name, events, wall_ns) in &self.profile_sections {
+            sim.record_profile_section(name, *events, *wall_ns);
+        }
         for (node, pollution) in &self.attackers {
             sim.app_mut(*node).set_pollution(*pollution);
         }
@@ -240,9 +292,16 @@ impl IcpdaRun {
                 + SimDuration::from_millis(50);
             sim.run_until(boundary);
             // Round boundary: let the engine recycle its frame arena back
-            // to the previous round's high-water mark (allocator hint
-            // only — observable behaviour is unchanged).
+            // to the previous round's high-water mark, rotate the flight
+            // recorder's window and flush the trace stream (allocator and
+            // observability hints only — observable behaviour is
+            // unchanged).
             sim.begin_frame_epoch();
+            // With a stream attached, completed spans leave memory here —
+            // span memory stays bounded by one round's span count.
+            if let Some((stream, _)) = obs_stream.as_mut() {
+                stream.flush_spans(sim.obs_mut());
+            }
             if let Some(new_readings) = self.reading_schedule.get(usize::from(round) - 1) {
                 for (i, &r) in new_readings.iter().enumerate().skip(1) {
                     sim.app_mut(NodeId::new(i as u32)).set_reading(r);
@@ -342,11 +401,76 @@ impl IcpdaRun {
                 }
             }
         }
-        let metrics = sim.metrics();
         let eligible = eligible_of(config.rounds - 1)
             .iter()
             .filter(|&&e| e)
             .count();
+        let degraded = (decision.participants as usize) < eligible;
+
+        // Close the streaming export: finish the trace sink, dump the
+        // flight recorder if the run warrants it, write the engine
+        // profile, then let the stream write `manifest.json` +
+        // `metrics.jsonl`. Failures land in the outcome, not a panic —
+        // the protocol result is valid regardless of exporter I/O.
+        let stream = obs_stream.map(|(stream, manifest)| {
+            let mut error = stream_error.take();
+            let set_err = |err: &mut Option<String>, what: &str, e: std::io::Error| {
+                if err.is_none() {
+                    *err = Some(format!("{what}: {e}"));
+                }
+            };
+            let dir = stream.dir().to_path_buf();
+            let (trace_records, trace_bytes) = match sim.finish_trace_stream() {
+                Some((records, bytes, io_err)) => {
+                    if let Some(e) = io_err {
+                        set_err(&mut error, "trace.jsonl", e);
+                    }
+                    (records, bytes)
+                }
+                None => (0, 0),
+            };
+            // The flight recorder dumps on anything diagnostic-worthy:
+            // a degraded round, a rejected decision, or raised alarms
+            // (adversary detection).
+            let mut flight_dumped = false;
+            if degraded || !decision.accepted || !decision.alarms.is_empty() {
+                if let Some(flight) = sim.trace().flight() {
+                    if !flight.is_empty() {
+                        match stream.write_artifact("flight.jsonl", &flight.dump_jsonl()) {
+                            Ok(()) => flight_dumped = true,
+                            Err(e) => set_err(&mut error, "flight.jsonl", e),
+                        }
+                    }
+                }
+            }
+            let mut profile_written = false;
+            if sim.config().profile {
+                let profile = sim.engine_profile();
+                match stream.write_artifact("profile.jsonl", &profile.to_jsonl()) {
+                    Ok(()) => profile_written = true,
+                    Err(e) => set_err(&mut error, "profile.jsonl", e),
+                }
+            }
+            let (spans, span_bytes) = match stream.finish(&manifest, &mut obs) {
+                Ok(stats) => (stats.spans, stats.span_bytes),
+                Err(e) => {
+                    set_err(&mut error, "obs stream finish", e);
+                    (obs.spans_drained(), 0)
+                }
+            };
+            StreamOutcome {
+                dir,
+                spans,
+                span_bytes,
+                trace_records,
+                trace_bytes,
+                flight_dumped,
+                profile_written,
+                error,
+            }
+        });
+
+        let metrics = sim.metrics();
         IcpdaOutcome {
             truth: last_truth,
             round_truths,
@@ -355,7 +479,7 @@ impl IcpdaRun {
             value: decision.value,
             participants: decision.participants,
             accepted: decision.accepted,
-            degraded: (decision.participants as usize) < eligible,
+            degraded,
             alarms: decision.alarms.clone(),
             decision,
             decisions,
@@ -375,8 +499,32 @@ impl IcpdaRun {
             user_counters: metrics.user_counters().collect(),
             collusion,
             obs,
+            stream,
         }
     }
+}
+
+/// Summary of a streaming obs export (see [`IcpdaRun::with_obs_stream`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamOutcome {
+    /// The obs directory written.
+    pub dir: PathBuf,
+    /// Spans streamed into `spans.jsonl`.
+    pub spans: u64,
+    /// Bytes of `spans.jsonl`.
+    pub span_bytes: u64,
+    /// Trace entries streamed into `trace.jsonl`.
+    pub trace_records: u64,
+    /// Bytes of `trace.jsonl`.
+    pub trace_bytes: u64,
+    /// Whether `flight.jsonl` was dumped (degraded round, rejected
+    /// decision or raised alarms, with a flight recorder attached).
+    pub flight_dumped: bool,
+    /// Whether `profile.jsonl` was written ([`SimConfig::profile`]).
+    pub profile_written: bool,
+    /// The first export I/O failure, if any. The protocol outcome is
+    /// valid regardless; only the artefact files are suspect.
+    pub error: Option<String>,
 }
 
 /// Everything one round produced.
@@ -446,8 +594,13 @@ pub struct IcpdaOutcome {
     pub collusion: Option<CollusionReport>,
     /// The run's observability registry (spans, counters, gauges,
     /// histograms). Empty unless `SimConfig::obs_level` was raised; see
-    /// [`icpda_obs`](wsn_sim::Obs) and DESIGN §12.
+    /// [`icpda_obs`](wsn_sim::Obs) and DESIGN §12. With a stream
+    /// attached, completed spans have already left the registry — see
+    /// `stream` and [`icpda_obs::Obs::spans_drained`].
     pub obs: Obs,
+    /// Summary of the streaming export, present iff
+    /// [`IcpdaRun::with_obs_stream`] was used.
+    pub stream: Option<StreamOutcome>,
 }
 
 impl IcpdaOutcome {

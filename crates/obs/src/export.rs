@@ -117,22 +117,30 @@ pub fn check_schema_version(doc: &Json, what: &str) -> Result<(), String> {
     }
 }
 
+/// Appends one `spans.jsonl` line (newline included) for `s` to `out`.
+///
+/// This is the *single* span renderer: [`spans_jsonl`] (the buffered
+/// exporter) and [`crate::stream::ObsStream`] (the streaming exporter)
+/// both call it, so their output is byte-identical by construction —
+/// the property the CI `cmp` gates pin.
+pub fn write_span_line(out: &mut String, s: &crate::Span) {
+    out.push_str("{\"name\":\"");
+    crate::json::escape_into(out, s.name);
+    let _ = write!(
+        out,
+        "\",\"node\":{},\"start_ns\":{},\"end_ns\":{},\"messages\":{},\"bytes\":{},\"energy_nj\":{}}}",
+        s.node, s.start_ns, s.end_ns, s.messages, s.bytes, s.energy_nj
+    );
+    out.push('\n');
+}
+
 /// Renders `spans.jsonl`: one compact object per completed span, in
 /// completion order.
 #[must_use]
 pub fn spans_jsonl(obs: &Obs) -> String {
     let mut out = String::new();
     for s in obs.spans() {
-        let line = Json::Obj(vec![
-            ("name".into(), Json::Str(s.name.to_string())),
-            ("node".into(), Json::Num(f64::from(s.node))),
-            ("start_ns".into(), Json::Num(s.start_ns as f64)),
-            ("end_ns".into(), Json::Num(s.end_ns as f64)),
-            ("messages".into(), Json::Num(s.messages as f64)),
-            ("bytes".into(), Json::Num(s.bytes as f64)),
-            ("energy_nj".into(), Json::Num(s.energy_nj as f64)),
-        ]);
-        let _ = writeln!(out, "{}", line.compact());
+        write_span_line(&mut out, s);
     }
     out
 }

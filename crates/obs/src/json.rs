@@ -173,6 +173,13 @@ impl Json {
 
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+/// Appends `s` to `out` with JSON string escaping, without allocating a
+/// fresh `String` per call — the form the streaming line writers use.
+pub fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -186,7 +193,6 @@ fn escape(s: &str) -> String {
             c => out.push(c),
         }
     }
-    out
 }
 
 /// Parses a JSON document.

@@ -33,8 +33,10 @@
 
 pub mod export;
 pub mod json;
+pub mod profile;
 pub mod redact;
 pub mod report;
+pub mod stream;
 
 use std::collections::BTreeMap;
 
@@ -52,6 +54,22 @@ pub enum ObsLevel {
     /// Additionally record engine internals: delivery-batch histograms,
     /// MAC-drop and timer-churn counters, fault-transition spans.
     Full,
+}
+
+impl ObsLevel {
+    /// Parses the CLI spelling of a level (`off`/`phases`/`full`).
+    ///
+    /// # Errors
+    ///
+    /// Names the accepted spellings on anything else.
+    pub fn parse(s: &str) -> Result<ObsLevel, String> {
+        match s {
+            "off" => Ok(ObsLevel::Off),
+            "phases" => Ok(ObsLevel::Phases),
+            "full" => Ok(ObsLevel::Full),
+            other => Err(format!("expected off|phases|full, got '{other}'")),
+        }
+    }
 }
 
 /// A point-in-time accounting snapshot for one node, taken at span start
@@ -162,6 +180,47 @@ impl Histogram {
     pub fn sum(&self) -> u64 {
         self.sum
     }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the bucket counts
+    /// by linear interpolation inside the containing bucket. Values in
+    /// the overflow bucket are attributed to the last bound (a lower
+    /// bound on the true quantile). Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(self.bounds, &self.counts, self.total, q)
+    }
+}
+
+/// Shared quantile estimator over exported bucket data, so the live
+/// [`Histogram`] and the `metrics.jsonl` reader (`report::MetricRow`)
+/// agree to the bit. `counts` is one longer than `bounds` (overflow
+/// last); `total` is the observation count.
+#[must_use]
+pub fn quantile_from_buckets(bounds: &[u64], counts: &[u64], total: u64, q: f64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let before = cum;
+        cum += c;
+        if cum >= rank {
+            let lower = if i == 0 { 0 } else { bounds[i - 1] };
+            return match bounds.get(i) {
+                Some(&upper) => {
+                    let frac = (rank - before) as f64 / c as f64;
+                    lower as f64 + (upper as f64 - lower as f64) * frac
+                }
+                // Overflow bucket: unbounded above, report its floor.
+                None => bounds.last().copied().unwrap_or(0) as f64,
+            };
+        }
+    }
+    bounds.last().copied().unwrap_or(0) as f64
 }
 
 /// The span/metrics registry. See the crate docs for the cost model.
@@ -173,6 +232,9 @@ pub struct Obs {
     hists: BTreeMap<&'static str, Histogram>,
     spans: Vec<Span>,
     open: BTreeMap<(&'static str, u32), (u64, SpanSnapshot)>,
+    /// Spans already handed to a streaming exporter via
+    /// [`Obs::drain_spans`]; `spans_total` still reports them.
+    drained: u64,
 }
 
 impl Obs {
@@ -327,9 +389,34 @@ impl Obs {
     }
 
     /// Completed spans, in completion order.
+    ///
+    /// After a streaming export drained the registry this only holds the
+    /// not-yet-drained tail; see [`Obs::spans_total`] for the full count.
     #[must_use]
     pub fn spans(&self) -> &[Span] {
         &self.spans
+    }
+
+    /// Drains the completed spans for incremental export, keeping count.
+    /// The order of the drained items is completion order — exactly the
+    /// order [`export::spans_jsonl`] would have rendered them in — so a
+    /// streaming writer that consumes every drain produces byte-identical
+    /// `spans.jsonl` output to the buffered path.
+    pub fn drain_spans(&mut self) -> std::vec::Drain<'_, Span> {
+        self.drained += self.spans.len() as u64;
+        self.spans.drain(..)
+    }
+
+    /// Spans handed to a streaming exporter so far.
+    #[must_use]
+    pub fn spans_drained(&self) -> u64 {
+        self.drained
+    }
+
+    /// Total completed spans: drained plus still retained.
+    #[must_use]
+    pub fn spans_total(&self) -> u64 {
+        self.drained + self.spans.len() as u64
     }
 }
 

@@ -292,20 +292,68 @@ pub fn render_report(run: &ObsRun) -> String {
             let _ = writeln!(out, "{name:<40} {value:>12}  (gauge)");
         }
     }
-    for m in &run.metrics {
-        if let MetricRow::Histogram {
-            name, total, sum, ..
-        } = m
-        {
-            let mean = if *total > 0 {
-                *sum as f64 / *total as f64
-            } else {
-                0.0
-            };
-            let _ = writeln!(out, "{name:<40} {total:>12}  (histogram, mean {mean:.2})");
+    let hists: Vec<&MetricRow> = run
+        .metrics
+        .iter()
+        .filter(|m| matches!(m, MetricRow::Histogram { .. }))
+        .collect();
+    if !hists.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<40} {:>10} {:>9} {:>9} {:>9} {:>9}",
+            "histogram", "total", "mean", "p50", "p95", "p99"
+        );
+        for m in hists {
+            if let MetricRow::Histogram {
+                name,
+                bounds,
+                counts,
+                total,
+                sum,
+            } = m
+            {
+                let mean = if *total > 0 {
+                    *sum as f64 / *total as f64
+                } else {
+                    0.0
+                };
+                let q = |q: f64| crate::quantile_from_buckets(bounds, counts, *total, q);
+                let _ = writeln!(
+                    out,
+                    "{name:<40} {total:>10} {mean:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+                    q(0.50),
+                    q(0.95),
+                    q(0.99)
+                );
+            }
         }
     }
     out
+}
+
+/// Extracts `(p50, p95, p99)` estimates for every histogram of a run, by
+/// name. Quantiles come from [`crate::quantile_from_buckets`], the same
+/// estimator the live [`crate::Histogram`] uses, so a report over an
+/// exported directory agrees with in-process numbers to the bit.
+#[must_use]
+pub fn histogram_quantiles(run: &ObsRun) -> BTreeMap<String, (f64, f64, f64)> {
+    run.metrics
+        .iter()
+        .filter_map(|m| match m {
+            MetricRow::Histogram {
+                name,
+                bounds,
+                counts,
+                total,
+                ..
+            } => {
+                let q = |q: f64| crate::quantile_from_buckets(bounds, counts, *total, q);
+                Some((name.clone(), (q(0.50), q(0.95), q(0.99))))
+            }
+            _ => None,
+        })
+        .collect()
 }
 
 /// The `sim_lost_*` counters the runner folds in, with display labels,
@@ -421,6 +469,43 @@ pub fn render_diff(a: &ObsRun, b: &ObsRun, warn_pct: f64) -> (String, Vec<String
             }
         }
     }
+    let (qa, qb) = (histogram_quantiles(a), histogram_quantiles(b));
+    let hist_names: BTreeSet<&String> = qa.keys().chain(qb.keys()).collect();
+    if !hist_names.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<40} {:>22} {:>22}",
+            "histogram", "p95 (A→B)", "p99 (A→B)"
+        );
+        for name in hist_names {
+            let (_, p95a, p99a) = qa.get(name).copied().unwrap_or_default();
+            let (_, p95b, p99b) = qb.get(name).copied().unwrap_or_default();
+            let cell = |before: f64, after: f64| match pct(before, after) {
+                Some(p) => format!("{before:.2}→{after:.2} ({p:+.1}%)"),
+                None => format!("{before:.2}→{after:.2} (new)"),
+            };
+            let _ = writeln!(
+                out,
+                "{:<40} {:>22} {:>22}",
+                name,
+                cell(p95a, p95b),
+                cell(p99a, p99b)
+            );
+            // Tail-latency gate: only *regressions* (p99 moving up) warn —
+            // an improvement should never fail a soft gate.
+            let regressed = match pct(p99a, p99b) {
+                Some(p) => p > warn_pct,
+                None => true, // histogram appeared with a nonzero tail
+            };
+            if regressed {
+                warnings.push(format!(
+                    "obs diff: {name} p99 regressed {p99a:.2} -> {p99b:.2} \
+                     (threshold {warn_pct}%)"
+                ));
+            }
+        }
+    }
     (out, warnings)
 }
 
@@ -525,6 +610,54 @@ mod tests {
             warnings.iter().any(|w| w.contains("messages")),
             "{warnings:?}"
         );
+    }
+
+    fn with_hist(mut run: ObsRun, counts: [u64; 3]) -> ObsRun {
+        let total = counts.iter().sum();
+        run.metrics.push(MetricRow::Histogram {
+            name: "engine.batch_receivers".into(),
+            bounds: vec![2, 8],
+            counts: counts.to_vec(),
+            total,
+            sum: 0,
+        });
+        run
+    }
+
+    #[test]
+    fn report_renders_quantile_columns() {
+        let run = with_hist(run_with(4), [90, 9, 1]);
+        let text = render_report(&run);
+        assert!(text.contains("p50"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        assert!(text.contains("engine.batch_receivers"), "{text}");
+        let q = histogram_quantiles(&run);
+        let (p50, p95, p99) = q["engine.batch_receivers"];
+        assert!(p50 <= 2.0, "p50 in first bucket, got {p50}");
+        assert!(p95 > 2.0 && p95 <= 8.0, "p95 in second bucket, got {p95}");
+        assert!(
+            (p99 - 8.0).abs() < 1e-9 || p99 > 8.0,
+            "p99 at tail, got {p99}"
+        );
+    }
+
+    #[test]
+    fn diff_warns_on_p99_regression_but_not_improvement() {
+        let tight = with_hist(run_with(4), [99, 1, 0]);
+        let heavy = with_hist(run_with(4), [50, 20, 30]);
+        // Self-diff must stay warning-free (CI greps for ::warning::).
+        let (_, warnings) = render_diff(&tight, &tight, 10.0);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        // Tail growing: regression warning fires.
+        let (text, warnings) = render_diff(&tight, &heavy, 10.0);
+        assert!(text.contains("p99 (A→B)"), "{text}");
+        assert!(
+            warnings.iter().any(|w| w.contains("p99 regressed")),
+            "{warnings:?}"
+        );
+        // Tail shrinking: improvements never warn.
+        let (_, warnings) = render_diff(&heavy, &tight, 10.0);
+        assert!(!warnings.iter().any(|w| w.contains("p99")), "{warnings:?}");
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod geometry;
 pub mod ids;
 pub mod mac;
 pub mod metrics;
+pub mod profile;
 pub mod radio;
 pub mod sim;
 pub mod time;
@@ -54,11 +55,12 @@ pub use fault::{FaultPlan, FaultPlanError};
 pub use frame::{Destination, Frame, WireSize};
 pub use ids::NodeId;
 pub use metrics::{EnergyModel, LossCause, Metrics, NodeMetrics};
+pub use profile::{EngineProfile, EngineProfiler};
 pub use radio::{LossModel, LossModelError, RadioConfig};
 pub use sim::{SimConfig, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use topology::Deployment;
-pub use trace::{Trace, TraceEntry, TraceKind};
+pub use trace::{FlightRecorder, Trace, TraceEntry, TraceKind, TraceLevel};
 
 // Observability types used in the `Context`/`SimConfig` API surface, so
 // protocols need no direct `icpda-obs` dependency for instrumentation.

@@ -28,6 +28,7 @@ use crate::frame::{Destination, Frame};
 use crate::ids::NodeId;
 use crate::mac::MacConfig;
 use crate::metrics::{EnergyModel, Metrics};
+use crate::profile::{EngineProfile, EngineProfiler};
 use crate::radio::{LossModel, RadioConfig};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Deployment;
@@ -66,6 +67,16 @@ pub struct SimConfig {
     /// single queue yields (see DESIGN §13 for the conservative-lookahead
     /// argument this partitioning is built for).
     pub shards: usize,
+    /// Engine self-profiling (see [`crate::profile`]): wall-clock
+    /// attribution of pop/dispatch per shard, frozen into
+    /// `profile.jsonl` via [`Simulator::engine_profile`]. Host-facts
+    /// only — the simulation never observes the readings, so traces stay
+    /// byte-identical with profiling on or off.
+    pub profile: bool,
+    /// Rounds retained by the flight recorder
+    /// ([`crate::trace::FlightRecorder`]); 0 disables it. Recording
+    /// obeys `trace_level` like every other trace consumer.
+    pub flight_rounds: usize,
 }
 
 impl SimConfig {
@@ -244,6 +255,8 @@ pub struct Simulator<A: Application> {
     /// perturb the per-node application/MAC streams. An empty plan draws
     /// nothing from it.
     channel_rng: ChaCha8Rng,
+    /// Wall-clock self-profiler (disabled unless [`SimConfig::profile`]).
+    profiler: EngineProfiler,
 }
 
 impl<A: Application> Simulator<A> {
@@ -280,9 +293,13 @@ impl<A: Application> Simulator<A> {
         let queues = (0..shards)
             .map(|_| CalendarQueue::for_nodes(n / shards + 1))
             .collect();
+        let mut trace = Trace::with_level(config.trace_capacity, config.trace_level);
+        if config.flight_rounds > 0 && config.trace_level > TraceLevel::Off {
+            trace.set_flight(config.flight_rounds);
+        }
         Simulator {
             metrics: Metrics::new(n),
-            trace: Trace::with_level(config.trace_capacity, config.trace_level),
+            trace,
             obs: Obs::new(config.obs_level),
             deployment,
             config,
@@ -308,6 +325,7 @@ impl<A: Application> Simulator<A> {
             channel_rng: ChaCha8Rng::seed_from_u64(
                 seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC4A2_2E10_5EED_0002,
             ),
+            profiler: EngineProfiler::new(config.profile, shards),
         }
     }
 
@@ -393,10 +411,14 @@ impl<A: Application> Simulator<A> {
     /// Marks a frame-arena epoch boundary (typically a protocol round):
     /// the delivery-buffer pool is trimmed to the finished epoch's peak
     /// demand, so a one-off burst does not pin its buffers for the rest
-    /// of a long multi-round session. Purely an allocator hint — calling
+    /// of a long multi-round session. Also the trace's round boundary:
+    /// the flight recorder rotates its window and the streaming sink
+    /// (if any) flushes, so `trace.jsonl` is durable up to the last
+    /// completed round. Purely an allocator/observability hint — calling
     /// it (or not) never changes simulation behavior.
     pub fn begin_frame_epoch(&mut self) {
         self.arena.begin_epoch();
+        self.trace.mark_round();
     }
 
     /// Allocation counters of the delivery-buffer arena.
@@ -440,6 +462,54 @@ impl<A: Application> Simulator<A> {
     #[must_use]
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Attaches a streaming `trace.jsonl` sink: entries flow to the file
+    /// through the sink's fixed-size reusable buffer instead of the
+    /// in-memory ring (see [`Trace::set_stream`]). Observability-only —
+    /// the executed event sequence is unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started (the stream must see
+    /// every entry from the first event).
+    pub fn set_trace_stream(&mut self, sink: icpda_obs::stream::JsonlSink) {
+        assert!(
+            !self.started,
+            "trace stream must be attached before the simulation starts"
+        );
+        self.trace.set_stream(sink);
+    }
+
+    /// Detaches and finishes the streaming trace sink, returning
+    /// `(records, bytes, latched_error)`; `None` if none was attached.
+    pub fn finish_trace_stream(&mut self) -> Option<(u64, u64, Option<std::io::Error>)> {
+        self.trace.finish_stream()
+    }
+
+    /// Attributes a host-side section (e.g. `setup.neighbor_build`) to
+    /// the engine profile. A no-op when [`SimConfig::profile`] is off.
+    pub fn record_profile_section(&mut self, name: &str, events: u64, wall_ns: u64) {
+        self.profiler.record_external(name, events, wall_ns);
+    }
+
+    /// Freezes the self-profiler into an [`EngineProfile`], folding in
+    /// the arena occupancy gauges. Meaningful only when
+    /// [`SimConfig::profile`] was set; otherwise the profile has no
+    /// sections.
+    #[must_use]
+    pub fn engine_profile(&self) -> EngineProfile {
+        let arena = self.arena.stats();
+        let gauges = vec![
+            ("arena.allocated".to_string(), arena.allocated as i64),
+            ("arena.reused".to_string(), arena.reused as i64),
+            (
+                "arena.peak_outstanding".to_string(),
+                arena.peak_outstanding as i64,
+            ),
+            ("arena.pooled".to_string(), arena.pooled as i64),
+        ];
+        self.profiler.finish(self.events_processed, gauges)
     }
 
     /// The observability registry (disabled unless
@@ -1081,6 +1151,9 @@ impl<A: Application> Simulator<A> {
     /// k-way merge: the argmin over per-shard heads on `(time, seq)` keys
     /// reproduces the exact total order a single queue would yield.
     fn next_event(&mut self, deadline: SimTime) -> bool {
+        // Stamped before the argmin so pop attribution covers the whole
+        // k-way merge; iterations that find no due event discard it.
+        let t0 = self.profiler.lap_start();
         let mut best: Option<((SimTime, u64), usize)> = None;
         for s in 0..self.queues.len() {
             if let Some(key) = self.queues[s].peek_key() {
@@ -1100,7 +1173,25 @@ impl<A: Application> Simulator<A> {
         };
         debug_assert!(time >= self.now, "event time went backwards");
         self.now = time;
-        self.execute(kind);
+        if self.profiler.enabled() {
+            // Pop attribution covers the k-way merge plus the calendar
+            // pop; the queue length sampled here feeds the occupancy
+            // gauge. Dispatch attribution is keyed by the event phase.
+            let queue_len = self.queues[shard].len();
+            let phase = match &kind {
+                EventKind::Timer { .. } => 0,
+                EventKind::MacAttempt { .. } => 1,
+                EventKind::TxEnd { .. } => 2,
+                EventKind::Delivery { .. } => 3,
+                EventKind::FaultEdge { .. } => 4,
+                EventKind::Redelivery { .. } => 5,
+            };
+            let t1 = self.profiler.lap_pop(t0, shard, queue_len);
+            self.execute(kind);
+            self.profiler.lap_dispatch(t1, shard, phase);
+        } else {
+            self.execute(kind);
+        }
         true
     }
 

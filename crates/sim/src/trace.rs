@@ -13,13 +13,24 @@
 //! the complete per-frame record. The engine checks the level before
 //! building a [`TraceKind`], so disabled trace points cost one branch.
 //!
+//! Beyond the in-memory ring, two other consumers can be attached:
+//!
+//! * a **streaming sink** ([`Trace::set_stream`]) that writes each entry
+//!   to `trace.jsonl` through a fixed-size reusable buffer, replacing the
+//!   ring so full traces at N=50k stop being memory-bound — same
+//!   renderer as [`Trace::to_jsonl`], so output is byte-identical;
+//! * a **flight recorder** ([`Trace::set_flight`]) shadowing the last K
+//!   rounds, dumped on degraded rounds, adversary detection, or panic.
+//!
 //! [`SimConfig::trace_capacity`]: crate::sim::SimConfig::trace_capacity
 
 use crate::frame::Destination;
 use crate::ids::NodeId;
 use crate::metrics::LossCause;
 use crate::time::SimTime;
+use icpda_obs::stream::JsonlSink;
 use std::collections::VecDeque;
+use std::fmt::Write as _;
 
 /// What happened.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -114,14 +125,208 @@ pub enum TraceLevel {
     Full,
 }
 
-/// A bounded ring buffer of [`TraceEntry`] values; when full, the oldest
-/// entries are evicted.
-#[derive(Clone, Debug, Default)]
+/// The string tag a [`LossCause`] renders as in `trace.jsonl`.
+#[must_use]
+pub fn loss_cause_str(cause: LossCause) -> &'static str {
+    match cause {
+        LossCause::Collision => "collision",
+        LossCause::Stochastic => "stochastic",
+        LossCause::HalfDuplex => "half_duplex",
+        LossCause::MacDrop => "mac_drop",
+        LossCause::ReceiverDown => "receiver_down",
+        LossCause::Corrupt => "corrupt",
+    }
+}
+
+fn write_entry_fields(out: &mut String, e: &TraceEntry) {
+    let t = e.time.as_nanos();
+    let _ = match e.kind {
+        TraceKind::FrameSent {
+            src,
+            dest,
+            seq,
+            bytes,
+        } => {
+            let _ = write!(
+                out,
+                "\"t\":{t},\"kind\":\"frame_sent\",\"src\":{},\"dest\":",
+                src.as_u32()
+            );
+            match dest {
+                Destination::Unicast(d) => write!(out, "{}", d.as_u32()),
+                Destination::Broadcast => write!(out, "\"bcast\""),
+            }
+            .and_then(|()| write!(out, ",\"seq\":{seq},\"bytes\":{bytes}"))
+        }
+        TraceKind::FrameDelivered {
+            node,
+            seq,
+            addressed,
+        } => write!(
+            out,
+            "\"t\":{t},\"kind\":\"frame_delivered\",\"node\":{},\"seq\":{seq},\"addressed\":{addressed}",
+            node.as_u32()
+        ),
+        TraceKind::FrameLost { node, seq, cause } => write!(
+            out,
+            "\"t\":{t},\"kind\":\"frame_lost\",\"node\":{},\"seq\":{seq},\"cause\":\"{}\"",
+            node.as_u32(),
+            loss_cause_str(cause)
+        ),
+        TraceKind::MacDrop { node } => write!(
+            out,
+            "\"t\":{t},\"kind\":\"mac_drop\",\"node\":{}",
+            node.as_u32()
+        ),
+        TraceKind::TimerFired { node, token } => write!(
+            out,
+            "\"t\":{t},\"kind\":\"timer_fired\",\"node\":{},\"token\":{token}",
+            node.as_u32()
+        ),
+        TraceKind::NodeDown { node } => write!(
+            out,
+            "\"t\":{t},\"kind\":\"node_down\",\"node\":{}",
+            node.as_u32()
+        ),
+        TraceKind::NodeUp { node } => write!(
+            out,
+            "\"t\":{t},\"kind\":\"node_up\",\"node\":{}",
+            node.as_u32()
+        ),
+        TraceKind::AdversaryAction { node, code } => write!(
+            out,
+            "\"t\":{t},\"kind\":\"adversary_action\",\"node\":{},\"code\":{code}",
+            node.as_u32()
+        ),
+    };
+}
+
+/// Appends one `trace.jsonl` line (newline included) for `e` to `out`.
+///
+/// This is the *single* trace-entry renderer — the in-memory ring's
+/// [`Trace::to_jsonl`] and the streaming sink both call it, so streamed
+/// and buffered trace output is byte-identical by construction. It
+/// allocates nothing: everything is written into the caller's buffer.
+pub fn write_entry_line(out: &mut String, e: &TraceEntry) {
+    out.push('{');
+    write_entry_fields(out, e);
+    out.push_str("}\n");
+}
+
+/// Like [`write_entry_line`] but with a leading `round` field — the
+/// flight-recorder dump format.
+pub fn write_entry_line_in_round(out: &mut String, round: u32, e: &TraceEntry) {
+    let _ = write!(out, "{{\"round\":{round},");
+    write_entry_fields(out, e);
+    out.push_str("}\n");
+}
+
+/// Per-round cap on flight-recorder entries. A degraded round at N=50k
+/// can carry hundreds of thousands of frame events; the recorder exists
+/// to answer "what happened just before things went wrong", so it keeps
+/// the *first* entries of each round and counts the rest as dropped.
+pub const FLIGHT_ROUND_CAP: usize = 4096;
+
+/// A bounded ring of the last K rounds' trace entries, kept alongside
+/// (not instead of) the main sink. Dumped when a run degrades, an
+/// adversary is detected, or the process panics — a crash-dump-style
+/// diagnostic whose memory is bounded by `K × FLIGHT_ROUND_CAP` entries
+/// regardless of run length.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    rounds: VecDeque<(u32, Vec<TraceEntry>)>,
+    current: Vec<TraceEntry>,
+    current_round: u32,
+    keep: usize,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `keep` completed rounds (plus the
+    /// in-progress one). `keep` is raised to at least 1.
+    #[must_use]
+    pub fn new(keep: usize) -> Self {
+        FlightRecorder {
+            rounds: VecDeque::new(),
+            current: Vec::new(),
+            current_round: 1,
+            keep: keep.max(1),
+            dropped: 0,
+        }
+    }
+
+    fn record(&mut self, e: TraceEntry) {
+        if self.current.len() < FLIGHT_ROUND_CAP {
+            self.current.push(e);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Closes the in-progress round and starts the next, evicting the
+    /// oldest completed round beyond the retention window.
+    pub fn rotate(&mut self) {
+        let done = std::mem::take(&mut self.current);
+        self.rounds.push_back((self.current_round, done));
+        if self.rounds.len() > self.keep {
+            self.rounds.pop_front();
+        }
+        self.current_round += 1;
+    }
+
+    /// Completed rounds currently retained, oldest first, as
+    /// `(round, entries)`.
+    pub fn rounds(&self) -> impl Iterator<Item = (u32, &[TraceEntry])> {
+        self.rounds.iter().map(|(r, v)| (*r, v.as_slice()))
+    }
+
+    /// The round currently being recorded.
+    #[must_use]
+    pub fn current_round(&self) -> u32 {
+        self.current_round
+    }
+
+    /// Entries discarded because a round hit [`FLIGHT_ROUND_CAP`].
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// `true` if nothing has been recorded since the last eviction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty() && self.rounds.iter().all(|(_, v)| v.is_empty())
+    }
+
+    /// Renders the retained window as `flight.jsonl` text: every entry of
+    /// the last K completed rounds plus the in-progress round, each line
+    /// carrying its `round`.
+    #[must_use]
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (round, entries) in self.rounds() {
+            for e in entries {
+                write_entry_line_in_round(&mut out, round, e);
+            }
+        }
+        for e in &self.current {
+            write_entry_line_in_round(&mut out, self.current_round, e);
+        }
+        out
+    }
+}
+
+/// The engine's trace sink: a bounded ring buffer of [`TraceEntry`]
+/// values (oldest evicted when full), optionally replaced by a streaming
+/// [`JsonlSink`] and/or shadowed by a [`FlightRecorder`].
+#[derive(Debug, Default)]
 pub struct Trace {
     entries: VecDeque<TraceEntry>,
     capacity: usize,
     level: TraceLevel,
     evicted: u64,
+    stream: Option<JsonlSink>,
+    flight: Option<FlightRecorder>,
 }
 
 impl Trace {
@@ -153,13 +358,21 @@ impl Trace {
             capacity,
             level,
             evicted: 0,
+            stream: None,
+            flight: None,
         }
+    }
+
+    /// Whether any consumer — ring, stream, or flight recorder — is
+    /// attached.
+    fn sink_attached(&self) -> bool {
+        self.capacity > 0 || self.stream.is_some() || self.flight.is_some()
     }
 
     /// Whether recording is enabled at all.
     #[must_use]
     pub fn enabled(&self) -> bool {
-        self.capacity > 0 && self.level > TraceLevel::Off
+        self.sink_attached() && self.level > TraceLevel::Off
     }
 
     /// Whether events of class `level` have a consumer attached. The
@@ -167,18 +380,75 @@ impl Trace {
     /// are never even constructed for a disabled sink.
     #[must_use]
     pub fn wants(&self, level: TraceLevel) -> bool {
-        self.capacity > 0 && self.level >= level
+        self.sink_attached() && self.level >= level
+    }
+
+    /// Attaches a streaming sink. Entries then flow to the file through
+    /// the sink's reusable buffer **instead of** the in-memory ring —
+    /// streaming exists so full traces stop being memory-bound, so
+    /// retaining the ring alongside it would defeat the point. The
+    /// flight recorder (if any) still shadows the last K rounds.
+    pub fn set_stream(&mut self, sink: JsonlSink) {
+        self.stream = Some(sink);
+    }
+
+    /// Whether a streaming sink is attached.
+    #[must_use]
+    pub fn has_stream(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Attaches a flight recorder retaining the last `keep` rounds.
+    pub fn set_flight(&mut self, keep: usize) {
+        self.flight = Some(FlightRecorder::new(keep));
+    }
+
+    /// The flight recorder, if one is attached.
+    #[must_use]
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Marks a round/epoch boundary: rotates the flight recorder's window
+    /// and flushes the streaming sink so `trace.jsonl` is durable up to
+    /// the last completed round. Observability-only — recording itself is
+    /// unaffected.
+    pub fn mark_round(&mut self) {
+        if let Some(f) = self.flight.as_mut() {
+            f.rotate();
+        }
+        if let Some(s) = self.stream.as_mut() {
+            s.flush();
+        }
+    }
+
+    /// Detaches and finishes the streaming sink, returning
+    /// `(records, bytes, latched_error)`; `None` if no sink was attached.
+    pub fn finish_stream(&mut self) -> Option<(u64, u64, Option<std::io::Error>)> {
+        self.stream.take().map(|mut s| {
+            s.flush();
+            let err = s.take_error();
+            (s.records(), s.bytes(), err)
+        })
     }
 
     pub(crate) fn record(&mut self, time: SimTime, kind: TraceKind) {
         if !self.enabled() {
             return;
         }
-        if self.entries.len() == self.capacity {
-            self.entries.pop_front();
-            self.evicted += 1;
+        let e = TraceEntry { time, kind };
+        if let Some(f) = self.flight.as_mut() {
+            f.record(e);
         }
-        self.entries.push_back(TraceEntry { time, kind });
+        if let Some(s) = self.stream.as_mut() {
+            s.with_line(|buf| write_entry_line(buf, &e));
+        } else if self.capacity > 0 {
+            if self.entries.len() == self.capacity {
+                self.entries.pop_front();
+                self.evicted += 1;
+            }
+            self.entries.push_back(e);
+        }
     }
 
     /// Number of retained entries.
@@ -234,6 +504,43 @@ impl Trace {
     /// Drops all retained entries (the eviction counter survives).
     pub fn clear(&mut self) {
         self.entries.clear();
+    }
+
+    /// Renders the retained ring as `trace.jsonl` text through the same
+    /// renderer the streaming sink uses — the buffered half of the
+    /// streamed-vs-buffered byte-identity comparison.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            write_entry_line(&mut out, e);
+        }
+        out
+    }
+}
+
+impl Drop for Trace {
+    /// Crash-dump behaviour: if the thread is unwinding from a panic, the
+    /// flight recorder's window goes to stderr (the run's artefact files
+    /// will never be written) and the streaming sink is flushed so
+    /// `trace.jsonl` holds everything up to the failure.
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        if let Some(s) = self.stream.as_mut() {
+            s.flush();
+        }
+        if let Some(f) = &self.flight {
+            if !f.is_empty() {
+                eprintln!(
+                    "--- flight recorder: last {} round(s) before the panic ---",
+                    f.rounds.len() + 1
+                );
+                eprint!("{}", f.dump_jsonl());
+                eprintln!("--- end flight recorder ---");
+            }
+        }
     }
 }
 
@@ -440,6 +747,74 @@ mod tests {
                 | TraceKind::FrameLost { .. }
         )));
         assert_eq!(tr.frame_fate(101).count(), 0);
+    }
+
+    #[test]
+    fn streamed_entries_match_buffered_to_jsonl() {
+        // The same event sequence through the ring and through a stream
+        // sink must produce byte-identical JSONL.
+        let mut ring = Trace::new(64);
+        one_of_each(&mut ring, 7, 100);
+        let reference = ring.to_jsonl();
+        assert_eq!(reference.lines().count(), 8);
+        for line in reference.lines() {
+            icpda_obs::json::parse(line).expect("valid json trace line");
+        }
+
+        let dir = std::env::temp_dir().join(format!("sim-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("trace.jsonl");
+        let mut streamed = Trace::new(0);
+        streamed.set_stream(JsonlSink::create(&path).expect("sink"));
+        assert!(streamed.enabled(), "stream alone enables recording");
+        assert!(streamed.wants(TraceLevel::Full));
+        one_of_each(&mut streamed, 7, 100);
+        assert!(streamed.is_empty(), "stream bypasses the ring");
+        let (records, bytes, err) = streamed.finish_stream().expect("stream stats");
+        assert!(err.is_none());
+        assert_eq!(records, 8);
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(bytes, text.len() as u64);
+        assert_eq!(text, reference, "streamed trace.jsonl diverged from ring");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flight_recorder_keeps_exactly_last_k_rounds() {
+        let mut tr = Trace::new(0);
+        tr.set_flight(3);
+        assert!(tr.enabled(), "flight alone enables recording");
+        for round in 1..=10u64 {
+            let (t, k) = entry(round, round as u32);
+            tr.record(t, k);
+            tr.mark_round();
+        }
+        let f = tr.flight().expect("flight attached");
+        assert_eq!(f.current_round(), 11);
+        let kept: Vec<u32> = f.rounds().map(|(r, _)| r).collect();
+        assert_eq!(kept, vec![8, 9, 10], "retains exactly the last K rounds");
+        let dump = f.dump_jsonl();
+        assert_eq!(dump.lines().count(), 3);
+        assert!(dump.contains("\"round\":8"), "{dump}");
+        assert!(!dump.contains("\"round\":7"), "{dump}");
+        for line in dump.lines() {
+            icpda_obs::json::parse(line).expect("valid flight line");
+        }
+    }
+
+    #[test]
+    fn flight_recorder_caps_each_round() {
+        let mut f = FlightRecorder::new(2);
+        let (t, k) = entry(1, 1);
+        for _ in 0..(FLIGHT_ROUND_CAP + 10) {
+            f.record(TraceEntry { time: t, kind: k });
+        }
+        assert_eq!(f.dropped(), 10);
+        f.rotate();
+        assert_eq!(
+            f.rounds().next().expect("one round").1.len(),
+            FLIGHT_ROUND_CAP
+        );
     }
 
     #[test]
